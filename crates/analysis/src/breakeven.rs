@@ -1,0 +1,128 @@
+//! Break-even search (Table 5.1).
+//!
+//! Finds the read/write ratio at which two policies' response times
+//! cross, by bisection over a user-supplied difference function
+//! `f(rw) = response_A(rw) − response_B(rw)`. Simulation output is noisy
+//! and only piecewise monotone, so the search brackets a sign change on a
+//! coarse grid first and then bisects.
+
+/// Result of a break-even search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BreakEven {
+    /// The difference changes sign near this ratio.
+    At(f64),
+    /// `f` is negative over the whole range (A always wins).
+    AlwaysNegative,
+    /// `f` is positive over the whole range (B always wins).
+    AlwaysPositive,
+}
+
+/// Locate the break-even point of `f` over `[lo, hi]` using `grid`
+/// initial samples and `iterations` bisection steps.
+///
+/// # Panics
+/// Panics if `lo >= hi`, `grid < 2` or `iterations == 0`.
+pub fn find_break_even<F>(mut f: F, lo: f64, hi: f64, grid: usize, iterations: usize) -> BreakEven
+where
+    F: FnMut(f64) -> f64,
+{
+    assert!(lo < hi, "empty search range");
+    assert!(grid >= 2, "need at least two grid points");
+    assert!(iterations > 0, "need at least one bisection step");
+
+    // Coarse grid to bracket the first sign change.
+    let mut prev_x = lo;
+    let mut prev_y = f(lo);
+    let mut bracket = None;
+    for i in 1..grid {
+        let x = lo + (hi - lo) * i as f64 / (grid - 1) as f64;
+        let y = f(x);
+        if prev_y == 0.0 {
+            return BreakEven::At(prev_x);
+        }
+        if prev_y * y < 0.0 {
+            bracket = Some((prev_x, prev_y, x));
+            break;
+        }
+        prev_x = x;
+        prev_y = y;
+    }
+    let Some((mut a, ya, mut b)) = bracket else {
+        return if prev_y < 0.0 {
+            BreakEven::AlwaysNegative
+        } else if prev_y > 0.0 {
+            BreakEven::AlwaysPositive
+        } else {
+            BreakEven::At(prev_x)
+        };
+    };
+
+    // Bisect.
+    let mut ya = ya;
+    for _ in 0..iterations {
+        let mid = 0.5 * (a + b);
+        let ym = f(mid);
+        if ym == 0.0 {
+            return BreakEven::At(mid);
+        }
+        if ya * ym < 0.0 {
+            b = mid;
+        } else {
+            a = mid;
+            ya = ym;
+        }
+    }
+    BreakEven::At(0.5 * (a + b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_linear_root() {
+        let r = find_break_even(|x| x - 3.6, 1.0, 10.0, 10, 30);
+        match r {
+            BreakEven::At(x) => assert!((x - 3.6).abs() < 1e-6, "{x}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn reports_one_sided_functions() {
+        assert_eq!(
+            find_break_even(|_| -1.0, 1.0, 10.0, 5, 5),
+            BreakEven::AlwaysNegative
+        );
+        assert_eq!(
+            find_break_even(|_| 2.0, 1.0, 10.0, 5, 5),
+            BreakEven::AlwaysPositive
+        );
+    }
+
+    #[test]
+    fn handles_nonlinear_crossing() {
+        // Crosses at x = 4 (like clustering overhead amortised by reads).
+        let r = find_break_even(|x| 8.0 / x - 2.0, 1.0, 10.0, 12, 40);
+        match r {
+            BreakEven::At(x) => assert!((x - 4.0).abs() < 1e-4, "{x}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn counts_function_calls_frugally() {
+        let mut calls = 0;
+        find_break_even(
+            |x| {
+                calls += 1;
+                x - 5.0
+            },
+            1.0,
+            10.0,
+            8,
+            10,
+        );
+        assert!(calls <= 8 + 10, "calls {calls}");
+    }
+}

@@ -1,0 +1,195 @@
+//! Two-level factorial effect analysis (§6, Figure 6.1).
+//!
+//! Each of `k` control parameters is assigned a *low* and a *high*
+//! operating level. The full design runs all `2^k` combinations; the
+//! effect of a factor subset `S` is the average change in response when
+//! the product of `S`'s levels flips sign — the standard contrast
+//! estimate of a 2^k design. Figure 6.1 plots the absolute values of
+//! these effects; we reproduce the ranking (structure density and
+//! buffering policy dominate, page splitting is negligible).
+
+/// A full 2^k two-level design.
+#[derive(Debug, Clone)]
+pub struct FactorialDesign {
+    factors: Vec<String>,
+}
+
+/// One estimated effect: a factor subset and its contrast.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Effect {
+    /// Indices of the factors in the subset (singletons are main
+    /// effects, pairs are two-factor interactions, …).
+    pub factors: Vec<usize>,
+    /// Human-readable label, e.g. `density` or `density×buffering`.
+    pub label: String,
+    /// The signed effect estimate.
+    pub effect: f64,
+}
+
+impl Effect {
+    /// Interaction order (1 = main effect).
+    pub fn order(&self) -> usize {
+        self.factors.len()
+    }
+}
+
+impl FactorialDesign {
+    /// Define a design over the named factors.
+    ///
+    /// # Panics
+    /// Panics on more than 16 factors (the full design would not fit in
+    /// memory) or on zero factors.
+    pub fn new<S: Into<String>>(factors: Vec<S>) -> Self {
+        let factors: Vec<String> = factors.into_iter().map(Into::into).collect();
+        assert!(!factors.is_empty(), "need at least one factor");
+        assert!(factors.len() <= 16, "2^k design too large");
+        FactorialDesign { factors }
+    }
+
+    /// Factor names.
+    pub fn factors(&self) -> &[String] {
+        &self.factors
+    }
+
+    /// Number of runs (`2^k`).
+    pub fn runs(&self) -> usize {
+        1 << self.factors.len()
+    }
+
+    /// Level vector of run `i`: `true` = high. Bit `j` of `i` is factor
+    /// `j`'s level.
+    pub fn levels(&self, run: usize) -> Vec<bool> {
+        (0..self.factors.len()).map(|j| (run >> j) & 1 == 1).collect()
+    }
+
+    /// Estimate every effect (all non-empty factor subsets) from the
+    /// `2^k` responses, ordered by subset mask.
+    ///
+    /// # Panics
+    /// Panics if `responses.len() != self.runs()`.
+    pub fn effects(&self, responses: &[f64]) -> Vec<Effect> {
+        assert_eq!(responses.len(), self.runs(), "one response per run");
+        let k = self.factors.len();
+        let half = (self.runs() / 2) as f64;
+        let mut out = Vec::with_capacity(self.runs() - 1);
+        for mask in 1..self.runs() {
+            let mut contrast = 0.0;
+            for (run, &y) in responses.iter().enumerate() {
+                // Sign = product over the subset's factors of (+1 high,
+                // -1 low): -1 raised to the number of *low* factors in
+                // the subset.
+                let low_count = mask.count_ones() - (run & mask).count_ones();
+                let sign = if low_count & 1 == 0 { 1.0 } else { -1.0 };
+                contrast += sign * y;
+            }
+            let factors: Vec<usize> = (0..k).filter(|j| (mask >> j) & 1 == 1).collect();
+            let label = factors
+                .iter()
+                .map(|&j| self.factors[j].as_str())
+                .collect::<Vec<_>>()
+                .join("×");
+            out.push(Effect {
+                factors,
+                label,
+                effect: contrast / half,
+            });
+        }
+        out
+    }
+
+    /// Effects ranked by absolute magnitude, largest first, optionally
+    /// restricted to interaction order ≤ `max_order`.
+    pub fn ranked_effects(&self, responses: &[f64], max_order: usize) -> Vec<Effect> {
+        let mut effects: Vec<Effect> = self
+            .effects(responses)
+            .into_iter()
+            .filter(|e| e.order() <= max_order)
+            .collect();
+        effects.sort_by(|a, b| {
+            b.effect
+                .abs()
+                .partial_cmp(&a.effect.abs())
+                .expect("finite effects")
+        });
+        effects
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::needless_range_loop)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn additive_model_has_no_interactions() {
+        // y = 10 + 3*A + 1*B (A,B coded -1/+1).
+        let design = FactorialDesign::new(vec!["A", "B"]);
+        let mut responses = vec![0.0; 4];
+        for run in 0..4 {
+            let a = if run & 1 == 1 { 1.0 } else { -1.0 };
+            let b = if run & 2 == 2 { 1.0 } else { -1.0 };
+            responses[run] = 10.0 + 3.0 * a + 1.0 * b;
+        }
+        let effects = design.effects(&responses);
+        let get = |label: &str| {
+            effects
+                .iter()
+                .find(|e| e.label == label)
+                .map(|e| e.effect)
+                .unwrap()
+        };
+        // Effect = 2 × coefficient in the coded model.
+        assert!((get("A") - 6.0).abs() < 1e-12);
+        assert!((get("B") - 2.0).abs() < 1e-12);
+        assert!(get("A×B").abs() < 1e-12);
+    }
+
+    #[test]
+    fn pure_interaction_detected() {
+        // y = 5 * A * B.
+        let design = FactorialDesign::new(vec!["A", "B"]);
+        let mut responses = vec![0.0; 4];
+        for run in 0..4 {
+            let a = if run & 1 == 1 { 1.0 } else { -1.0 };
+            let b = if run & 2 == 2 { 1.0 } else { -1.0 };
+            responses[run] = 5.0 * a * b;
+        }
+        let effects = design.effects(&responses);
+        let ab = effects.iter().find(|e| e.label == "A×B").unwrap();
+        assert!((ab.effect - 10.0).abs() < 1e-12);
+        assert!(effects.iter().find(|e| e.label == "A").unwrap().effect.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ranking_orders_by_magnitude() {
+        let design = FactorialDesign::new(vec!["A", "B", "C"]);
+        let mut responses = vec![0.0; 8];
+        for run in 0..8 {
+            let a = if run & 1 == 1 { 1.0 } else { -1.0 };
+            let c = if run & 4 == 4 { 1.0 } else { -1.0 };
+            responses[run] = a + 10.0 * c;
+        }
+        let ranked = design.ranked_effects(&responses, 2);
+        assert_eq!(ranked[0].label, "C");
+        assert_eq!(ranked[1].label, "A");
+        // max_order 2 excludes the three-factor interaction.
+        assert!(ranked.iter().all(|e| e.order() <= 2));
+    }
+
+    #[test]
+    fn run_enumeration_covers_all_levels() {
+        let design = FactorialDesign::new(vec!["x", "y"]);
+        assert_eq!(design.runs(), 4);
+        let all: Vec<Vec<bool>> = (0..4).map(|i| design.levels(i)).collect();
+        assert!(all.contains(&vec![false, false]));
+        assert!(all.contains(&vec![true, true]));
+        assert!(all.contains(&vec![true, false]));
+        assert!(all.contains(&vec![false, true]));
+    }
+
+    #[test]
+    #[should_panic(expected = "one response per run")]
+    fn wrong_response_count_panics() {
+        FactorialDesign::new(vec!["A"]).effects(&[1.0, 2.0, 3.0]);
+    }
+}

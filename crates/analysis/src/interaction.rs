@@ -1,0 +1,137 @@
+//! Interaction-plot classification (§6, Figure 6.2).
+//!
+//! Two control parameters "interact" when the effect of one differs
+//! across the levels of the other. Plotted as two lines (one per level of
+//! the second factor) over the first factor's levels: parallel lines mean
+//! no interaction, non-parallel but non-crossing lines a *minor*
+//! interaction, crossing lines a *major* interaction.
+
+use std::fmt;
+
+/// The corner responses of a 2×2 interaction plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Corners {
+    /// Response at (A low, B low).
+    pub ll: f64,
+    /// Response at (A low, B high).
+    pub lh: f64,
+    /// Response at (A high, B low).
+    pub hl: f64,
+    /// Response at (A high, B high).
+    pub hh: f64,
+}
+
+/// Interaction strength classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionClass {
+    /// Lines are (nearly) parallel: no interaction.
+    None,
+    /// Lines converge/diverge but do not cross in the observed range.
+    Minor,
+    /// Lines cross: strong interaction.
+    Major,
+}
+
+impl fmt::Display for InteractionClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            InteractionClass::None => "no interaction",
+            InteractionClass::Minor => "minor interaction",
+            InteractionClass::Major => "major interaction",
+        };
+        f.write_str(s)
+    }
+}
+
+impl Corners {
+    /// The two lines of the plot: B-low runs from `ll` to `hl`; B-high
+    /// from `lh` to `hh` (X axis = factor A's level).
+    pub fn lines(&self) -> ((f64, f64), (f64, f64)) {
+        ((self.ll, self.hl), (self.lh, self.hh))
+    }
+
+    /// Classify the interaction. `tolerance` is the relative slope
+    /// difference (w.r.t. the response scale) below which lines count as
+    /// parallel.
+    pub fn classify(&self, tolerance: f64) -> InteractionClass {
+        let scale = [self.ll, self.lh, self.hl, self.hh]
+            .iter()
+            .fold(0.0f64, |m, v| m.max(v.abs()))
+            .max(f64::EPSILON);
+        let slope_low = self.hl - self.ll; // B low
+        let slope_high = self.hh - self.lh; // B high
+        if (slope_low - slope_high).abs() / scale <= tolerance {
+            return InteractionClass::None;
+        }
+        // Lines cross inside the observed range iff the sign of the gap
+        // between them flips between the two ends.
+        let gap_left = self.lh - self.ll;
+        let gap_right = self.hh - self.hl;
+        if gap_left * gap_right < 0.0 {
+            InteractionClass::Major
+        } else {
+            InteractionClass::Minor
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_lines_do_not_interact() {
+        let c = Corners {
+            ll: 1.0,
+            lh: 2.0,
+            hl: 3.0,
+            hh: 4.0,
+        };
+        assert_eq!(c.classify(0.05), InteractionClass::None);
+    }
+
+    #[test]
+    fn diverging_lines_are_minor() {
+        let c = Corners {
+            ll: 1.0,
+            lh: 1.5,
+            hl: 2.0,
+            hh: 4.0,
+        };
+        assert_eq!(c.classify(0.05), InteractionClass::Minor);
+    }
+
+    #[test]
+    fn crossing_lines_are_major() {
+        let c = Corners {
+            ll: 1.0,
+            lh: 3.0,
+            hl: 3.0,
+            hh: 1.0,
+        };
+        assert_eq!(c.classify(0.05), InteractionClass::Major);
+    }
+
+    #[test]
+    fn tolerance_absorbs_noise() {
+        let c = Corners {
+            ll: 10.0,
+            lh: 20.0,
+            hl: 10.4,
+            hh: 20.1,
+        };
+        assert_eq!(c.classify(0.05), InteractionClass::None);
+        assert_ne!(c.classify(0.001), InteractionClass::None);
+    }
+
+    #[test]
+    fn lines_accessor() {
+        let c = Corners {
+            ll: 1.0,
+            lh: 2.0,
+            hl: 3.0,
+            hh: 4.0,
+        };
+        assert_eq!(c.lines(), ((1.0, 3.0), (2.0, 4.0)));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the analysis toolkit.
+
+use proptest::prelude::*;
+use semcluster_analysis::{find_break_even, BreakEven, Corners, FactorialDesign, InteractionClass};
+
+proptest! {
+    /// Factorial effects exactly recover the coefficients of a coded
+    /// linear-plus-interaction model (effect = 2 × coefficient).
+    #[test]
+    fn factorial_recovers_coded_model(
+        c0 in -10.0f64..10.0,
+        ca in -10.0f64..10.0,
+        cb in -10.0f64..10.0,
+        cc in -10.0f64..10.0,
+        cab in -10.0f64..10.0,
+    ) {
+        let design = FactorialDesign::new(vec!["A", "B", "C"]);
+        let coded = |bit: bool| if bit { 1.0 } else { -1.0 };
+        let responses: Vec<f64> = (0..design.runs())
+            .map(|run| {
+                let l = design.levels(run);
+                let (a, b, c) = (coded(l[0]), coded(l[1]), coded(l[2]));
+                c0 + ca * a + cb * b + cc * c + cab * a * b
+            })
+            .collect();
+        let effects = design.effects(&responses);
+        let get = |label: &str| {
+            effects.iter().find(|e| e.label == label).unwrap().effect
+        };
+        prop_assert!((get("A") - 2.0 * ca).abs() < 1e-9);
+        prop_assert!((get("B") - 2.0 * cb).abs() < 1e-9);
+        prop_assert!((get("C") - 2.0 * cc).abs() < 1e-9);
+        prop_assert!((get("A×B") - 2.0 * cab).abs() < 1e-9);
+        prop_assert!(get("A×C").abs() < 1e-9);
+        prop_assert!(get("A×B×C").abs() < 1e-9);
+    }
+
+    /// Effect ranking is a permutation sorted by |effect|.
+    #[test]
+    fn ranking_is_sorted_permutation(
+        responses in proptest::collection::vec(-100.0f64..100.0, 8..=8),
+    ) {
+        let design = FactorialDesign::new(vec!["A", "B", "C"]);
+        let ranked = design.ranked_effects(&responses, 3);
+        prop_assert_eq!(ranked.len(), 7);
+        for w in ranked.windows(2) {
+            prop_assert!(w[0].effect.abs() >= w[1].effect.abs() - 1e-12);
+        }
+    }
+
+    /// The break-even search finds the root of any monotone affine
+    /// function to grid+bisection precision, or reports one-sidedness.
+    #[test]
+    fn break_even_affine(slope in 0.01f64..50.0, root in -5.0f64..15.0) {
+        let result = find_break_even(|x| slope * (x - root), 1.0, 10.0, 12, 40);
+        if root <= 1.0 {
+            prop_assert_eq!(result, BreakEven::AlwaysPositive);
+        } else if root >= 10.0 {
+            prop_assert_eq!(result, BreakEven::AlwaysNegative);
+        } else {
+            match result {
+                BreakEven::At(x) => prop_assert!((x - root).abs() < 1e-3, "{x} vs {root}"),
+                other => prop_assert!(false, "expected root, got {:?}", other),
+            }
+        }
+    }
+
+    /// Interaction classification: scaling all four corners by a positive
+    /// constant never changes the class.
+    #[test]
+    fn interaction_class_scale_invariant(
+        ll in -10.0f64..10.0,
+        lh in -10.0f64..10.0,
+        hl in -10.0f64..10.0,
+        hh in -10.0f64..10.0,
+        scale in 0.1f64..100.0,
+    ) {
+        let c1 = Corners { ll, lh, hl, hh };
+        let c2 = Corners {
+            ll: ll * scale,
+            lh: lh * scale,
+            hl: hl * scale,
+            hh: hh * scale,
+        };
+        prop_assert_eq!(c1.classify(0.05), c2.classify(0.05));
+    }
+
+    /// Exactly parallel lines always classify as no interaction.
+    #[test]
+    fn parallel_lines_classify_none(
+        ll in -10.0f64..10.0,
+        slope in -10.0f64..10.0,
+        gap in -10.0f64..10.0,
+    ) {
+        let c = Corners {
+            ll,
+            lh: ll + gap,
+            hl: ll + slope,
+            hh: ll + gap + slope,
+        };
+        prop_assert_eq!(c.classify(0.01), InteractionClass::None);
+    }
+}

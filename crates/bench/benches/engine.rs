@@ -1,0 +1,67 @@
+//! Criterion benchmarks of the integrated engine: one small simulation
+//! per policy family, plus workload machinery. These double as coarse
+//! regression guards on simulation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcluster::{run_simulation, SimConfig};
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_clustering::ClusteringPolicy;
+use semcluster_sim::SimRng;
+use semcluster_workload::{analyze, generate_trace, oct_tools, StructureDensity};
+
+fn tiny(clustering: ClusteringPolicy) -> SimConfig {
+    SimConfig {
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 50,
+        measured_txns: 250,
+        clustering,
+        ..SimConfig::default()
+    }
+    .with_workload(StructureDensity::Med5, 10.0)
+}
+
+fn bench_engine_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/simulation_300txn");
+    group.sample_size(10);
+    for policy in ClusteringPolicy::PAPER_LEVELS {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| b.iter(|| black_box(run_simulation(tiny(policy)).mean_response_s)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_engine_buffering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/smart_buffering_300txn");
+    group.sample_size(10);
+    group.bench_function("ctx_prefetch_db", |b| {
+        b.iter(|| {
+            let cfg = tiny(ClusteringPolicy::NoLimit)
+                .with_replacement(ReplacementPolicy::ContextSensitive)
+                .with_prefetch(PrefetchScope::WithinDatabase);
+            black_box(run_simulation(cfg).mean_response_s)
+        })
+    });
+    group.finish();
+}
+
+fn bench_trace_pipeline(c: &mut Criterion) {
+    let tools = oct_tools();
+    c.bench_function("workload/trace_generate_analyze_10_invocations", |b| {
+        let mut rng = SimRng::seed_from_u64(9);
+        b.iter(|| {
+            let trace = generate_trace(&tools, 1, &mut rng);
+            black_box(analyze(&trace).len())
+        })
+    });
+}
+
+criterion_group!(
+    name = engine;
+    config = Criterion::default();
+    targets = bench_engine_policies, bench_engine_buffering, bench_trace_pipeline
+);
+criterion_main!(engine);

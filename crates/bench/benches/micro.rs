@@ -1,0 +1,164 @@
+//! Criterion micro-benchmarks of the hot substrate operations.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use semcluster_bench::experiments::random_dependency_graph;
+use semcluster_buffer::{BufferPool, ReplacementPolicy};
+use semcluster_clustering::{
+    linear_split, optimal_split, plan_placement, AllResident, ClusteringPolicy, WeightModel,
+};
+use semcluster_sim::{EventQueue, FcfsServer, SimDuration, SimRng, SimTime, Zipf};
+use semcluster_storage::{PageId, StorageManager, DEFAULT_PAGE_BYTES};
+use semcluster_vdm::{ObjectId, SyntheticDbSpec};
+use semcluster_wal::{LogConfig, LogManager};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("sim/event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 100_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, e)) = q.pop() {
+                acc = acc.wrapping_add(e);
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_server(c: &mut Criterion) {
+    c.bench_function("sim/fcfs_submit_1k", |b| {
+        b.iter(|| {
+            let mut s = FcfsServer::new("d");
+            let mut t = SimTime::ZERO;
+            for i in 0..1000u64 {
+                t += SimDuration::from_micros(i % 50);
+                black_box(s.submit(t, SimDuration::from_micros(30)));
+            }
+            black_box(s.jobs())
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let z = Zipf::new(10_000, 0.8);
+    let mut rng = SimRng::seed_from_u64(1);
+    c.bench_function("sim/zipf_sample", |b| b.iter(|| black_box(z.sample(&mut rng))));
+}
+
+fn bench_buffer_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("buffer/access_zipf_stream");
+    for policy in [
+        ReplacementPolicy::Lru,
+        ReplacementPolicy::Random,
+        ReplacementPolicy::ContextSensitive,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(policy),
+            &policy,
+            |b, &policy| {
+                let z = Zipf::new(4000, 0.7);
+                let mut rng = SimRng::seed_from_u64(3);
+                let mut pool = BufferPool::new(512, policy, 7);
+                b.iter(|| {
+                    let page = PageId(z.sample(&mut rng) as u32);
+                    black_box(pool.access(page))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_splits(c: &mut Criterion) {
+    let mut rng = SimRng::seed_from_u64(5);
+    let small = random_dependency_graph(&mut rng, 10, 0.4, (200, 500));
+    let large = random_dependency_graph(&mut rng, 40, 0.2, (80, 200));
+    let mut group = c.benchmark_group("clustering/page_split");
+    group.bench_function("linear_10_nodes", |b| {
+        b.iter(|| black_box(linear_split(&small, 3000)))
+    });
+    group.bench_function("optimal_10_nodes", |b| {
+        b.iter(|| black_box(optimal_split(&small, 3000)))
+    });
+    group.bench_function("linear_40_nodes", |b| {
+        b.iter(|| black_box(linear_split(&large, 4000)))
+    });
+    group.bench_function("optimal_40_nodes_heuristic", |b| {
+        b.iter(|| black_box(optimal_split(&large, 4000)))
+    });
+    group.finish();
+}
+
+fn bench_placement(c: &mut Criterion) {
+    let (db, _) = SyntheticDbSpec {
+        modules: 30,
+        depth: 3,
+        fanout: (3, 6),
+        ..SyntheticDbSpec::default()
+    }
+    .build();
+    let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+    for obj in db.objects() {
+        store.append(obj.id, obj.size_bytes()).unwrap();
+    }
+    let model = WeightModel::no_hints();
+    let n = db.object_count() as u32;
+    let mut i = 0u32;
+    c.bench_function("clustering/plan_placement", |b| {
+        b.iter(|| {
+            i = (i + 1) % n;
+            black_box(plan_placement(
+                &db,
+                &store,
+                &AllResident,
+                ClusteringPolicy::NoLimit,
+                &model,
+                ObjectId(i),
+                256,
+            ))
+        })
+    });
+}
+
+fn bench_log(c: &mut Criterion) {
+    c.bench_function("wal/txn_of_8_updates", |b| {
+        let mut log = LogManager::new(LogConfig::default());
+        b.iter(|| {
+            let t = log.begin();
+            for p in 0..8u32 {
+                black_box(log.log_update(t, PageId(p % 3), 200));
+            }
+            black_box(log.commit(t))
+        })
+    });
+}
+
+fn bench_db_build(c: &mut Criterion) {
+    c.bench_function("vdm/synthetic_build_3k_objects", |b| {
+        b.iter(|| {
+            let spec = SyntheticDbSpec {
+                modules: 10,
+                depth: 3,
+                fanout: (3, 5),
+                ..SyntheticDbSpec::default()
+            };
+            black_box(spec.build().0.object_count())
+        })
+    });
+}
+
+criterion_group!(
+    name = micro;
+    config = Criterion::default().sample_size(30);
+    targets = bench_event_queue,
+    bench_server,
+    bench_zipf,
+    bench_buffer_policies,
+    bench_splits,
+    bench_placement,
+    bench_log,
+    bench_db_build
+);
+criterion_main!(micro);

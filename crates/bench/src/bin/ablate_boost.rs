@@ -1,0 +1,29 @@
+//! Ablation: magnitude of the context-sensitive relationship boost
+//! (DESIGN.md §5). Too small degenerates to LRU; too large pins stale
+//! relationship neighbourhoods.
+
+use semcluster_analysis::Table;
+use semcluster_bench::{banner, FigureOpts};
+use semcluster::{buffering_study_base, run_replicated};
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_workload::{StructureDensity, WorkloadSpec};
+
+fn main() {
+    banner("Ablation", "context-sensitive boost magnitude (hi10-100)");
+    let opts = FigureOpts::from_env();
+    let mut table = Table::new(vec!["boost (ticks)", "response (s)", "hit ratio"]);
+    for boost in [1u64, 8, 32, 128, 512, 4096] {
+        let mut cfg = opts.apply(buffering_study_base());
+        cfg.workload = WorkloadSpec::new(StructureDensity::High10, 100.0);
+        cfg.replacement = ReplacementPolicy::ContextSensitive;
+        cfg.prefetch = PrefetchScope::None;
+        cfg.context_boost_ticks = Some(boost);
+        let r = run_replicated(&cfg, opts.reps);
+        table.row(vec![
+            boost.to_string(),
+            format!("{:.3}±{:.3}", r.response.mean, r.response.ci95),
+            format!("{:.3}", r.hit_ratio.mean),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,30 @@
+//! Ablation: buffer pool size (Table 4.1 parameter L — the study the
+//! paper defers to \[CHAN89\]).
+
+use semcluster_analysis::Table;
+use semcluster_bench::{banner, FigureOpts};
+use semcluster::{buffering_study_base, run_replicated};
+use semcluster_buffer::ReplacementPolicy;
+use semcluster_workload::{StructureDensity, WorkloadSpec};
+
+fn main() {
+    banner("Ablation", "buffer pool size under LRU vs context-sensitive (med5-100)");
+    let opts = FigureOpts::from_env();
+    let mut table = Table::new(vec!["frames", "LRU resp (s)", "Ctx resp (s)", "LRU hits", "Ctx hits"]);
+    for frames in [25usize, 50, 100, 200, 400, 800] {
+        let mut cells = vec![frames.to_string()];
+        let mut hits = Vec::new();
+        for replacement in [ReplacementPolicy::Lru, ReplacementPolicy::ContextSensitive] {
+            let mut cfg = opts.apply(buffering_study_base());
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 100.0);
+            cfg.replacement = replacement;
+            cfg.buffer_pages = frames;
+            let r = run_replicated(&cfg, opts.reps);
+            cells.push(format!("{:.3}", r.response.mean));
+            hits.push(format!("{:.2}", r.hit_ratio.mean));
+        }
+        cells.extend(hits);
+        table.row(cells);
+    }
+    table.print();
+}

@@ -1,0 +1,22 @@
+//! Developer diagnostic: I/O breakdown per policy at a given workload.
+use semcluster::{clustering_study_base, run_simulation};
+use semcluster_clustering::ClusteringPolicy;
+use semcluster_workload::{StructureDensity, WorkloadSpec};
+
+fn main() {
+    for rw in [5.0] {
+        for p in ClusteringPolicy::PAPER_LEVELS {
+            let mut cfg = clustering_study_base();
+            cfg.database_bytes = 8 * 1024 * 1024;
+            cfg.buffer_pages = 50;
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, rw);
+            cfg.clustering = p;
+            let r = run_simulation(cfg);
+            println!(
+                "rw={rw:<4} {p:<22} resp={:.3} log={:?} rec={}",
+                r.mean_response_s, r.log, r.recluster_moves
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Figure 3.3 — OCT tools' object I/O rate (logical I/Os per session
+//! second), recovered from synthetic traces.
+
+use semcluster_analysis::Table;
+use semcluster_bench::banner;
+use semcluster_sim::SimRng;
+use semcluster_workload::{analyze, generate_trace, oct_tools};
+
+fn main() {
+    banner("Figure 3.3", "OCT tools' object I/O rate");
+    let mut rng = SimRng::seed_from_u64(33);
+    let tools = oct_tools();
+    let trace = generate_trace(&tools, 40, &mut rng);
+    let stats = analyze(&trace);
+    let mut table = Table::new(vec!["tool", "profile I/O per s", "measured I/O per s"]);
+    for t in &tools {
+        let s = stats.iter().find(|s| s.tool == t.name).expect("analysed");
+        table.row(vec![
+            t.name.to_string(),
+            format!("{:.1}", t.io_rate_per_s),
+            format!("{:.1}", s.io_rate()),
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,25 @@
+//! Figure 5.1 — clustering-effects analysis: five clustering policies
+//! across the six workload corners (densities × rw 5/100), under LRU,
+//! 1000-buffer-equivalent, no prefetch.
+
+use semcluster_bench::experiments::{clustering_effect, corner_workloads};
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner(
+        "Figure 5.1",
+        "clustering effects (LRU, no prefetch) — mean response time (s)",
+    );
+    let opts = FigureOpts::from_env();
+    let sweep = clustering_effect(&opts, &corner_workloads());
+    sweep.print("response (s)");
+    if let (Some(none), Some(best)) = (
+        sweep.get("hi10-100", "No_Cluster"),
+        sweep.get("hi10-100", "No_limit"),
+    ) {
+        println!(
+            "\nhi10-100: No_Cluster / No_limit = {:.2}× (paper: ≈3× — a 200% improvement)",
+            none.mean / best.mean
+        );
+    }
+}

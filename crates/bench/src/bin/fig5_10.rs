@@ -1,0 +1,28 @@
+//! Figure 5.10 — broken-arc cost of the greedy Linear_Split vs the exact
+//! NP_Split partition, on random inheritance-dependency graphs per
+//! density class.
+
+use semcluster_analysis::Table;
+use semcluster_bench::banner;
+use semcluster_bench::experiments::split_cost_gap;
+
+fn main() {
+    banner("Figure 5.10", "Linear vs NP split partition cost");
+    let rows = split_cost_gap(510, 200);
+    let mut table = Table::new(vec![
+        "density class",
+        "Linear_Split cost",
+        "NP_Split cost",
+        "gap",
+    ]);
+    for (label, lin, opt) in rows {
+        table.row(vec![
+            label,
+            format!("{lin:.2}"),
+            format!("{opt:.2}"),
+            format!("{:.1}%", 100.0 * (lin - opt) / opt.max(1e-9)),
+        ]);
+    }
+    table.print();
+    println!("\npaper: the gap is small, and shrinks at low density (few arcs).");
+}

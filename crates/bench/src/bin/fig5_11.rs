@@ -1,0 +1,21 @@
+//! Figure 5.11 — buffering-effects analysis: the six reported replacement
+//! × prefetch combinations across workloads, clustering without limit.
+
+use semcluster_bench::experiments::{buffering_effect, corner_workloads};
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner("Figure 5.11", "buffering effects — mean response time (s)");
+    let opts = FigureOpts::from_env();
+    let sweep = buffering_effect(&opts, &corner_workloads());
+    sweep.print("response (s)");
+    if let (Some(worst), Some(best)) = (
+        sweep.get("hi10-100", "LRU_no_p"),
+        sweep.get("hi10-100", "C_p_DB"),
+    ) {
+        println!(
+            "\nhi10-100: LRU_no_p / C_p_DB = {:.2}× (paper: ≈2.5× — a 150% improvement)",
+            worst.mean / best.mean
+        );
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 5.13 — prefetching effect under the LRU buffer
+//! replacement policy.
+
+use semcluster_bench::experiments::{corner_workloads, prefetch_effect};
+use semcluster_bench::{banner, FigureOpts};
+use semcluster_buffer::ReplacementPolicy;
+
+fn main() {
+    banner(
+        "Figure 5.13",
+        "prefetching effect under LRU replacement — response (s)",
+    );
+    let opts = FigureOpts::from_env();
+    prefetch_effect(&opts, ReplacementPolicy::Lru, &corner_workloads()).print("response (s)");
+}

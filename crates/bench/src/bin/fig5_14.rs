@@ -1,0 +1,15 @@
+//! Figure 5.14 — prefetching effect under the Random buffer
+//! replacement policy.
+
+use semcluster_bench::experiments::{corner_workloads, prefetch_effect};
+use semcluster_bench::{banner, FigureOpts};
+use semcluster_buffer::ReplacementPolicy;
+
+fn main() {
+    banner(
+        "Figure 5.14",
+        "prefetching effect under Random replacement — response (s)",
+    );
+    let opts = FigureOpts::from_env();
+    prefetch_effect(&opts, ReplacementPolicy::Random, &corner_workloads()).print("response (s)");
+}

@@ -1,0 +1,14 @@
+//! Figure 5.4 — clustering effect under R/W ratio 100, sweeping
+//! structure density.
+
+use semcluster_bench::experiments::{clustering_effect, density_workloads};
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner(
+        "Figure 5.4",
+        "clustering effect at R/W ratio 100 — mean response time (s)",
+    );
+    let opts = FigureOpts::from_env();
+    clustering_effect(&opts, &density_workloads(100.0)).print("response (s)");
+}

@@ -1,0 +1,17 @@
+//! Figure 5.5 — clustering effect on transaction-logging I/Os (rw = 5,
+//! density sweep): before-image coalescing makes clustering cheaper to
+//! log.
+
+use semcluster_bench::experiments::log_io_effect;
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner(
+        "Figure 5.5",
+        "log I/Os per write transaction, No_Cluster vs No_limit (rw=5)",
+    );
+    let opts = FigureOpts::from_env();
+    let sweep = log_io_effect(&opts);
+    sweep.print("log I/Os per write txn");
+    println!("\npaper: clustering reduces logging I/O at every density.");
+}

@@ -1,0 +1,15 @@
+//! Figure 5.7 — clustering effect under med structure density, sweeping
+//! the read/write ratio.
+
+use semcluster_bench::experiments::{clustering_effect, rw_workloads};
+use semcluster_bench::{banner, FigureOpts};
+use semcluster_workload::StructureDensity;
+
+fn main() {
+    banner(
+        "Figure 5.7",
+        "clustering effect at med density — mean response time (s)",
+    );
+    let opts = FigureOpts::from_env();
+    clustering_effect(&opts, &rw_workloads(StructureDensity::Med5)).print("response (s)");
+}

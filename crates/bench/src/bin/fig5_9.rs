@@ -1,0 +1,13 @@
+//! Figure 5.9 — page-splitting effects: No_Splitting vs Linear_Split vs
+//! NP_Split across the six workload corners, clustering without limit.
+
+use semcluster_bench::experiments::{corner_workloads, split_effect};
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner("Figure 5.9", "page-splitting effects — mean response time (s)");
+    let opts = FigureOpts::from_env();
+    split_effect(&opts, &corner_workloads()).print("response (s)");
+    println!("\npaper: differences are small; Linear_Split best at high density + high rw,");
+    println!("No_Splitting best at low rw.");
+}

@@ -1,0 +1,42 @@
+//! Figure 6.2 — interaction analysis: classify selected control-parameter
+//! pairs as no / minor / major interactions from the factorial responses.
+
+use semcluster_analysis::Table;
+use semcluster_bench::experiments::{corners_from, factorial_design, factorial_responses_cached};
+use semcluster_bench::{banner, FigureOpts};
+
+fn main() {
+    banner("Figure 6.2", "interaction analysis of control-parameter pairs");
+    let opts = FigureOpts::from_env();
+    let design = factorial_design();
+    eprintln!("running {} configurations (cached across 6.1/6.2)…", design.runs());
+    let responses = factorial_responses_cached(&opts);
+    // The pairs §6 singles out.
+    let pairs = [
+        (0usize, 5usize), // density × buffering (replacement)
+        (1, 2),           // rw × clustering
+        (1, 3),           // rw × split
+        (0, 2),           // density × clustering
+        (0, 3),           // density × split
+        (2, 3),           // clustering × split
+        (2, 5),           // clustering × buffering
+        (0, 1),           // density × rw
+        (1, 5),           // rw × buffering
+    ];
+    let names = design.factors().to_vec();
+    let mut table = Table::new(vec!["pair", "ll", "lh", "hl", "hh", "class"]);
+    for (i, j) in pairs {
+        let c = corners_from(&design, &responses, i, j);
+        table.row(vec![
+            format!("{}×{}", names[i], names[j]),
+            format!("{:.3}", c.ll),
+            format!("{:.3}", c.lh),
+            format!("{:.3}", c.hl),
+            format!("{:.3}", c.hh),
+            c.classify(0.08).to_string(),
+        ]);
+    }
+    table.print();
+    println!("\npaper: no major (crossing) interactions; minor ones around density/rw");
+    println!("with clustering and splitting; none between buffering and clustering.");
+}

@@ -1,0 +1,25 @@
+//! Regenerate every exhibit in sequence (Figures 3.2–6.2, Tables 4.1 and
+//! 5.1). Honours `SEMCLUSTER_FAST` / `SEMCLUSTER_REPS`. Each exhibit is
+//! also available as its own binary (`cargo run --release -p
+//! semcluster-bench --bin fig5_1` etc.).
+
+use std::process::Command;
+
+fn main() {
+    let exhibits = [
+        "table4_1", "fig3_2", "fig3_3", "fig3_4", "fig5_1", "table5_1", "fig5_2", "fig5_3",
+        "fig5_4", "fig5_5", "fig5_6", "fig5_7", "fig5_8", "fig5_9", "fig5_10", "fig5_11",
+        "fig5_12", "fig5_13", "fig5_14", "fig6_1", "fig6_2",
+    ];
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for exhibit in exhibits {
+        let path = dir.join(exhibit);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {exhibit}: {e}"));
+        assert!(status.success(), "{exhibit} failed");
+        println!();
+    }
+    println!("all exhibits regenerated.");
+}

@@ -1,0 +1,69 @@
+//! Table 4.1 — the simulation parameters, printed from the live default
+//! configuration (scaled) and the paper-scale configuration.
+
+use semcluster::SimConfig;
+use semcluster_analysis::Table;
+use semcluster_bench::banner;
+
+fn main() {
+    banner("Table 4.1", "simulation parameters");
+    let scaled = SimConfig::default();
+    let paper = SimConfig::paper_scale();
+    let mut t = Table::new(vec!["label", "parameter", "paper value", "scaled default"]);
+    t.row(vec![
+        "A".into(),
+        "Database size".into(),
+        format!("{} MB", paper.database_bytes / (1024 * 1024)),
+        format!("{} MB", scaled.database_bytes / (1024 * 1024)),
+    ]);
+    t.row(vec![
+        "B".into(),
+        "Page size".into(),
+        format!("{} B", paper.page_bytes),
+        format!("{} B", scaled.page_bytes),
+    ]);
+    t.row(vec![
+        "C".into(),
+        "Number of users".into(),
+        paper.users.to_string(),
+        scaled.users.to_string(),
+    ]);
+    t.row(vec![
+        "D".into(),
+        "Number of disks".into(),
+        paper.disks.to_string(),
+        scaled.disks.to_string(),
+    ]);
+    t.row(vec![
+        "E".into(),
+        "Think time".into(),
+        format!("{:.0} s", paper.think_time.as_secs_f64()),
+        format!("{:.0} s", scaled.think_time.as_secs_f64()),
+    ]);
+    t.row(vec![
+        "L".into(),
+        "Buffer pool size".into(),
+        format!("{} pages", paper.buffer_pages),
+        format!("{} pages", scaled.buffer_pages),
+    ]);
+    t.print();
+    println!("\ncontrol parameters (operating levels):");
+    let mut c = Table::new(vec!["label", "parameter", "levels"]);
+    c.row(vec!["F", "Structure density", "low-3, med-5, high-10"]);
+    c.row(vec!["G", "Read/write ratio", "5, 10, 100"]);
+    c.row(vec![
+        "H",
+        "Clustering policy",
+        "No_Cluster, Cluster_within_Buffer, 2_IO_limit, 10_IO_limit, No_limit",
+    ]);
+    c.row(vec!["I", "Page splitting", "No_Splitting, Linear_Split, NP_Split"]);
+    c.row(vec!["J", "User hints", "No_hint, User_hint"]);
+    c.row(vec!["K", "Buffer replacement", "LRU, Context-sensitive, Random"]);
+    c.row(vec!["L", "Buffer pool size", "100, 1000, 10000 (paper scale)"]);
+    c.row(vec![
+        "M",
+        "Prefetch policy",
+        "No_prefetch, Prefetch_within_buffer_pool, Prefetch_within_Database",
+    ]);
+    c.print();
+}

@@ -1,0 +1,27 @@
+//! Table 5.1 — read/write-ratio break-even points where clustering
+//! without I/O limitation starts beating No_Cluster, per density.
+
+use semcluster_analysis::{BreakEven, Table};
+use semcluster_bench::experiments::break_even_for;
+use semcluster_bench::{banner, FigureOpts};
+use semcluster_workload::StructureDensity;
+
+fn main() {
+    banner("Table 5.1", "read/write-ratio break-even points");
+    let opts = FigureOpts::from_env();
+    let paper = [3.0, 3.6, 4.3];
+    let mut table = Table::new(vec!["structure density", "paper", "measured"]);
+    for (density, paper_value) in StructureDensity::ALL.into_iter().zip(paper) {
+        let measured = match break_even_for(&opts, density) {
+            BreakEven::At(x) => format!("{x:.1}"),
+            BreakEven::AlwaysNegative => "<1 (clustering always wins)".into(),
+            BreakEven::AlwaysPositive => ">10 (clustering never wins)".into(),
+        };
+        table.row(vec![
+            density.label().to_string(),
+            format!("{paper_value:.1}"),
+            measured,
+        ]);
+    }
+    table.print();
+}

@@ -1,0 +1,82 @@
+//! # semcluster-bench
+//!
+//! Experiment drivers that regenerate every table and figure of the
+//! paper's evaluation, plus Criterion micro-benchmarks. One binary per
+//! exhibit (`fig3_2` … `fig6_2`, `table4_1`, `table5_1`, ablations,
+//! `repro_all`); the shared sweep logic lives here so binaries, the
+//! all-in-one runner and the benches stay in sync.
+//!
+//! Environment knobs (all optional):
+//!
+//! * `SEMCLUSTER_REPS` — replications per configuration (default 3).
+//! * `SEMCLUSTER_FAST` — set to any value for a quick smoke pass
+//!   (smaller database, fewer transactions, 1 replication).
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use semcluster::SimConfig;
+
+/// Sweep options shared by all figure binaries.
+#[derive(Debug, Clone, Copy)]
+pub struct FigureOpts {
+    /// Replications per configuration.
+    pub reps: u32,
+    /// Database size override in bytes.
+    pub database_bytes: u64,
+    /// Measured transactions per run.
+    pub measured_txns: u64,
+    /// Warmup transactions per run.
+    pub warmup_txns: u64,
+    /// Base seed.
+    pub seed: u64,
+}
+
+impl FigureOpts {
+    /// Resolve options from the environment.
+    pub fn from_env() -> Self {
+        let fast = std::env::var_os("SEMCLUSTER_FAST").is_some();
+        let reps = std::env::var("SEMCLUSTER_REPS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 1 } else { 3 });
+        if fast {
+            FigureOpts {
+                reps,
+                database_bytes: 4 * 1024 * 1024,
+                measured_txns: 500,
+                warmup_txns: 150,
+                seed: 42,
+            }
+        } else {
+            FigureOpts {
+                reps,
+                database_bytes: 32 * 1024 * 1024,
+                measured_txns: 2000,
+                warmup_txns: 400,
+                seed: 42,
+            }
+        }
+    }
+
+    /// Apply the options to a configuration.
+    pub fn apply(&self, mut cfg: SimConfig) -> SimConfig {
+        cfg.database_bytes = self.database_bytes;
+        cfg.measured_txns = self.measured_txns;
+        cfg.warmup_txns = self.warmup_txns;
+        cfg.seed = self.seed;
+        // Keep the paper's ~1 % buffer:database ratio under FAST scaling.
+        if self.database_bytes < 16 * 1024 * 1024 {
+            cfg.buffer_pages = 32;
+        }
+        cfg
+    }
+}
+
+/// Print the standard exhibit banner.
+pub fn banner(exhibit: &str, caption: &str) {
+    println!("================================================================");
+    println!("{exhibit} — {caption}");
+    println!("================================================================");
+}

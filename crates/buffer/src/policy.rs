@@ -1,0 +1,93 @@
+//! Buffer replacement policies and access hints.
+
+use std::fmt;
+
+/// Replacement policy (Table 4.1, parameter K).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplacementPolicy {
+    /// Least-recently-used.
+    Lru,
+    /// Uniformly random victim.
+    Random,
+    /// Priority-based replacement where priorities reflect structural and
+    /// inheritance relationships (the paper's smart buffer manager).
+    ContextSensitive,
+}
+
+impl fmt::Display for ReplacementPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplacementPolicy::Lru => "LRU",
+            ReplacementPolicy::Random => "Random",
+            ReplacementPolicy::ContextSensitive => "Context-sensitive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Prefetch policy (Table 4.1, parameter M).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PrefetchScope {
+    /// No prefetching.
+    None,
+    /// Only adjust priorities of related pages *already* in the pool —
+    /// never triggers I/O.
+    WithinBuffer,
+    /// Fetch related pages from anywhere in the database (extra I/Os).
+    WithinDatabase,
+}
+
+impl fmt::Display for PrefetchScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PrefetchScope::None => "no-prefetch",
+            PrefetchScope::WithinBuffer => "prefetch-within-buffer",
+            PrefetchScope::WithinDatabase => "prefetch-within-DB",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A user-supplied access-pattern hint ("my primary access is via
+/// configuration relationships"), registered at the start of a session
+/// through the procedural interface.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessHint {
+    /// No declared pattern.
+    #[default]
+    None,
+    /// Walking the configuration hierarchy (simulators, routers).
+    ByConfiguration,
+    /// Walking version history (derivation-heavy sessions).
+    ByVersionHistory,
+    /// Browsing across representations (design browsers).
+    ByCorrespondence,
+    /// Dereferencing inherited attributes.
+    ByInheritance,
+}
+
+impl fmt::Display for AccessHint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AccessHint::None => "none",
+            AccessHint::ByConfiguration => "by-configuration",
+            AccessHint::ByVersionHistory => "by-version-history",
+            AccessHint::ByCorrespondence => "by-correspondence",
+            AccessHint::ByInheritance => "by-inheritance",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names() {
+        assert_eq!(ReplacementPolicy::ContextSensitive.to_string(), "Context-sensitive");
+        assert_eq!(PrefetchScope::WithinDatabase.to_string(), "prefetch-within-DB");
+        assert_eq!(AccessHint::ByConfiguration.to_string(), "by-configuration");
+        assert_eq!(AccessHint::default(), AccessHint::None);
+    }
+}

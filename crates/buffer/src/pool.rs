@@ -1,0 +1,579 @@
+//! The buffer pool.
+//!
+//! A fixed number of page frames with pluggable replacement. All three
+//! policies share one ordered index keyed by a 64-bit *retention key*:
+//!
+//! * **LRU** — key is the logical access tick; the oldest key is evicted.
+//! * **Context-sensitive** — key is a priority: the access tick plus
+//!   relationship boosts ([`BufferPool::boost`]); the lowest priority is
+//!   evicted. Pages related to recently touched objects therefore survive
+//!   even when their own last access is old — precisely the behaviour the
+//!   paper wants ("the traditional LRU algorithm could easily choose these
+//!   pages to be replaced").
+//! * **Random** — a uniformly random resident page is evicted.
+
+use crate::policy::ReplacementPolicy;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use semcluster_storage::PageId;
+use std::collections::{BTreeSet, HashMap};
+
+/// Result of requesting a page through the pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Access {
+    /// The page was resident; no physical I/O.
+    Hit,
+    /// The page was faulted in. `evicted_dirty` names a dirty page that
+    /// had to be written back to make room (one extra physical write).
+    Miss {
+        /// Dirty page written back during eviction, if any.
+        evicted_dirty: Option<PageId>,
+    },
+}
+
+/// Counters the experiments report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BufferStats {
+    /// Logical page requests.
+    pub requests: u64,
+    /// Requests satisfied without I/O.
+    pub hits: u64,
+    /// Requests that faulted.
+    pub misses: u64,
+    /// Pages evicted.
+    pub evictions: u64,
+    /// Evictions that required a write-back.
+    pub dirty_evictions: u64,
+    /// Pages brought in by prefetching.
+    pub prefetch_reads: u64,
+    /// Priority boosts applied.
+    pub boosts: u64,
+}
+
+impl BufferStats {
+    /// Hit ratio over all requests (0 when idle).
+    pub fn hit_ratio(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.requests as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Frame {
+    key: u64,
+    dirty: bool,
+    pins: u32,
+    slot: usize, // position in `resident` for O(1) random eviction
+}
+
+/// A fixed-capacity page buffer with pluggable replacement.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    capacity: usize,
+    policy: ReplacementPolicy,
+    frames: HashMap<PageId, Frame>,
+    order: BTreeSet<(u64, PageId)>,
+    resident: Vec<PageId>,
+    tick: u64,
+    boost_amount: u64,
+    rng: SmallRng,
+    stats: BufferStats,
+}
+
+impl BufferPool {
+    /// Create a pool of `capacity` frames. `seed` drives the Random
+    /// policy's victim choice (ignored by the other policies).
+    pub fn new(capacity: usize, policy: ReplacementPolicy, seed: u64) -> Self {
+        assert!(capacity > 0, "buffer pool needs at least one frame");
+        BufferPool {
+            capacity,
+            policy,
+            frames: HashMap::with_capacity(capacity),
+            order: BTreeSet::new(),
+            resident: Vec::with_capacity(capacity),
+            tick: 0,
+            // Default boost: half the pool's worth of ticks. Related pages
+            // outlive roughly capacity/2 unrelated faults.
+            boost_amount: (capacity as u64 / 2).max(1),
+            rng: SmallRng::seed_from_u64(seed),
+            stats: BufferStats::default(),
+        }
+    }
+
+    /// Override the context-sensitive boost magnitude (in access ticks).
+    pub fn set_boost_amount(&mut self, boost: u64) {
+        self.boost_amount = boost.max(1);
+    }
+
+    /// Pool capacity in frames.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The replacement policy.
+    pub fn policy(&self) -> ReplacementPolicy {
+        self.policy
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.resident.len()
+    }
+
+    /// Whether the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.resident.is_empty()
+    }
+
+    /// Whether `page` is resident.
+    pub fn contains(&self, page: PageId) -> bool {
+        self.frames.contains_key(&page)
+    }
+
+    /// Resident pages, unordered.
+    pub fn resident_pages(&self) -> &[PageId] {
+        &self.resident
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> BufferStats {
+        self.stats
+    }
+
+    /// Reset statistics (e.g. after warmup) without touching contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = BufferStats::default();
+    }
+
+    /// Request `page` for reading or writing.
+    pub fn access(&mut self, page: PageId) -> Access {
+        self.tick += 1;
+        self.stats.requests += 1;
+        if self.frames.contains_key(&page) {
+            self.stats.hits += 1;
+            self.touch(page);
+            Access::Hit
+        } else {
+            self.stats.misses += 1;
+            let evicted_dirty = self.admit(page, self.tick);
+            Access::Miss { evicted_dirty }
+        }
+    }
+
+    /// Bring `page` in as a prefetch (counted separately; same retention
+    /// key as a direct access). Returns a dirty write-back if eviction was
+    /// needed, and `None` in that slot when the page was already resident.
+    pub fn prefetch(&mut self, page: PageId) -> Option<PageId> {
+        if self.frames.contains_key(&page) {
+            self.boost(page);
+            return None;
+        }
+        self.tick += 1;
+        self.stats.prefetch_reads += 1;
+        self.admit(page, self.tick + self.boost_for_policy())
+    }
+
+    /// Raise the retention priority of a resident page because it is
+    /// related to something just accessed. No-op for non-resident pages
+    /// and (by design) for non-context-sensitive policies, where there is
+    /// no priority to adjust.
+    pub fn boost(&mut self, page: PageId) {
+        if self.policy != ReplacementPolicy::ContextSensitive {
+            return;
+        }
+        let Some(frame) = self.frames.get(&page) else {
+            return;
+        };
+        self.stats.boosts += 1;
+        let new_key = self.tick + self.boost_amount;
+        if new_key > frame.key {
+            let old_key = frame.key;
+            self.order.remove(&(old_key, page));
+            self.order.insert((new_key, page));
+            self.frames.get_mut(&page).expect("resident").key = new_key;
+        }
+    }
+
+    /// Admit a freshly allocated (empty) page without counting a logical
+    /// request or a fault — there is nothing on disk to read yet. Returns
+    /// a dirty page written back to make room, if eviction was needed.
+    /// No-op returning `None` when the page is already resident.
+    pub fn install(&mut self, page: PageId) -> Option<PageId> {
+        if self.frames.contains_key(&page) {
+            return None;
+        }
+        self.tick += 1;
+        self.admit(page, self.tick + self.boost_for_policy())
+    }
+
+    /// Record that a resident page is expected to be needed soon, without
+    /// counting a logical request: context-sensitive pools boost its
+    /// priority, LRU pools bump its recency, Random pools ignore it. This
+    /// is the mechanism behind *prefetch within buffer*, which "does not
+    /// create any extra logical I/Os \[but\] causes the buffer priority to
+    /// be adjusted" (§2.2).
+    pub fn refresh(&mut self, page: PageId) {
+        match self.policy {
+            ReplacementPolicy::ContextSensitive => self.boost(page),
+            ReplacementPolicy::Lru => {
+                if self.frames.contains_key(&page) {
+                    self.stats.boosts += 1;
+                    self.touch(page);
+                }
+            }
+            ReplacementPolicy::Random => {}
+        }
+    }
+
+    /// Mark a resident page dirty (no-op when not resident — the caller
+    /// should have accessed it first).
+    pub fn mark_dirty(&mut self, page: PageId) {
+        if let Some(f) = self.frames.get_mut(&page) {
+            f.dirty = true;
+        }
+    }
+
+    /// Whether a resident page is dirty.
+    pub fn is_dirty(&self, page: PageId) -> bool {
+        self.frames.get(&page).map(|f| f.dirty).unwrap_or(false)
+    }
+
+    /// Clean a page after an explicit flush (checkpoint, commit force).
+    pub fn mark_clean(&mut self, page: PageId) {
+        if let Some(f) = self.frames.get_mut(&page) {
+            f.dirty = false;
+        }
+    }
+
+    /// Pin a resident page: pinned pages are never chosen as eviction
+    /// victims. Returns `false` when the page is not resident. Pins
+    /// nest; match every pin with an [`BufferPool::unpin`].
+    pub fn pin(&mut self, page: PageId) -> bool {
+        match self.frames.get_mut(&page) {
+            Some(f) => {
+                f.pins += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Release one pin.
+    ///
+    /// # Panics
+    /// Panics when the page is not resident or not pinned — an unmatched
+    /// unpin is always a caller bug.
+    pub fn unpin(&mut self, page: PageId) {
+        let f = self
+            .frames
+            .get_mut(&page)
+            .expect("unpin of a non-resident page");
+        assert!(f.pins > 0, "unpin without a matching pin");
+        f.pins -= 1;
+    }
+
+    /// Current pin count of a page (0 when not resident).
+    pub fn pin_count(&self, page: PageId) -> u32 {
+        self.frames.get(&page).map(|f| f.pins).unwrap_or(0)
+    }
+
+    /// All dirty resident pages (for shutdown flushes).
+    pub fn dirty_pages(&self) -> Vec<PageId> {
+        self.resident
+            .iter()
+            .copied()
+            .filter(|p| self.is_dirty(*p))
+            .collect()
+    }
+
+    fn boost_for_policy(&self) -> u64 {
+        if self.policy == ReplacementPolicy::ContextSensitive {
+            self.boost_amount
+        } else {
+            0
+        }
+    }
+
+    fn touch(&mut self, page: PageId) {
+        let frame = self.frames.get(&page).expect("touch on resident page");
+        let new_key = match self.policy {
+            // Recency update; context-sensitive keeps the larger of the
+            // boosted key and the recency key.
+            ReplacementPolicy::ContextSensitive => frame.key.max(self.tick),
+            _ => self.tick,
+        };
+        if new_key != frame.key {
+            let old_key = frame.key;
+            self.order.remove(&(old_key, page));
+            self.order.insert((new_key, page));
+            self.frames.get_mut(&page).expect("resident").key = new_key;
+        }
+    }
+
+    /// Insert a non-resident page, evicting if needed. Returns the dirty
+    /// page written back, if eviction hit one.
+    fn admit(&mut self, page: PageId, key: u64) -> Option<PageId> {
+        debug_assert!(!self.frames.contains_key(&page));
+        let mut write_back = None;
+        if self.resident.len() == self.capacity {
+            let victim = self.pick_victim();
+            let frame = self.frames.remove(&victim).expect("victim is resident");
+            self.order.remove(&(frame.key, victim));
+            // O(1) removal from the resident vector.
+            let last = *self.resident.last().expect("non-empty");
+            self.resident.swap_remove(frame.slot);
+            if last != victim {
+                self.frames.get_mut(&last).expect("resident").slot = frame.slot;
+            }
+            self.stats.evictions += 1;
+            if frame.dirty {
+                self.stats.dirty_evictions += 1;
+                write_back = Some(victim);
+            }
+        }
+        let slot = self.resident.len();
+        self.resident.push(page);
+        self.frames.insert(
+            page,
+            Frame {
+                key,
+                dirty: false,
+                pins: 0,
+                slot,
+            },
+        );
+        self.order.insert((key, page));
+        write_back
+    }
+
+    /// Pick an unpinned victim.
+    ///
+    /// # Panics
+    /// Panics when every frame is pinned — the pool cannot make progress
+    /// and the caller has a pin leak.
+    fn pick_victim(&mut self) -> PageId {
+        match self.policy {
+            ReplacementPolicy::Lru | ReplacementPolicy::ContextSensitive => self
+                .order
+                .iter()
+                .map(|&(_, page)| page)
+                .find(|&page| self.frames[&page].pins == 0)
+                .expect("every frame is pinned"),
+            ReplacementPolicy::Random => {
+                let start = self.rng.gen_range(0..self.resident.len());
+                (0..self.resident.len())
+                    .map(|off| self.resident[(start + off) % self.resident.len()])
+                    .find(|&page| self.frames[&page].pins == 0)
+                    .expect("every frame is pinned")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.access(p(1)); // 2 is now LRU
+        pool.access(p(3));
+        assert!(pool.contains(p(1)));
+        assert!(!pool.contains(p(2)));
+        assert!(pool.contains(p(3)));
+    }
+
+    #[test]
+    fn hits_and_misses_counted() {
+        let mut pool = BufferPool::new(4, ReplacementPolicy::Lru, 0);
+        assert_eq!(pool.access(p(1)), Access::Miss { evicted_dirty: None });
+        assert_eq!(pool.access(p(1)), Access::Hit);
+        let s = pool.stats();
+        assert_eq!(s.requests, 2);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 1);
+        assert!((s.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dirty_eviction_reports_write_back() {
+        let mut pool = BufferPool::new(1, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.mark_dirty(p(1));
+        assert!(pool.is_dirty(p(1)));
+        let acc = pool.access(p(2));
+        assert_eq!(
+            acc,
+            Access::Miss {
+                evicted_dirty: Some(p(1))
+            }
+        );
+        assert_eq!(pool.stats().dirty_evictions, 1);
+    }
+
+    #[test]
+    fn context_sensitive_boost_protects_related_pages() {
+        let mut pool = BufferPool::new(3, ReplacementPolicy::ContextSensitive, 0);
+        pool.access(p(1)); // the related page, accessed long ago
+        pool.access(p(2));
+        pool.access(p(3));
+        pool.boost(p(1)); // relationship keeps it alive
+        pool.access(p(4)); // must evict someone
+        assert!(pool.contains(p(1)), "boosted page survived");
+        assert!(!pool.contains(p(2)), "oldest unboosted page evicted");
+        assert_eq!(pool.stats().boosts, 1);
+    }
+
+    #[test]
+    fn lru_ignores_boost() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.boost(p(1));
+        pool.access(p(3));
+        assert!(!pool.contains(p(1)), "LRU has no priorities to boost");
+        assert_eq!(pool.stats().boosts, 0);
+    }
+
+    #[test]
+    fn random_policy_is_seeded_and_valid() {
+        let mut a = BufferPool::new(3, ReplacementPolicy::Random, 7);
+        let mut b = BufferPool::new(3, ReplacementPolicy::Random, 7);
+        for i in 0..50 {
+            let x = a.access(p(i % 10));
+            let y = b.access(p(i % 10));
+            assert_eq!(x, y, "same seed, same behaviour");
+        }
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.stats().evictions + 3, a.stats().misses);
+    }
+
+    #[test]
+    fn prefetch_counts_separately_and_boosts_resident() {
+        let mut pool = BufferPool::new(4, ReplacementPolicy::ContextSensitive, 0);
+        assert_eq!(pool.prefetch(p(9)), None);
+        assert!(pool.contains(p(9)));
+        assert_eq!(pool.stats().prefetch_reads, 1);
+        assert_eq!(pool.stats().misses, 0);
+        // Prefetching a resident page just boosts it.
+        pool.prefetch(p(9));
+        assert_eq!(pool.stats().prefetch_reads, 1);
+        assert_eq!(pool.stats().boosts, 1);
+    }
+
+    #[test]
+    fn capacity_never_exceeded() {
+        let mut pool = BufferPool::new(8, ReplacementPolicy::Random, 3);
+        for i in 0..100 {
+            pool.access(p(i));
+            assert!(pool.len() <= 8);
+        }
+        assert_eq!(pool.len(), 8);
+    }
+
+    #[test]
+    fn mark_clean_and_dirty_pages_listing() {
+        let mut pool = BufferPool::new(4, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.mark_dirty(p(1));
+        pool.mark_dirty(p(2));
+        assert_eq!(pool.dirty_pages().len(), 2);
+        pool.mark_clean(p(1));
+        assert_eq!(pool.dirty_pages(), vec![p(2)]);
+    }
+
+    #[test]
+    fn context_sensitive_recency_still_matters() {
+        // Without any boosts, context-sensitive degenerates to LRU.
+        let mut pool = BufferPool::new(2, ReplacementPolicy::ContextSensitive, 0);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.access(p(1));
+        pool.access(p(3));
+        assert!(pool.contains(p(1)));
+        assert!(!pool.contains(p(2)));
+    }
+}
+
+#[cfg(test)]
+mod pin_tests {
+    use super::*;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn pinned_pages_survive_eviction_pressure() {
+        for policy in [
+            ReplacementPolicy::Lru,
+            ReplacementPolicy::Random,
+            ReplacementPolicy::ContextSensitive,
+        ] {
+            let mut pool = BufferPool::new(3, policy, 1);
+            pool.access(p(1));
+            assert!(pool.pin(p(1)));
+            for i in 2..50 {
+                pool.access(p(i));
+                assert!(pool.contains(p(1)), "{policy}: pinned page evicted");
+            }
+            pool.unpin(p(1));
+            for i in 50..100 {
+                pool.access(p(i));
+            }
+            assert!(!pool.contains(p(1)), "{policy}: unpinned page kept forever");
+        }
+    }
+
+    #[test]
+    fn pins_nest() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.pin(p(1));
+        pool.pin(p(1));
+        assert_eq!(pool.pin_count(p(1)), 2);
+        pool.unpin(p(1));
+        pool.access(p(2));
+        pool.access(p(3)); // must evict p2, not the still-pinned p1
+        assert!(pool.contains(p(1)));
+        pool.unpin(p(1));
+        assert_eq!(pool.pin_count(p(1)), 0);
+    }
+
+    #[test]
+    fn pin_of_non_resident_page_fails_softly() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        assert!(!pool.pin(p(9)));
+        assert_eq!(pool.pin_count(p(9)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matching pin")]
+    fn unmatched_unpin_panics() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.unpin(p(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "every frame is pinned")]
+    fn fully_pinned_pool_panics_on_miss() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(p(1));
+        pool.access(p(2));
+        pool.pin(p(1));
+        pool.pin(p(2));
+        pool.access(p(3));
+    }
+}

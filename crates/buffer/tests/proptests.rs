@@ -1,0 +1,121 @@
+//! Property-based tests for the buffer manager.
+
+use proptest::prelude::*;
+use semcluster_buffer::{Access, BufferPool, ReplacementPolicy};
+use semcluster_storage::PageId;
+use std::collections::HashSet;
+
+fn policies() -> impl Strategy<Value = ReplacementPolicy> {
+    prop_oneof![
+        Just(ReplacementPolicy::Lru),
+        Just(ReplacementPolicy::Random),
+        Just(ReplacementPolicy::ContextSensitive),
+    ]
+}
+
+proptest! {
+    /// Under any policy and access stream: capacity is never exceeded,
+    /// counters are conserved, and a hit is reported iff the page was
+    /// resident (checked against a reference set).
+    #[test]
+    fn pool_matches_reference_model(
+        policy in policies(),
+        capacity in 1usize..40,
+        accesses in proptest::collection::vec(0u32..120, 1..500),
+        seed in any::<u64>(),
+    ) {
+        let mut pool = BufferPool::new(capacity, policy, seed);
+        let mut resident: HashSet<PageId> = HashSet::new();
+        for &raw in &accesses {
+            let page = PageId(raw);
+            let was_resident = resident.contains(&page);
+            match pool.access(page) {
+                Access::Hit => prop_assert!(was_resident),
+                Access::Miss { .. } => prop_assert!(!was_resident),
+            }
+            // The pool's own view is authoritative; keep ours in sync.
+            resident = pool.resident_pages().iter().copied().collect();
+            prop_assert!(pool.len() <= capacity);
+            prop_assert!(resident.contains(&page), "just-accessed page resident");
+        }
+        let s = pool.stats();
+        prop_assert_eq!(s.requests, accesses.len() as u64);
+        prop_assert_eq!(s.hits + s.misses, s.requests);
+        prop_assert_eq!(
+            s.misses,
+            s.evictions + pool.len() as u64,
+            "every miss either grew the pool or evicted"
+        );
+    }
+
+    /// Dirty write-backs are only ever reported for pages that were
+    /// marked dirty, and a page re-admitted after eviction is clean.
+    #[test]
+    fn dirty_tracking_is_sound(
+        policy in policies(),
+        ops in proptest::collection::vec((0u32..30, any::<bool>()), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut pool = BufferPool::new(4, policy, seed);
+        let mut dirty: HashSet<PageId> = HashSet::new();
+        for &(raw, make_dirty) in &ops {
+            let page = PageId(raw);
+            match pool.access(page) {
+                Access::Miss { evicted_dirty: Some(victim) } => {
+                    prop_assert!(dirty.remove(&victim), "write-back of clean page {victim}");
+                }
+                Access::Miss { evicted_dirty: None } | Access::Hit => {}
+            }
+            // Evicted-clean pages leave the dirty set untouched; drop any
+            // pages no longer resident.
+            dirty.retain(|p| pool.contains(*p));
+            if make_dirty {
+                pool.mark_dirty(page);
+                dirty.insert(page);
+            }
+            prop_assert_eq!(pool.is_dirty(page), dirty.contains(&page));
+        }
+        let mut listed = pool.dirty_pages();
+        listed.sort();
+        let mut expected: Vec<PageId> = dirty.into_iter().collect();
+        expected.sort();
+        prop_assert_eq!(listed, expected);
+    }
+
+    /// Boost/refresh/prefetch never change residency counts incorrectly
+    /// and never exceed capacity.
+    #[test]
+    fn boost_refresh_preserve_residency(
+        policy in policies(),
+        ops in proptest::collection::vec((0u32..40, 0u8..4), 1..300),
+        seed in any::<u64>(),
+    ) {
+        let mut pool = BufferPool::new(8, policy, seed);
+        for &(raw, op) in &ops {
+            let page = PageId(raw);
+            let len_before = pool.len();
+            match op {
+                0 => {
+                    pool.access(page);
+                }
+                1 => {
+                    let resident = pool.contains(page);
+                    pool.boost(page);
+                    prop_assert_eq!(pool.contains(page), resident, "boost changed residency");
+                    prop_assert_eq!(pool.len(), len_before);
+                }
+                2 => {
+                    let resident = pool.contains(page);
+                    pool.refresh(page);
+                    prop_assert_eq!(pool.contains(page), resident, "refresh changed residency");
+                    prop_assert_eq!(pool.len(), len_before);
+                }
+                _ => {
+                    pool.prefetch(page);
+                    prop_assert!(pool.contains(page), "prefetch admits");
+                }
+            }
+            prop_assert!(pool.len() <= 8);
+        }
+    }
+}

@@ -1,0 +1,415 @@
+//! The CLI subcommands.
+
+use crate::args::Args;
+use semcluster::{run_replicated, workload_from_label, RunReport, SimConfig};
+use semcluster_analysis::Table;
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_clustering::{
+    broken_arc_weight, static_recluster, ClusteringPolicy, SplitPolicy, WeightModel,
+};
+use semcluster_sim::SimRng;
+use semcluster_storage::StorageManager;
+use semcluster_vdm::{RelKind, SyntheticDbSpec};
+use semcluster_workload::{analyze, generate_trace, oct_tools};
+
+/// Top-level usage text.
+pub const USAGE: &str = "semclusterctl — the semcluster OODBMS simulator
+
+USAGE:
+  semclusterctl simulate [--workload low3-5|med5-10|hi10-100|…]
+                         [--clustering none|buffer|2io|10io|nolimit|adaptive]
+                         [--replacement lru|random|ctx]
+                         [--prefetch none|buffer|db]
+                         [--split none|linear|np]
+                         [--buffer-pages N] [--reps N] [--seed N] [--json]
+  semclusterctl trace    [--invocations N] [--seed N]
+  semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
+  semclusterctl reorg    [--modules N] [--seed N]
+  semclusterctl help
+";
+
+/// Parse the clustering policy flag.
+pub fn parse_clustering(v: &str) -> Result<ClusteringPolicy, String> {
+    Ok(match v {
+        "none" => ClusteringPolicy::NoCluster,
+        "buffer" => ClusteringPolicy::WithinBuffer,
+        "2io" => ClusteringPolicy::IoLimit(2),
+        "10io" => ClusteringPolicy::IoLimit(10),
+        "nolimit" => ClusteringPolicy::NoLimit,
+        "adaptive" => ClusteringPolicy::Adaptive,
+        other => {
+            if let Some(k) = other.strip_suffix("io").and_then(|k| k.parse().ok()) {
+                ClusteringPolicy::IoLimit(k)
+            } else {
+                return Err(format!("unknown clustering policy {other:?}"));
+            }
+        }
+    })
+}
+
+/// Parse the replacement policy flag.
+pub fn parse_replacement(v: &str) -> Result<ReplacementPolicy, String> {
+    Ok(match v {
+        "lru" => ReplacementPolicy::Lru,
+        "random" => ReplacementPolicy::Random,
+        "ctx" | "context" | "context-sensitive" => ReplacementPolicy::ContextSensitive,
+        other => return Err(format!("unknown replacement policy {other:?}")),
+    })
+}
+
+/// Parse the prefetch flag.
+pub fn parse_prefetch(v: &str) -> Result<PrefetchScope, String> {
+    Ok(match v {
+        "none" => PrefetchScope::None,
+        "buffer" => PrefetchScope::WithinBuffer,
+        "db" | "database" => PrefetchScope::WithinDatabase,
+        other => return Err(format!("unknown prefetch scope {other:?}")),
+    })
+}
+
+/// Parse the split flag.
+pub fn parse_split(v: &str) -> Result<SplitPolicy, String> {
+    Ok(match v {
+        "none" => SplitPolicy::NoSplit,
+        "linear" => SplitPolicy::Linear,
+        "np" | "optimal" => SplitPolicy::Optimal,
+        other => return Err(format!("unknown split policy {other:?}")),
+    })
+}
+
+/// Build a `SimConfig` from flags.
+pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
+    let mut cfg = SimConfig::default();
+    if let Some(label) = args.get("workload") {
+        cfg.workload =
+            workload_from_label(label).ok_or_else(|| format!("unknown workload {label:?}"))?;
+    }
+    if let Some(v) = args.get("clustering") {
+        cfg.clustering = parse_clustering(v)?;
+    }
+    if let Some(v) = args.get("replacement") {
+        cfg.replacement = parse_replacement(v)?;
+    }
+    if let Some(v) = args.get("prefetch") {
+        cfg.prefetch = parse_prefetch(v)?;
+    }
+    if let Some(v) = args.get("split") {
+        cfg.split = parse_split(v)?;
+    }
+    cfg.buffer_pages = args.get_parsed("buffer-pages", cfg.buffer_pages)?;
+    cfg.seed = args.get_parsed("seed", cfg.seed)?;
+    cfg.measured_txns = args.get_parsed("txns", cfg.measured_txns)?;
+    Ok(cfg)
+}
+
+/// Render a run report as a minimal JSON object (no external
+/// dependencies; fields are all numeric or simple strings).
+pub fn report_to_json(report: &RunReport) -> String {
+    format!(
+        concat!(
+            "{{\"config\":{config:?},\"txns\":{txns},\"reads\":{reads},",
+            "\"writes\":{writes},\"mean_response_s\":{mean:.6},",
+            "\"p50_response_s\":{p50:.6},\"p95_response_s\":{p95:.6},",
+            "\"hit_ratio\":{hit:.4},\"data_reads\":{dr},\"log_ios\":{li},",
+            "\"cluster_search_ios\":{cs},\"prefetch_ios\":{pf},",
+            "\"splits\":{sp},\"recluster_moves\":{rm},\"lock_waits\":{lw},",
+            "\"disk_utilization\":{du:.4},\"cpu_utilization\":{cu:.4}}}"
+        ),
+        config = report.config_label,
+        txns = report.txns,
+        reads = report.reads,
+        writes = report.writes,
+        mean = report.mean_response_s,
+        p50 = report.p50_response_s,
+        p95 = report.p95_response_s,
+        hit = report.hit_ratio,
+        dr = report.io.data_reads,
+        li = report.log_ios,
+        cs = report.io.cluster_search_ios,
+        pf = report.io.prefetch_ios,
+        sp = report.splits,
+        rm = report.recluster_moves,
+        lw = report.lock_waits,
+        du = report.disk_utilization,
+        cu = report.cpu_utilization,
+    )
+}
+
+/// `simulate` subcommand.
+pub fn cmd_simulate(args: &Args) -> Result<String, String> {
+    let cfg = config_from_args(args)?;
+    let reps: u32 = args.get_parsed("reps", 1)?;
+    let result = run_replicated(&cfg, reps);
+    if args.flag("json") {
+        let mut out = String::from("[");
+        for (i, report) in result.reports.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&report_to_json(report));
+        }
+        out.push(']');
+        return Ok(out);
+    }
+    let r = &result.reports[0];
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["configuration".to_string(), r.config_label.clone()]);
+    table.row(vec![
+        "mean response".to_string(),
+        format!(
+            "{:.1} ms ± {:.1} (95% CI over {} reps)",
+            result.response.mean * 1e3,
+            result.response.ci95 * 1e3,
+            reps
+        ),
+    ]);
+    table.row(vec![
+        "p50 / p95 response".to_string(),
+        format!("{:.1} / {:.1} ms", r.p50_response_s * 1e3, r.p95_response_s * 1e3),
+    ]);
+    table.row(vec![
+        "buffer hit ratio".to_string(),
+        format!("{:.1} %", result.hit_ratio.mean * 100.0),
+    ]);
+    table.row(vec![
+        "I/Os (read/log/search/prefetch)".to_string(),
+        format!(
+            "{} / {} / {} / {}",
+            r.io.data_reads, r.log_ios, r.io.cluster_search_ios, r.io.prefetch_ios
+        ),
+    ]);
+    table.row(vec![
+        "splits / recluster moves / lock waits".to_string(),
+        format!("{} / {} / {}", r.splits, r.recluster_moves, r.lock_waits),
+    ]);
+    table.row(vec![
+        "disk / cpu utilisation".to_string(),
+        format!("{:.1} % / {:.1} %", r.disk_utilization * 100.0, r.cpu_utilization * 100.0),
+    ]);
+    Ok(table.render())
+}
+
+/// `trace` subcommand.
+pub fn cmd_trace(args: &Args) -> Result<String, String> {
+    let invocations: usize = args.get_parsed("invocations", 50)?;
+    let seed: u64 = args.get_parsed("seed", 1989)?;
+    let mut rng = SimRng::seed_from_u64(seed);
+    let tools = oct_tools();
+    let trace = generate_trace(&tools, invocations, &mut rng);
+    let stats = analyze(&trace);
+    let mut table = Table::new(vec!["tool", "R/W", "I/O per s", "low/med/high density"]);
+    for s in &stats {
+        let rw = if s.rw_ratio().is_finite() {
+            format!("{:.2}", s.rw_ratio())
+        } else {
+            "inf".into()
+        };
+        table.row(vec![
+            s.tool.clone(),
+            rw,
+            format!("{:.1}", s.io_rate()),
+            format!(
+                "{:.0}/{:.0}/{:.0} %",
+                s.density_shares[0] * 100.0,
+                s.density_shares[1] * 100.0,
+                s.density_shares[2] * 100.0
+            ),
+        ]);
+    }
+    Ok(table.render())
+}
+
+/// `inspect` subcommand: synthesize a database and report its shape and
+/// layout quality under clustered vs scattered placement.
+pub fn cmd_inspect(args: &Args) -> Result<String, String> {
+    let mbytes: u64 = args.get_parsed("mbytes", 8)?;
+    let seed: u64 = args.get_parsed("seed", 42)?;
+    let label = args.get("workload").unwrap_or("med5-10");
+    let workload =
+        workload_from_label(label).ok_or_else(|| format!("unknown workload {label:?}"))?;
+    let (fanout, depth) = match workload.density {
+        semcluster_workload::StructureDensity::Low3 => ((1, 3), 6),
+        semcluster_workload::StructureDensity::Med5 => ((4, 9), 3),
+        semcluster_workload::StructureDensity::High10 => ((10, 15), 2),
+    };
+    let target = mbytes * 1024 * 1024 / 320;
+    let mean_fanout = (fanout.0 + fanout.1) as f64 / 2.0;
+    let mut tree = 1.0;
+    let mut level = 1.0;
+    for _ in 0..depth {
+        level *= mean_fanout;
+        tree += level;
+    }
+    let modules = ((target as f64 / (tree * 2.4)).round() as usize).max(1);
+    let (db, stats) = SyntheticDbSpec {
+        modules,
+        depth,
+        fanout,
+        seed,
+        ..SyntheticDbSpec::default()
+    }
+    .build();
+    let mut by_kind = [0u64; 4];
+    for (kind, _, _) in db.graph().edges() {
+        by_kind[kind.index()] += 1;
+    }
+    let model = WeightModel::no_hints();
+    let mut scattered = StorageManager::new(4096);
+    for obj in db.objects() {
+        scattered
+            .append(obj.id, obj.size_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    let (clustered, report) = static_recluster(&db, &scattered, &model, 0.3);
+    let mut table = Table::new(vec!["property", "value"]);
+    table.row(vec!["objects".to_string(), stats.objects.to_string()]);
+    table.row(vec![
+        "configuration edges".to_string(),
+        by_kind[RelKind::Configuration.index()].to_string(),
+    ]);
+    table.row(vec![
+        "version edges".to_string(),
+        by_kind[RelKind::VersionHistory.index()].to_string(),
+    ]);
+    table.row(vec![
+        "correspondence edges".to_string(),
+        by_kind[RelKind::Correspondence.index()].to_string(),
+    ]);
+    table.row(vec![
+        "inheritance edges".to_string(),
+        by_kind[RelKind::Inheritance.index()].to_string(),
+    ]);
+    table.row(vec![
+        "pages (scattered / clustered)".to_string(),
+        format!("{} / {}", scattered.page_count(), clustered.page_count()),
+    ]);
+    table.row(vec![
+        "broken arc weight (scattered / clustered)".to_string(),
+        format!("{:.0} / {:.0}", report.broken_before, report.broken_after),
+    ]);
+    table.row(vec![
+        "layout improvement".to_string(),
+        format!("{:.0} %", report.improvement() * 100.0),
+    ]);
+    Ok(table.render())
+}
+
+/// `reorg` subcommand: offline reorganisation demo.
+pub fn cmd_reorg(args: &Args) -> Result<String, String> {
+    let modules: usize = args.get_parsed("modules", 20)?;
+    let seed: u64 = args.get_parsed("seed", 7)?;
+    let (db, _) = SyntheticDbSpec {
+        modules,
+        depth: 3,
+        fanout: (2, 4),
+        seed,
+        ..SyntheticDbSpec::default()
+    }
+    .build();
+    let model = WeightModel::no_hints();
+    let mut store = StorageManager::new(4096);
+    let n = db.object_count();
+    for k in 0..n {
+        let idx = (k * 613) % n;
+        let obj = db.get(semcluster_vdm::ObjectId(idx as u32)).unwrap();
+        store
+            .append(obj.id, obj.size_bytes())
+            .map_err(|e| e.to_string())?;
+    }
+    let before = broken_arc_weight(&db, &store, &model);
+    let (fresh, report) = static_recluster(&db, &store, &model, 0.3);
+    let after = broken_arc_weight(&db, &fresh, &model);
+    Ok(format!(
+        "reorganised {} objects onto {} pages\nbroken arc weight: {:.0} → {:.0} ({:.0}% repaired)\n",
+        report.objects,
+        report.pages,
+        before,
+        after,
+        report.improvement() * 100.0
+    ))
+}
+
+/// Dispatch a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, String> {
+    match args.command.as_deref() {
+        Some("simulate") => cmd_simulate(args),
+        Some("trace") => cmd_trace(args),
+        Some("inspect") => cmd_inspect(args),
+        Some("reorg") => cmd_reorg(args),
+        Some("help") | None => Ok(USAGE.to_string()),
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn policy_parsers() {
+        assert_eq!(parse_clustering("2io").unwrap(), ClusteringPolicy::IoLimit(2));
+        assert_eq!(parse_clustering("7io").unwrap(), ClusteringPolicy::IoLimit(7));
+        assert_eq!(parse_clustering("adaptive").unwrap(), ClusteringPolicy::Adaptive);
+        assert!(parse_clustering("bogus").is_err());
+        assert_eq!(
+            parse_replacement("ctx").unwrap(),
+            ReplacementPolicy::ContextSensitive
+        );
+        assert_eq!(parse_prefetch("db").unwrap(), PrefetchScope::WithinDatabase);
+        assert_eq!(parse_split("np").unwrap(), SplitPolicy::Optimal);
+    }
+
+    #[test]
+    fn config_from_flags() {
+        let args = parse(
+            "simulate --workload hi10-100 --clustering nolimit --replacement ctx \
+             --prefetch db --split linear --buffer-pages 50 --seed 3 --txns 100",
+        );
+        let cfg = config_from_args(&args).unwrap();
+        assert_eq!(cfg.workload.label(), "hi10-100");
+        assert_eq!(cfg.clustering, ClusteringPolicy::NoLimit);
+        assert_eq!(cfg.replacement, ReplacementPolicy::ContextSensitive);
+        assert_eq!(cfg.buffer_pages, 50);
+        assert_eq!(cfg.measured_txns, 100);
+    }
+
+    #[test]
+    fn bad_flags_error() {
+        assert!(config_from_args(&parse("simulate --workload nope")).is_err());
+        assert!(config_from_args(&parse("simulate --clustering nope")).is_err());
+        assert!(dispatch(&parse("frobnicate")).is_err());
+    }
+
+    #[test]
+    fn help_and_trace_render() {
+        let out = dispatch(&parse("help")).unwrap();
+        assert!(out.contains("simulate"));
+        let out = dispatch(&parse("trace --invocations 3 --seed 1")).unwrap();
+        assert!(out.contains("vem"));
+    }
+
+    #[test]
+    fn simulate_json_smoke() {
+        let out = dispatch(&parse(
+            "simulate --workload low3-5 --txns 60 --buffer-pages 16 --json --reps 1",
+        ));
+        // A tiny run must produce a JSON array with the key metrics.
+        let out = out.unwrap();
+        assert!(out.starts_with('[') && out.ends_with(']'));
+        assert!(out.contains("\"mean_response_s\""));
+        assert!(out.contains("\"hit_ratio\""));
+    }
+
+    #[test]
+    fn inspect_and_reorg_smoke() {
+        let out = dispatch(&parse("inspect --mbytes 1 --workload low3-5")).unwrap();
+        assert!(out.contains("configuration edges"));
+        assert!(out.contains("layout improvement"));
+        let out = dispatch(&parse("reorg --modules 4")).unwrap();
+        assert!(out.contains("repaired"));
+    }
+}

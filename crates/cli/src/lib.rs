@@ -1,0 +1,13 @@
+//! # semcluster-cli
+//!
+//! Library backing the `semclusterctl` binary: flag parsing ([`Args`])
+//! and the subcommand implementations ([`dispatch`] and friends), kept in
+//! a library so they are unit-testable.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod commands;
+
+pub use args::Args;
+pub use commands::{dispatch, USAGE};

@@ -1,0 +1,28 @@
+//! `semclusterctl` — command-line interface to the semcluster simulator.
+//!
+//! ```sh
+//! semclusterctl simulate --workload hi10-100 --clustering nolimit --replacement ctx
+//! semclusterctl trace --invocations 100
+//! semclusterctl inspect --workload med5-10 --mbytes 16
+//! semclusterctl reorg --modules 30
+//! ```
+
+use semcluster_cli::{dispatch, Args, USAGE};
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(argv) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,156 @@
+//! Clustering control parameters (Table 4.1, parameters H, I, J).
+
+use std::fmt;
+
+/// Candidate-page-pool policy (parameter H).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusteringPolicy {
+    /// No clustering: new objects are appended sequentially.
+    NoCluster,
+    /// Only candidate pages already in the buffer pool are considered —
+    /// the search never issues I/O.
+    WithinBuffer,
+    /// Candidate search may read up to this many non-resident pages.
+    IoLimit(u32),
+    /// The whole database is the candidate pool (unbounded search I/O).
+    NoLimit,
+    /// Run-time adaptive selection (§5.1: "If the clustering mechanism
+    /// can be selected based on the read/write ratio at run time, we can
+    /// get the best response time of both"): behaves like a small I/O
+    /// limit while the observed read/write ratio is low and like
+    /// `No_limit` when it is high. The engine resolves it per write from
+    /// its observed ratio.
+    Adaptive,
+}
+
+impl ClusteringPolicy {
+    /// The search I/O budget this policy grants.
+    pub fn io_budget(self) -> u32 {
+        match self {
+            ClusteringPolicy::NoCluster | ClusteringPolicy::WithinBuffer => 0,
+            ClusteringPolicy::IoLimit(k) => k,
+            // Adaptive must be resolved by the caller; unresolved it
+            // spends like a small limit.
+            ClusteringPolicy::Adaptive => ClusteringPolicy::ADAPTIVE_LOW_LIMIT,
+            ClusteringPolicy::NoLimit => u32::MAX,
+        }
+    }
+
+    /// The bounded-search side of the adaptive policy.
+    pub const ADAPTIVE_LOW_LIMIT: u32 = 2;
+
+    /// Read/write ratio above which the adaptive policy switches to an
+    /// unbounded search.
+    pub const ADAPTIVE_RW_THRESHOLD: f64 = 10.0;
+
+    /// Resolve the adaptive policy against an observed read/write ratio;
+    /// non-adaptive policies return themselves.
+    pub fn resolve_adaptive(self, observed_rw: f64) -> ClusteringPolicy {
+        match self {
+            ClusteringPolicy::Adaptive => {
+                if observed_rw >= Self::ADAPTIVE_RW_THRESHOLD {
+                    ClusteringPolicy::NoLimit
+                } else {
+                    ClusteringPolicy::IoLimit(Self::ADAPTIVE_LOW_LIMIT)
+                }
+            }
+            p => p,
+        }
+    }
+
+    /// Whether any clustering happens at all.
+    pub fn clusters(self) -> bool {
+        !matches!(self, ClusteringPolicy::NoCluster)
+    }
+
+    /// The five operating levels evaluated in Figures 5.1–5.8.
+    pub const PAPER_LEVELS: [ClusteringPolicy; 5] = [
+        ClusteringPolicy::NoCluster,
+        ClusteringPolicy::WithinBuffer,
+        ClusteringPolicy::IoLimit(2),
+        ClusteringPolicy::IoLimit(10),
+        ClusteringPolicy::NoLimit,
+    ];
+}
+
+impl fmt::Display for ClusteringPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusteringPolicy::NoCluster => f.write_str("No_Cluster"),
+            ClusteringPolicy::WithinBuffer => f.write_str("Cluster_within_Buffer"),
+            ClusteringPolicy::IoLimit(k) => write!(f, "{k}_IO_limit"),
+            ClusteringPolicy::NoLimit => f.write_str("No_limit"),
+            ClusteringPolicy::Adaptive => f.write_str("Adaptive"),
+        }
+    }
+}
+
+/// Page-splitting policy when the preferred candidate page is full
+/// (parameter I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SplitPolicy {
+    /// Never split: fall through to the next-best candidate with room.
+    NoSplit,
+    /// The greedy single-pass partitioner (linear running time).
+    Linear,
+    /// The exact minimum-broken-arc partitioner ("NP split").
+    Optimal,
+}
+
+impl fmt::Display for SplitPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SplitPolicy::NoSplit => "No_Splitting",
+            SplitPolicy::Linear => "Linear_Split",
+            SplitPolicy::Optimal => "NP_Split",
+        };
+        f.write_str(s)
+    }
+}
+
+/// User-hint policy (parameter J).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HintPolicy {
+    /// Ignore user hints; use type-inherited frequencies as-is.
+    NoHints,
+    /// Honour the session's declared primary access pattern by scaling the
+    /// corresponding relationship weights.
+    UserHints,
+}
+
+impl fmt::Display for HintPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            HintPolicy::NoHints => "No_hint",
+            HintPolicy::UserHints => "User_hint",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_budgets() {
+        assert_eq!(ClusteringPolicy::NoCluster.io_budget(), 0);
+        assert_eq!(ClusteringPolicy::WithinBuffer.io_budget(), 0);
+        assert_eq!(ClusteringPolicy::IoLimit(2).io_budget(), 2);
+        assert_eq!(ClusteringPolicy::NoLimit.io_budget(), u32::MAX);
+        assert!(!ClusteringPolicy::NoCluster.clusters());
+        assert!(ClusteringPolicy::WithinBuffer.clusters());
+    }
+
+    #[test]
+    fn display_matches_paper_vocabulary() {
+        assert_eq!(ClusteringPolicy::IoLimit(2).to_string(), "2_IO_limit");
+        assert_eq!(SplitPolicy::Optimal.to_string(), "NP_Split");
+        assert_eq!(HintPolicy::UserHints.to_string(), "User_hint");
+    }
+
+    #[test]
+    fn paper_levels_are_five() {
+        assert_eq!(ClusteringPolicy::PAPER_LEVELS.len(), 5);
+    }
+}

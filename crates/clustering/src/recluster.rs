@@ -1,0 +1,418 @@
+//! Run-time reclustering and the page-overflow (split) decision.
+//!
+//! Two pieces of §2.1 live here:
+//!
+//! * [`consider_split`] — when the preferred candidate page is full, split
+//!   it if the expected access cost after splitting beats placing the new
+//!   object on the next-best candidate; otherwise fall through.
+//! * [`plan_recluster`] — when an existing object's structure changes, the
+//!   run-time reclustering algorithm re-evaluates its placement and moves
+//!   it if the expected-cost improvement clears a threshold.
+
+use crate::config::{ClusteringPolicy, SplitPolicy};
+use crate::cost::{candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel};
+use crate::placement::ResidencyView;
+use crate::split::{build_dependency_graph, linear_split, optimal_split, Partition};
+use semcluster_storage::{PageId, StorageError, StorageManager, PAGE_OVERHEAD_BYTES};
+use semcluster_vdm::{Database, ObjectId};
+
+/// Fixed cost (in arc-weight units) charged to a split for its extra
+/// physical work: allocating and flushing the new page plus the extra log
+/// record (§5.1.2).
+pub const SPLIT_OVERHEAD_WEIGHT: f64 = 2.0;
+
+/// A split the engine should carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitPlan {
+    /// The page being split.
+    pub page: PageId,
+    /// The partition: `left` stays, `right` moves to a fresh page.
+    pub partition: Partition,
+    /// Objects in node-index order of the partition (page residents plus
+    /// the incoming object as the last node).
+    pub objects: Vec<ObjectId>,
+    /// Sizes parallel to `objects`.
+    pub sizes: Vec<u32>,
+}
+
+/// Decide whether to split `full_page` to make room for `incoming`.
+///
+/// `next_best_affinity` is the affinity the object would enjoy on the best
+/// candidate that *does* have room (0 if none). Splitting wins when
+/// `partition.broken_cost + SPLIT_OVERHEAD_WEIGHT` is below the affinity
+/// forfeited by going elsewhere.
+#[allow(clippy::too_many_arguments)]
+pub fn consider_split(
+    db: &Database,
+    store: &StorageManager,
+    model: &WeightModel,
+    policy: SplitPolicy,
+    full_page: PageId,
+    full_page_affinity: f64,
+    next_best_affinity: f64,
+    incoming: (ObjectId, u32),
+) -> Option<SplitPlan> {
+    if policy == SplitPolicy::NoSplit {
+        return None;
+    }
+    let capacity = store.page_bytes() - PAGE_OVERHEAD_BYTES;
+    let graph = build_dependency_graph(db, store, model, full_page, Some(incoming));
+    let partition = match policy {
+        SplitPolicy::NoSplit => unreachable!("handled above"),
+        SplitPolicy::Linear => linear_split(&graph, capacity).ok()?,
+        SplitPolicy::Optimal => optimal_split(&graph, capacity).ok()?,
+    };
+    let cost_of_split = partition.broken_cost + SPLIT_OVERHEAD_WEIGHT;
+    let cost_of_next_best = full_page_affinity - next_best_affinity;
+    if cost_of_split < cost_of_next_best {
+        Some(SplitPlan {
+            page: full_page,
+            partition,
+            objects: graph.objects,
+            sizes: graph.sizes,
+        })
+    } else {
+        None
+    }
+}
+
+/// What a split did, for I/O accounting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitOutcome {
+    /// The freshly allocated page.
+    pub new_page: PageId,
+    /// Objects moved off the original page.
+    pub moved: Vec<ObjectId>,
+    /// Where the incoming object landed.
+    pub incoming_page: PageId,
+}
+
+/// Execute a split plan: allocate the new page, move the `right` side
+/// there, and place the incoming object (the last node) on its assigned
+/// side.
+pub fn execute_split(
+    store: &mut StorageManager,
+    plan: &SplitPlan,
+) -> Result<SplitOutcome, StorageError> {
+    let new_page = store.allocate_page();
+    let incoming_idx = (plan.objects.len() - 1) as u32;
+    let incoming = plan.objects[incoming_idx as usize];
+    let incoming_size = plan.sizes[incoming_idx as usize];
+    let mut moved = Vec::new();
+    for &idx in &plan.partition.right {
+        if idx == incoming_idx {
+            continue;
+        }
+        let obj = plan.objects[idx as usize];
+        store.move_object(obj, new_page)?;
+        moved.push(obj);
+    }
+    let incoming_page = if plan.partition.right.contains(&incoming_idx) {
+        new_page
+    } else {
+        plan.page
+    };
+    store.place(incoming, incoming_size, incoming_page)?;
+    Ok(SplitOutcome {
+        new_page,
+        moved,
+        incoming_page,
+    })
+}
+
+/// A reclustering move the engine should carry out.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReclusterPlan {
+    /// Page to move the object to.
+    pub to: PageId,
+    /// Expected-cost improvement of the move.
+    pub gain: f64,
+    /// Non-resident candidate pages read during the search.
+    pub search_ios: u32,
+    /// Pages examined, in order.
+    pub examined: Vec<PageId>,
+}
+
+/// Re-evaluate the placement of an existing object after its structure
+/// changed. Returns a move when a candidate page (reachable under
+/// `policy`'s I/O budget) improves expected access cost by more than
+/// `min_gain` and has room.
+pub fn plan_recluster(
+    db: &Database,
+    store: &StorageManager,
+    residency: &impl ResidencyView,
+    policy: ClusteringPolicy,
+    model: &WeightModel,
+    object: ObjectId,
+    min_gain: f64,
+) -> Option<ReclusterPlan> {
+    if !policy.clusters() {
+        return None;
+    }
+    let current = store.page_of(object)?;
+    let size = store
+        .objects_on(current)
+        .ok()?
+        .iter()
+        .find(|&&(o, _)| o == object)
+        .map(|&(_, s)| s)?;
+    let neighbors = weighted_neighbors(db, model, object);
+    if neighbors.is_empty() {
+        return None;
+    }
+    let current_cost = placement_cost(store, &neighbors, current);
+    // Examine every candidate the I/O budget allows (the paper's
+    // "amount of I/O allowed to the clustering algorithm as it examines
+    // candidate pages for reclustering") and move to the best one. The
+    // pool is the extended (two-hop) cluster neighbourhood; the expected
+    // access cost that decides the move uses the direct arcs only.
+    let candidates = extended_neighbors(db, model, object);
+    let mut io_budget = policy.io_budget();
+    let mut search_ios = 0;
+    let mut examined = Vec::new();
+    let mut best: Option<(PageId, f64)> = None;
+    for (page, _aff) in candidate_pages(store, &candidates) {
+        if page == current {
+            continue;
+        }
+        if examined.len() >= crate::placement::MAX_EXAMINED {
+            break;
+        }
+        if !residency.is_resident(page) {
+            if io_budget == 0 {
+                continue;
+            }
+            io_budget -= 1;
+            search_ios += 1;
+        }
+        examined.push(page);
+        let fits = store.page(page).map(|p| p.fits(size)).unwrap_or(false);
+        if !fits {
+            continue;
+        }
+        let gain = current_cost - placement_cost(store, &neighbors, page);
+        if gain > min_gain && best.map(|(_, g)| gain > g).unwrap_or(true) {
+            best = Some((page, gain));
+        }
+    }
+    best.map(|(to, gain)| ReclusterPlan {
+        to,
+        gain,
+        search_ios,
+        examined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::AllResident;
+    use semcluster_storage::DEFAULT_PAGE_BYTES;
+    use semcluster_vdm::{ObjectName, RelFrequencies, RelKind, TypeLattice};
+
+    fn mkdb() -> (Database, semcluster_vdm::TypeId) {
+        let mut lattice = TypeLattice::new();
+        let t = lattice
+            .define_simple(
+                "layout",
+                RelFrequencies {
+                    config_down: 4.0,
+                    config_up: 4.0,
+                    ..RelFrequencies::UNIFORM
+                },
+            )
+            .unwrap();
+        (Database::with_lattice(lattice), t)
+    }
+
+    #[test]
+    fn split_chosen_when_affinity_is_high() {
+        let (mut db, t) = mkdb();
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let page = store.allocate_page();
+        let cap = store.page(page).unwrap().capacity();
+        // Two tight sub-clusters filling the page.
+        let mut ids = Vec::new();
+        for i in 0..8 {
+            let id = db
+                .create_object(ObjectName::new(format!("O{i}"), 1, "layout"), t, 10)
+                .unwrap();
+            store.place(id, cap / 8, page).unwrap();
+            ids.push(id);
+        }
+        for w in 0..3 {
+            db.relate(RelKind::Configuration, ids[w], ids[w + 1]).unwrap();
+            db.relate(RelKind::Configuration, ids[4 + w], ids[5 + w]).unwrap();
+        }
+        // Incoming object strongly tied to the first sub-cluster.
+        let incoming = db
+            .create_object(ObjectName::new("IN", 1, "layout"), t, 100)
+            .unwrap();
+        db.relate(RelKind::Configuration, ids[0], incoming).unwrap();
+        db.relate(RelKind::Configuration, ids[1], incoming).unwrap();
+
+        let model = WeightModel::no_hints();
+        let plan = consider_split(
+            &db,
+            &store,
+            &model,
+            SplitPolicy::Linear,
+            page,
+            8.0, // affinity to the full page
+            0.0, // nothing else has any affinity
+            (incoming, 100),
+        );
+        let plan = plan.expect("high affinity forfeit should justify a split");
+        let outcome = execute_split(&mut store, &plan).unwrap();
+        assert_eq!(store.page_of(incoming), Some(outcome.incoming_page));
+        // Every object is placed somewhere, and the original page now has
+        // room to spare.
+        assert!(store.page(page).unwrap().free() > 0);
+    }
+
+    #[test]
+    fn no_split_policy_never_splits() {
+        let (mut db, t) = mkdb();
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let page = store.allocate_page();
+        let a = db
+            .create_object(ObjectName::new("A", 1, "layout"), t, 10)
+            .unwrap();
+        store.place(a, 10, page).unwrap();
+        let b = db
+            .create_object(ObjectName::new("B", 1, "layout"), t, 10)
+            .unwrap();
+        assert_eq!(
+            consider_split(
+                &db,
+                &store,
+                &WeightModel::no_hints(),
+                SplitPolicy::NoSplit,
+                page,
+                100.0,
+                0.0,
+                (b, 10)
+            ),
+            None
+        );
+    }
+
+    #[test]
+    fn cheap_alternative_beats_split() {
+        let (mut db, t) = mkdb();
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let page = store.allocate_page();
+        let a = db
+            .create_object(ObjectName::new("A", 1, "layout"), t, 10)
+            .unwrap();
+        store.place(a, 10, page).unwrap();
+        let b = db
+            .create_object(ObjectName::new("B", 1, "layout"), t, 10)
+            .unwrap();
+        db.relate(RelKind::Configuration, a, b).unwrap();
+        // Next-best candidate nearly as good: splitting cannot pay off its
+        // overhead.
+        let plan = consider_split(
+            &db,
+            &store,
+            &WeightModel::no_hints(),
+            SplitPolicy::Optimal,
+            page,
+            4.0,
+            3.5,
+            (b, 10),
+        );
+        assert_eq!(plan, None);
+    }
+
+    #[test]
+    fn recluster_moves_toward_relatives() {
+        let (mut db, t) = mkdb();
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let home = store.allocate_page();
+        let far = store.allocate_page();
+        let obj = db
+            .create_object(ObjectName::new("X", 1, "layout"), t, 50)
+            .unwrap();
+        store.place(obj, 50, far).unwrap();
+        let mut relatives = Vec::new();
+        for i in 0..3 {
+            let r = db
+                .create_object(ObjectName::new(format!("R{i}"), 1, "layout"), t, 50)
+                .unwrap();
+            db.relate(RelKind::Configuration, r, obj).unwrap();
+            store.place(r, 50, home).unwrap();
+            relatives.push(r);
+        }
+        let plan = plan_recluster(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::NoLimit,
+            &WeightModel::no_hints(),
+            obj,
+            0.0,
+        )
+        .expect("relatives all live on `home`");
+        assert_eq!(plan.to, home);
+        assert!(plan.gain > 0.0);
+        store.move_object(obj, plan.to).unwrap();
+        assert!(store.co_resident(obj, relatives[0]));
+    }
+
+    #[test]
+    fn recluster_respects_threshold_and_policy() {
+        let (mut db, t) = mkdb();
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let home = store.allocate_page();
+        let far = store.allocate_page();
+        let obj = db
+            .create_object(ObjectName::new("X", 1, "layout"), t, 50)
+            .unwrap();
+        store.place(obj, 50, far).unwrap();
+        let r = db
+            .create_object(ObjectName::new("R", 1, "layout"), t, 50)
+            .unwrap();
+        db.relate(RelKind::Configuration, r, obj).unwrap();
+        store.place(r, 50, home).unwrap();
+        // Gain is 4.0 (config_up weight); a higher threshold blocks it.
+        assert!(plan_recluster(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::NoLimit,
+            &WeightModel::no_hints(),
+            obj,
+            10.0
+        )
+        .is_none());
+        // NoCluster never reclusters.
+        assert!(plan_recluster(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::NoCluster,
+            &WeightModel::no_hints(),
+            obj,
+            0.0
+        )
+        .is_none());
+        // Zero-I/O policy with nothing resident cannot see the candidate.
+        struct NoneRes;
+        impl ResidencyView for NoneRes {
+            fn is_resident(&self, _p: PageId) -> bool {
+                false
+            }
+        }
+        assert!(plan_recluster(
+            &db,
+            &store,
+            &NoneRes,
+            ClusteringPolicy::WithinBuffer,
+            &WeightModel::no_hints(),
+            obj,
+            0.0
+        )
+        .is_none());
+    }
+}

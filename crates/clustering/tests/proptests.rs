@@ -1,0 +1,123 @@
+//! Property-based tests for the clustering engine.
+
+use proptest::prelude::*;
+use semcluster_clustering::{
+    linear_split, optimal_split, DependencyGraph, Partition,
+};
+use semcluster_vdm::ObjectId;
+
+fn graph_strategy(
+    max_nodes: usize,
+) -> impl Strategy<Value = (DependencyGraph, u32)> {
+    (2usize..=max_nodes)
+        .prop_flat_map(move |n| {
+            let sizes = proptest::collection::vec(10u32..400, n..=n);
+            let arcs = proptest::collection::vec(
+                (0u32..n as u32, 0u32..n as u32, 0.1f64..10.0),
+                0..n * 2,
+            );
+            (Just(n), sizes, arcs)
+        })
+        .prop_map(|(n, sizes, raw_arcs)| {
+            let mut arcs: Vec<(u32, u32, f64)> = raw_arcs
+                .into_iter()
+                .filter(|&(a, b, _)| a != b)
+                .map(|(a, b, w)| if a < b { (a, b, w) } else { (b, a, w) })
+                .collect();
+            arcs.sort_by(|x, y| y.2.partial_cmp(&x.2).unwrap());
+            arcs.dedup_by_key(|&mut (a, b, _)| (a, b));
+            let total: u32 = sizes.iter().sum();
+            // Capacity that always admits some split: at least the largest
+            // node and at least half the total.
+            let capacity = sizes.iter().copied().max().unwrap().max(total / 2 + 400);
+            (
+                DependencyGraph {
+                    objects: (0..n as u32).map(ObjectId).collect(),
+                    sizes,
+                    arcs,
+                },
+                capacity,
+            )
+        })
+}
+
+fn check_partition(g: &DependencyGraph, p: &Partition, capacity: u32) -> Result<(), TestCaseError> {
+    // Every node exactly once.
+    let mut seen = vec![false; g.len()];
+    for &i in p.left.iter().chain(&p.right) {
+        prop_assert!(!seen[i as usize], "node {i} assigned twice");
+        seen[i as usize] = true;
+    }
+    prop_assert!(seen.iter().all(|&b| b), "some node unassigned");
+    prop_assert!(!p.left.is_empty() && !p.right.is_empty(), "degenerate split");
+    // Sides fit.
+    for side in [&p.left, &p.right] {
+        let bytes: u64 = side.iter().map(|&i| g.sizes[i as usize] as u64).sum();
+        prop_assert!(bytes <= capacity as u64, "side overflows capacity");
+    }
+    // Reported broken cost matches the assignment.
+    let mut on_right = vec![false; g.len()];
+    for &i in &p.right {
+        on_right[i as usize] = true;
+    }
+    let actual: f64 = g
+        .arcs
+        .iter()
+        .filter(|&&(a, b, _)| on_right[a as usize] != on_right[b as usize])
+        .map(|&(_, _, w)| w)
+        .sum();
+    prop_assert!((actual - p.broken_cost).abs() < 1e-9, "cost mismatch");
+    Ok(())
+}
+
+proptest! {
+    /// Both partitioners always produce valid partitions, and the exact
+    /// one is never worse than the greedy one.
+    #[test]
+    fn partitions_valid_and_optimal_dominates((g, capacity) in graph_strategy(12)) {
+        let lin = linear_split(&g, capacity);
+        let opt = optimal_split(&g, capacity);
+        match (lin, opt) {
+            (Ok(lin), Ok(opt)) => {
+                check_partition(&g, &lin, capacity)?;
+                check_partition(&g, &opt, capacity)?;
+                prop_assert!(opt.exact);
+                prop_assert!(
+                    opt.broken_cost <= lin.broken_cost + 1e-9,
+                    "optimal {} worse than greedy {}",
+                    opt.broken_cost,
+                    lin.broken_cost
+                );
+            }
+            // If the exact enumerator can pack, the greedy fallback paths
+            // might still fail, but not vice versa on these capacities.
+            (Err(_), Ok(opt)) => {
+                check_partition(&g, &opt, capacity)?;
+            }
+            (Ok(_), Err(_)) | (Err(_), Err(_)) => {}
+        }
+    }
+
+    /// The heuristic fallback for large graphs is still a valid partition.
+    #[test]
+    fn large_graph_fallback_is_valid((g, capacity) in graph_strategy(30)) {
+        if let Ok(p) = optimal_split(&g, capacity) {
+            check_partition(&g, &p, capacity)?;
+        }
+        if let Ok(p) = linear_split(&g, capacity) {
+            check_partition(&g, &p, capacity)?;
+        }
+    }
+
+    /// Broken cost never exceeds the graph's total arc weight.
+    #[test]
+    fn broken_cost_bounded((g, capacity) in graph_strategy(10)) {
+        let total = g.total_arc_weight();
+        if let Ok(p) = linear_split(&g, capacity) {
+            prop_assert!(p.broken_cost <= total + 1e-9);
+        }
+        if let Ok(p) = optimal_split(&g, capacity) {
+            prop_assert!(p.broken_cost <= total + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! Output metrics of one simulation run.
+
+use semcluster_buffer::BufferStats;
+use semcluster_sim::{Histogram, OnlineStats, SimDuration};
+use semcluster_wal::LogStats;
+use serde::Serialize;
+
+/// Physical-I/O breakdown by cause.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct IoBreakdown {
+    /// Demand page reads (buffer misses on the critical path).
+    pub data_reads: u64,
+    /// Dirty-page write-backs during eviction.
+    pub dirty_writebacks: u64,
+    /// Transaction-log I/Os (buffer wraps + before-images + forces).
+    pub log_ios: u64,
+    /// Candidate-page reads charged to the clustering search.
+    pub cluster_search_ios: u64,
+    /// Asynchronous prefetch reads (off the critical path but loading the
+    /// disks).
+    pub prefetch_ios: u64,
+    /// Extra I/Os caused by page splits (new-page flushes and moves).
+    pub split_ios: u64,
+}
+
+impl IoBreakdown {
+    /// Total physical I/Os.
+    pub fn total(&self) -> u64 {
+        self.data_reads
+            + self.dirty_writebacks
+            + self.log_ios
+            + self.cluster_search_ios
+            + self.prefetch_ios
+            + self.split_ios
+    }
+}
+
+/// Collects per-transaction observations during the measured interval.
+#[derive(Debug, Clone)]
+pub struct MetricsCollector {
+    /// Response time of every transaction, in seconds.
+    pub response: OnlineStats,
+    /// Response-time distribution (seconds; 0–10 s, 1000 bins).
+    pub response_hist: Histogram,
+    /// Response time of read transactions.
+    pub read_response: OnlineStats,
+    /// Response time of write transactions.
+    pub write_response: OnlineStats,
+    /// I/O breakdown.
+    pub io: IoBreakdown,
+    /// Page splits performed.
+    pub splits: u64,
+    /// Run-time recluster moves performed.
+    pub recluster_moves: u64,
+    /// Objects created during measurement.
+    pub objects_created: u64,
+    /// Objects deleted during measurement.
+    pub objects_deleted: u64,
+    /// Transactions that had to wait for locks.
+    pub lock_waits: u64,
+    /// Total time transactions spent waiting for locks.
+    pub lock_wait_time: SimDuration,
+}
+
+impl Default for MetricsCollector {
+    fn default() -> Self {
+        MetricsCollector {
+            response: OnlineStats::new(),
+            response_hist: Histogram::new(0.0, 10.0, 1000),
+            read_response: OnlineStats::new(),
+            write_response: OnlineStats::new(),
+            io: IoBreakdown::default(),
+            splits: 0,
+            recluster_moves: 0,
+            objects_created: 0,
+            objects_deleted: 0,
+            lock_waits: 0,
+            lock_wait_time: SimDuration::ZERO,
+        }
+    }
+}
+
+impl MetricsCollector {
+    /// Record a completed transaction.
+    pub fn record_txn(&mut self, response: SimDuration, is_read: bool) {
+        self.response.push_duration(response);
+        self.response_hist.record(response.as_secs_f64());
+        if is_read {
+            self.read_response.push_duration(response);
+        } else {
+            self.write_response.push_duration(response);
+        }
+    }
+}
+
+/// Immutable summary of one finished run.
+#[derive(Debug, Clone, Serialize)]
+pub struct RunReport {
+    /// Human-readable description of the configuration.
+    pub config_label: String,
+    /// Transactions measured.
+    pub txns: u64,
+    /// Read transactions measured.
+    pub reads: u64,
+    /// Write transactions measured.
+    pub writes: u64,
+    /// Mean transaction response time in seconds.
+    pub mean_response_s: f64,
+    /// Mean read-transaction response time in seconds.
+    pub read_response_s: f64,
+    /// Mean write-transaction response time in seconds.
+    pub write_response_s: f64,
+    /// Maximum observed response time in seconds.
+    pub max_response_s: f64,
+    /// Median response time in seconds (histogram estimate).
+    pub p50_response_s: f64,
+    /// 95th-percentile response time in seconds (histogram estimate).
+    pub p95_response_s: f64,
+    /// Physical-I/O breakdown.
+    pub io: IoBreakdown,
+    /// Buffer-pool counters.
+    #[serde(skip)]
+    pub buffer: BufferStats,
+    /// Buffer hit ratio over the measured interval.
+    pub hit_ratio: f64,
+    /// Log-manager counters.
+    #[serde(skip)]
+    pub log: LogStats,
+    /// Physical log I/Os over the measured interval.
+    pub log_ios: u64,
+    /// Page splits performed.
+    pub splits: u64,
+    /// Recluster moves performed.
+    pub recluster_moves: u64,
+    /// Objects created during the measured interval.
+    pub objects_created: u64,
+    /// Objects deleted during the measured interval.
+    pub objects_deleted: u64,
+    /// Transactions that waited for locks.
+    pub lock_waits: u64,
+    /// Mean lock wait per waiting transaction, in seconds.
+    pub mean_lock_wait_s: f64,
+    /// Mean disk utilisation over the measured interval.
+    pub disk_utilization: f64,
+    /// CPU utilisation over the measured interval.
+    pub cpu_utilization: f64,
+    /// Simulated time the measurement covered, in seconds.
+    pub measured_span_s: f64,
+}
+
+impl RunReport {
+    /// Assemble a report.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        config_label: String,
+        metrics: &MetricsCollector,
+        buffer: BufferStats,
+        log: LogStats,
+        disk_utilization: f64,
+        cpu_utilization: f64,
+        measured_span: SimDuration,
+    ) -> Self {
+        RunReport {
+            config_label,
+            txns: metrics.response.count(),
+            reads: metrics.read_response.count(),
+            writes: metrics.write_response.count(),
+            mean_response_s: metrics.response.mean(),
+            read_response_s: metrics.read_response.mean(),
+            write_response_s: metrics.write_response.mean(),
+            max_response_s: if metrics.response.count() > 0 {
+                metrics.response.max()
+            } else {
+                0.0
+            },
+            p50_response_s: if metrics.response.count() > 0 {
+                metrics.response_hist.quantile(0.5)
+            } else {
+                0.0
+            },
+            p95_response_s: if metrics.response.count() > 0 {
+                metrics.response_hist.quantile(0.95)
+            } else {
+                0.0
+            },
+            io: metrics.io,
+            buffer,
+            hit_ratio: buffer.hit_ratio(),
+            log,
+            log_ios: log.total_ios(),
+            splits: metrics.splits,
+            recluster_moves: metrics.recluster_moves,
+            objects_created: metrics.objects_created,
+            objects_deleted: metrics.objects_deleted,
+            lock_waits: metrics.lock_waits,
+            mean_lock_wait_s: if metrics.lock_waits == 0 {
+                0.0
+            } else {
+                metrics.lock_wait_time.as_secs_f64() / metrics.lock_waits as f64
+            },
+            disk_utilization,
+            cpu_utilization,
+            measured_span_s: measured_span.as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_breakdown_total() {
+        let io = IoBreakdown {
+            data_reads: 10,
+            dirty_writebacks: 2,
+            log_ios: 3,
+            cluster_search_ios: 4,
+            prefetch_ios: 5,
+            split_ios: 1,
+        };
+        assert_eq!(io.total(), 25);
+    }
+
+    #[test]
+    fn collector_partitions_read_write() {
+        let mut m = MetricsCollector::default();
+        m.record_txn(SimDuration::from_millis(100), true);
+        m.record_txn(SimDuration::from_millis(300), false);
+        assert_eq!(m.response.count(), 2);
+        assert_eq!(m.read_response.count(), 1);
+        assert_eq!(m.write_response.count(), 1);
+        assert!((m.response.mean() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_assembles() {
+        let mut m = MetricsCollector::default();
+        m.record_txn(SimDuration::from_millis(50), true);
+        let r = RunReport::new(
+            "test".into(),
+            &m,
+            BufferStats::default(),
+            LogStats::default(),
+            0.5,
+            0.1,
+            SimDuration::from_secs(100),
+        );
+        assert_eq!(r.txns, 1);
+        assert!((r.mean_response_s - 0.05).abs() < 1e-9);
+        assert_eq!(r.measured_span_s, 100.0);
+    }
+}

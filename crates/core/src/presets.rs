@@ -1,0 +1,108 @@
+//! Named configurations matching the paper's experiment setups.
+
+use crate::config::SimConfig;
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_clustering::{ClusteringPolicy, SplitPolicy};
+use semcluster_workload::{StructureDensity, WorkloadSpec};
+
+/// The fixed buffering setting of the §5.1 clustering experiments:
+/// no prefetch, LRU replacement (buffer size is the scaled default).
+pub fn clustering_study_base() -> SimConfig {
+    SimConfig {
+        replacement: ReplacementPolicy::Lru,
+        prefetch: PrefetchScope::None,
+        split: SplitPolicy::NoSplit,
+        ..SimConfig::default()
+    }
+}
+
+/// The fixed clustering setting of the §5.2 buffering experiments:
+/// clustering without I/O limitation, splitting on overflow.
+pub fn buffering_study_base() -> SimConfig {
+    SimConfig {
+        clustering: ClusteringPolicy::NoLimit,
+        split: SplitPolicy::Linear,
+        ..SimConfig::default()
+    }
+}
+
+/// Parse a paper-style workload label (`low3-5`, `med5-10`, `hi10-100`)
+/// into a [`WorkloadSpec`].
+pub fn workload_from_label(label: &str) -> Option<WorkloadSpec> {
+    let (density, rest) = if let Some(r) = label.strip_prefix("low3-") {
+        (StructureDensity::Low3, r)
+    } else if let Some(r) = label.strip_prefix("med5-") {
+        (StructureDensity::Med5, r)
+    } else if let Some(r) = label.strip_prefix("hi10-") {
+        (StructureDensity::High10, r)
+    } else {
+        return None;
+    };
+    rest.parse::<f64>().ok().map(|rw| WorkloadSpec::new(density, rw))
+}
+
+/// The six buffering combinations reported in Figure 5.11, as
+/// `(label, replacement, prefetch)`.
+pub fn figure_5_11_combos() -> [(&'static str, ReplacementPolicy, PrefetchScope); 6] {
+    [
+        (
+            "C_p_DB",
+            ReplacementPolicy::ContextSensitive,
+            PrefetchScope::WithinDatabase,
+        ),
+        (
+            "C_p_buff",
+            ReplacementPolicy::ContextSensitive,
+            PrefetchScope::WithinBuffer,
+        ),
+        (
+            "R_p_DB",
+            ReplacementPolicy::Random,
+            PrefetchScope::WithinDatabase,
+        ),
+        (
+            "R_p_buff",
+            ReplacementPolicy::Random,
+            PrefetchScope::WithinBuffer,
+        ),
+        (
+            "LRU_p_DB",
+            ReplacementPolicy::Lru,
+            PrefetchScope::WithinDatabase,
+        ),
+        ("LRU_no_p", ReplacementPolicy::Lru, PrefetchScope::None),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_parse() {
+        let w = workload_from_label("low3-5").unwrap();
+        assert_eq!(w.label(), "low3-5");
+        let w = workload_from_label("hi10-100").unwrap();
+        assert_eq!(w.label(), "hi10-100");
+        assert!(workload_from_label("bogus-5").is_none());
+        assert!(workload_from_label("low3-x").is_none());
+    }
+
+    #[test]
+    fn study_bases_match_paper_settings() {
+        let c = clustering_study_base();
+        assert_eq!(c.replacement, ReplacementPolicy::Lru);
+        assert_eq!(c.prefetch, PrefetchScope::None);
+        let b = buffering_study_base();
+        assert_eq!(b.clustering, ClusteringPolicy::NoLimit);
+        assert_ne!(b.split, SplitPolicy::NoSplit);
+    }
+
+    #[test]
+    fn figure_5_11_has_six_combos() {
+        let combos = figure_5_11_combos();
+        assert_eq!(combos.len(), 6);
+        assert_eq!(combos[0].0, "C_p_DB");
+        assert_eq!(combos[5].0, "LRU_no_p");
+    }
+}

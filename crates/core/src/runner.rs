@@ -1,0 +1,50 @@
+//! Replicated experiment running.
+
+use crate::config::SimConfig;
+use crate::engine::run_simulation;
+use crate::metrics::RunReport;
+use semcluster_sim::{Estimate, OnlineStats};
+
+/// Mean response time with a confidence interval, plus the per-replication
+/// reports.
+#[derive(Debug, Clone)]
+pub struct ReplicatedResult {
+    /// Mean-response-time estimate across replications (seconds).
+    pub response: Estimate,
+    /// Log-I/O count estimate across replications.
+    pub log_ios: Estimate,
+    /// Buffer-hit-ratio estimate across replications.
+    pub hit_ratio: Estimate,
+    /// The individual run reports.
+    pub reports: Vec<RunReport>,
+}
+
+/// Run `cfg` `replications` times with derived seeds and fold the results.
+pub fn run_replicated(cfg: &SimConfig, replications: u32) -> ReplicatedResult {
+    assert!(replications > 0, "need at least one replication");
+    let mut response = OnlineStats::new();
+    let mut log_ios = OnlineStats::new();
+    let mut hit_ratio = OnlineStats::new();
+    let mut reports = Vec::with_capacity(replications as usize);
+    for r in 0..replications {
+        let run_cfg = cfg
+            .clone()
+            .with_seed(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(r as u64));
+        let report = run_simulation(run_cfg);
+        response.push(report.mean_response_s);
+        log_ios.push(report.log_ios as f64);
+        hit_ratio.push(report.hit_ratio);
+        reports.push(report);
+    }
+    let estimate = |s: &OnlineStats| Estimate {
+        mean: s.mean(),
+        ci95: s.ci95_half_width(),
+        replications: s.count(),
+    };
+    ReplicatedResult {
+        response: estimate(&response),
+        log_ios: estimate(&log_ios),
+        hit_ratio: estimate(&hit_ratio),
+        reports,
+    }
+}

@@ -1,0 +1,38 @@
+//! # semcluster-lock
+//!
+//! Concurrency control for the simulated OODBMS. §4.1 fixes "the object
+//! and composite object" as the fundamental unit of concurrency control;
+//! this crate provides the matching machinery:
+//!
+//! * hierarchical lock modes (IS/IX/S/SIX/X) with the classic
+//!   compatibility matrix ([`LockMode`]),
+//! * a lock table with FIFO queues, upgrades and wait-for-graph deadlock
+//!   detection ([`LockManager::request`]),
+//! * deadlock-free conservative pre-declaration
+//!   ([`LockManager::try_acquire_all`]) — what the simulation engine
+//!   uses, since §4.1 transactions know their object set up front, and
+//! * composite-object expansion: locking a configuration subtree takes
+//!   intention locks along the composite chain
+//!   ([`LockManager::hierarchical_lockset`]).
+//!
+//! ```
+//! use semcluster_lock::{LockManager, LockMode, LockResult, TxnId};
+//! use semcluster_vdm::ObjectId;
+//!
+//! let mut lm = LockManager::new();
+//! assert_eq!(lm.request(TxnId(1), ObjectId(7), LockMode::Shared), LockResult::Granted);
+//! assert_eq!(lm.request(TxnId(2), ObjectId(7), LockMode::Shared), LockResult::Granted);
+//! assert_eq!(lm.request(TxnId(3), ObjectId(7), LockMode::Exclusive), LockResult::Waiting);
+//! let granted = lm.release_all(TxnId(1));
+//! assert!(granted.is_empty()); // txn 2 still shares it
+//! let granted = lm.release_all(TxnId(2));
+//! assert_eq!(granted[0].0, TxnId(3)); // writer finally promoted
+//! ```
+
+#![warn(missing_docs)]
+
+mod manager;
+mod mode;
+
+pub use manager::{LockManager, LockResult, LockStats, TxnId};
+pub use mode::LockMode;

@@ -1,0 +1,464 @@
+//! The lock manager.
+//!
+//! Supports two acquisition disciplines:
+//!
+//! * **Incremental** ([`LockManager::request`]): classic growing-phase
+//!   acquisition with FIFO wait queues and wait-for-graph deadlock
+//!   detection (the requester is chosen as victim on a cycle).
+//! * **Conservative** ([`LockManager::try_acquire_all`]): atomic
+//!   all-or-nothing pre-declaration, which is deadlock-free and what the
+//!   simulation engine uses (every §4.1 transaction knows its object set
+//!   up front).
+//!
+//! Hierarchical (composite-object) locking is layered on top by
+//! [`LockManager::hierarchical_lockset`], which expands a request into
+//! intention locks along the configuration path.
+
+use crate::mode::LockMode;
+use semcluster_vdm::{Database, ObjectId};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::fmt;
+
+/// Transaction identifier (assigned by the caller).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+impl fmt::Display for TxnId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn{}", self.0)
+    }
+}
+
+/// Outcome of an incremental lock request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LockResult {
+    /// The lock is held (possibly upgraded).
+    Granted,
+    /// The request was queued; the caller must block until a release
+    /// grants it.
+    Waiting,
+    /// Granting would deadlock; the requester should abort and retry.
+    Deadlock,
+}
+
+#[derive(Debug, Default)]
+struct LockEntry {
+    holders: HashMap<TxnId, LockMode>,
+    queue: VecDeque<(TxnId, LockMode)>,
+}
+
+impl LockEntry {
+    fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
+        self.holders
+            .iter()
+            .all(|(&h, &m)| h == txn || m.compatible(mode))
+    }
+}
+
+/// Statistics counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Requests granted immediately.
+    pub immediate_grants: u64,
+    /// Requests that had to wait.
+    pub waits: u64,
+    /// Deadlocks detected (requester aborted).
+    pub deadlocks: u64,
+    /// Lock upgrades performed.
+    pub upgrades: u64,
+}
+
+/// The lock table.
+#[derive(Debug, Default)]
+pub struct LockManager {
+    table: HashMap<ObjectId, LockEntry>,
+    held: HashMap<TxnId, HashSet<ObjectId>>,
+    stats: LockStats,
+}
+
+impl LockManager {
+    /// Empty lock table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> LockStats {
+        self.stats
+    }
+
+    /// The mode `txn` currently holds on `object`, if any.
+    pub fn held_mode(&self, txn: TxnId, object: ObjectId) -> Option<LockMode> {
+        self.table.get(&object)?.holders.get(&txn).copied()
+    }
+
+    /// Number of objects with at least one holder or waiter.
+    pub fn active_objects(&self) -> usize {
+        self.table.len()
+    }
+
+    // ------------------------------------------------------- incremental
+
+    /// Request `mode` on `object` for `txn`, queueing on conflict.
+    pub fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> LockResult {
+        let entry = self.table.entry(object).or_default();
+        let effective = match entry.holders.get(&txn) {
+            Some(&held) if held.covers(mode) => {
+                self.stats.immediate_grants += 1;
+                return LockResult::Granted;
+            }
+            Some(&held) => held.join(mode),
+            None => mode,
+        };
+        let is_upgrade = entry.holders.contains_key(&txn);
+        // FIFO fairness: a fresh request must also wait behind queued
+        // waiters; upgrades only check the holders.
+        let must_wait = !entry.grantable(txn, effective)
+            || (!is_upgrade && !entry.queue.is_empty());
+        if !must_wait {
+            if is_upgrade {
+                self.stats.upgrades += 1;
+            } else {
+                self.stats.immediate_grants += 1;
+            }
+            entry.holders.insert(txn, effective);
+            self.held.entry(txn).or_default().insert(object);
+            return LockResult::Granted;
+        }
+        // Would wait: check for a deadlock first.
+        if self.would_deadlock(txn, object, effective) {
+            self.stats.deadlocks += 1;
+            return LockResult::Deadlock;
+        }
+        let entry = self.table.get_mut(&object).expect("created above");
+        if is_upgrade {
+            // Upgrades wait at the front so they cannot starve behind
+            // requests they block anyway.
+            entry.queue.push_front((txn, effective));
+        } else {
+            entry.queue.push_back((txn, effective));
+        }
+        self.stats.waits += 1;
+        LockResult::Waiting
+    }
+
+    /// Whether queueing `txn`'s request would close a cycle in the
+    /// wait-for graph.
+    fn would_deadlock(&self, txn: TxnId, object: ObjectId, mode: LockMode) -> bool {
+        // Direct blockers of the hypothetical request.
+        let mut frontier: Vec<TxnId> = self.blockers(txn, object, mode);
+        let mut seen: HashSet<TxnId> = frontier.iter().copied().collect();
+        while let Some(cur) = frontier.pop() {
+            if cur == txn {
+                return true;
+            }
+            // Whatever `cur` is itself waiting on.
+            for (obj, entry) in &self.table {
+                for &(waiter, wmode) in &entry.queue {
+                    if waiter != cur {
+                        continue;
+                    }
+                    for b in self.blockers(cur, *obj, wmode) {
+                        if seen.insert(b) || b == txn {
+                            frontier.push(b);
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Transactions whose holdings block `txn` from taking `mode` on
+    /// `object`.
+    fn blockers(&self, txn: TxnId, object: ObjectId, mode: LockMode) -> Vec<TxnId> {
+        let Some(entry) = self.table.get(&object) else {
+            return Vec::new();
+        };
+        entry
+            .holders
+            .iter()
+            .filter(|&(&h, &m)| h != txn && !m.compatible(mode))
+            .map(|(&h, _)| h)
+            .collect()
+    }
+
+    /// Drop a queued request (after a deadlock abort or timeout).
+    pub fn cancel_wait(&mut self, txn: TxnId, object: ObjectId) {
+        if let Some(entry) = self.table.get_mut(&object) {
+            entry.queue.retain(|&(t, _)| t != txn);
+        }
+    }
+
+    // ------------------------------------------------------ conservative
+
+    /// Atomically acquire every `(object, mode)` in `requests`, or
+    /// acquire nothing. Deadlock-free: there is no hold-and-wait.
+    /// Returns `false` when any lock is unavailable.
+    pub fn try_acquire_all(&mut self, txn: TxnId, requests: &[(ObjectId, LockMode)]) -> bool {
+        // Feasibility check against holders AND queued waiters (so a
+        // conservative stream does not starve incremental waiters).
+        for &(object, mode) in requests {
+            if let Some(entry) = self.table.get(&object) {
+                let effective = entry
+                    .holders
+                    .get(&txn)
+                    .map(|&held| held.join(mode))
+                    .unwrap_or(mode);
+                if !entry.grantable(txn, effective)
+                    || entry.queue.iter().any(|&(t, m)| t != txn && !m.compatible(effective))
+                {
+                    return false;
+                }
+            }
+        }
+        for &(object, mode) in requests {
+            let entry = self.table.entry(object).or_default();
+            let effective = entry
+                .holders
+                .get(&txn)
+                .map(|&held| held.join(mode))
+                .unwrap_or(mode);
+            entry.holders.insert(txn, effective);
+            self.held.entry(txn).or_default().insert(object);
+        }
+        self.stats.immediate_grants += requests.len() as u64;
+        true
+    }
+
+    // ----------------------------------------------------------- release
+
+    /// Release everything `txn` holds; promote FIFO waiters that are now
+    /// grantable. Returns the requests that became granted, in grant
+    /// order.
+    pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId, LockMode)> {
+        let mut granted = Vec::new();
+        let Some(objects) = self.held.remove(&txn) else {
+            return granted;
+        };
+        for object in objects {
+            let Some(entry) = self.table.get_mut(&object) else {
+                continue;
+            };
+            entry.holders.remove(&txn);
+            // Promote from the queue head while compatible.
+            while let Some(&(waiter, mode)) = entry.queue.front() {
+                if entry.grantable(waiter, mode) {
+                    entry.queue.pop_front();
+                    entry.holders.insert(waiter, mode);
+                    granted.push((waiter, object, mode));
+                } else {
+                    break;
+                }
+            }
+            if entry.holders.is_empty() && entry.queue.is_empty() {
+                self.table.remove(&object);
+            }
+        }
+        for &(waiter, object, _) in &granted {
+            self.held.entry(waiter).or_default().insert(object);
+        }
+        granted
+    }
+
+    // --------------------------------------------------------- hierarchy
+
+    /// Expand a request on `object` into the hierarchical lock set: the
+    /// appropriate intention mode on each ancestor along the (first)
+    /// composite chain, root first, then `mode` on the object itself.
+    /// Depth is bounded to guard against pathological configurations.
+    pub fn hierarchical_lockset(
+        db: &Database,
+        object: ObjectId,
+        mode: LockMode,
+    ) -> Vec<(ObjectId, LockMode)> {
+        const MAX_DEPTH: usize = 16;
+        let mut chain = Vec::new();
+        let mut cur = object;
+        for _ in 0..MAX_DEPTH {
+            match db.graph().composites(cur).first() {
+                Some(&up) if up != object && !chain.contains(&up) => {
+                    chain.push(up);
+                    cur = up;
+                }
+                _ => break,
+            }
+        }
+        let mut out: Vec<(ObjectId, LockMode)> = chain
+            .into_iter()
+            .rev()
+            .map(|anc| (anc, mode.intention()))
+            .collect();
+        out.push((object, mode));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcluster_vdm::{ObjectName, RelFrequencies, RelKind, TypeLattice};
+    use LockMode::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    fn t(i: u64) -> TxnId {
+        TxnId(i)
+    }
+
+    #[test]
+    fn shared_locks_coexist_exclusive_does_not() {
+        let mut lm = LockManager::new();
+        assert_eq!(lm.request(t(1), o(1), Shared), LockResult::Granted);
+        assert_eq!(lm.request(t(2), o(1), Shared), LockResult::Granted);
+        assert_eq!(lm.request(t(3), o(1), Exclusive), LockResult::Waiting);
+        assert_eq!(lm.stats().waits, 1);
+    }
+
+    #[test]
+    fn release_promotes_fifo() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Exclusive);
+        assert_eq!(lm.request(t(2), o(1), Shared), LockResult::Waiting);
+        assert_eq!(lm.request(t(3), o(1), Shared), LockResult::Waiting);
+        let granted = lm.release_all(t(1));
+        // Both shared waiters become grantable in order.
+        assert_eq!(granted.len(), 2);
+        assert_eq!(granted[0].0, t(2));
+        assert_eq!(granted[1].0, t(3));
+        assert_eq!(lm.held_mode(t(2), o(1)), Some(Shared));
+    }
+
+    #[test]
+    fn fifo_prevents_overtaking() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Shared);
+        assert_eq!(lm.request(t(2), o(1), Exclusive), LockResult::Waiting);
+        // A later shared request must not jump the queued X.
+        assert_eq!(lm.request(t(3), o(1), Shared), LockResult::Waiting);
+        let granted = lm.release_all(t(1));
+        assert_eq!(granted[0], (t(2), o(1), Exclusive));
+        assert_eq!(granted.len(), 1, "t3 still behind the exclusive");
+    }
+
+    #[test]
+    fn reentrant_and_upgrade() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Shared);
+        assert_eq!(lm.request(t(1), o(1), Shared), LockResult::Granted);
+        assert_eq!(lm.request(t(1), o(1), Exclusive), LockResult::Granted);
+        assert_eq!(lm.held_mode(t(1), o(1)), Some(Exclusive));
+        assert_eq!(lm.stats().upgrades, 1);
+    }
+
+    #[test]
+    fn blocked_upgrade_waits_at_front() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Shared);
+        lm.request(t(2), o(1), Shared);
+        assert_eq!(lm.request(t(3), o(1), Exclusive), LockResult::Waiting);
+        // t1 upgrading must wait for t2, but goes ahead of t3.
+        assert_eq!(lm.request(t(1), o(1), Exclusive), LockResult::Waiting);
+        let granted = lm.release_all(t(2));
+        // t1 still holds S itself; its upgrade to X is grantable (only
+        // holder is t1).
+        assert_eq!(granted[0].0, t(1));
+        assert_eq!(granted[0].2, Exclusive);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Exclusive);
+        lm.request(t(2), o(2), Exclusive);
+        assert_eq!(lm.request(t(1), o(2), Exclusive), LockResult::Waiting);
+        // t2 → o1 closes the cycle t2 → t1 → t2.
+        assert_eq!(lm.request(t(2), o(1), Exclusive), LockResult::Deadlock);
+        assert_eq!(lm.stats().deadlocks, 1);
+        // Victim cancels and releases; the system drains.
+        lm.cancel_wait(t(2), o(1));
+        let granted = lm.release_all(t(2));
+        assert_eq!(granted, vec![(t(1), o(2), Exclusive)]);
+    }
+
+    #[test]
+    fn conservative_all_or_nothing() {
+        let mut lm = LockManager::new();
+        assert!(lm.try_acquire_all(t(1), &[(o(1), Shared), (o(2), Exclusive)]));
+        // Conflicting set: nothing is taken.
+        assert!(!lm.try_acquire_all(t(2), &[(o(3), Shared), (o(2), Shared)]));
+        assert_eq!(lm.held_mode(t(2), o(3)), None);
+        // Compatible set succeeds.
+        assert!(lm.try_acquire_all(t(2), &[(o(1), Shared), (o(3), Shared)]));
+        lm.release_all(t(1));
+        assert!(lm.try_acquire_all(t(3), &[(o(2), Exclusive)]));
+    }
+
+    #[test]
+    fn conservative_respects_waiters() {
+        let mut lm = LockManager::new();
+        lm.request(t(1), o(1), Shared);
+        assert_eq!(lm.request(t(2), o(1), Exclusive), LockResult::Waiting);
+        // A conservative S request must not starve the queued X.
+        assert!(!lm.try_acquire_all(t(3), &[(o(1), Shared)]));
+    }
+
+    #[test]
+    fn hierarchical_lockset_walks_configuration() {
+        let mut lattice = TypeLattice::new();
+        let ty = lattice.define_simple("t", RelFrequencies::UNIFORM).unwrap();
+        let mut db = Database::with_lattice(lattice);
+        let chip = db
+            .create_object(ObjectName::new("CHIP", 1, "t"), ty, 10)
+            .unwrap();
+        let alu = db
+            .create_object(ObjectName::new("ALU", 1, "t"), ty, 10)
+            .unwrap();
+        let adder = db
+            .create_object(ObjectName::new("ADDER", 1, "t"), ty, 10)
+            .unwrap();
+        db.relate(RelKind::Configuration, chip, alu).unwrap();
+        db.relate(RelKind::Configuration, alu, adder).unwrap();
+        let set = LockManager::hierarchical_lockset(&db, adder, Exclusive);
+        assert_eq!(
+            set,
+            vec![
+                (chip, IntentionExclusive),
+                (alu, IntentionExclusive),
+                (adder, Exclusive)
+            ]
+        );
+        let set = LockManager::hierarchical_lockset(&db, chip, Shared);
+        assert_eq!(set, vec![(chip, Shared)]);
+    }
+
+    #[test]
+    fn hierarchical_locks_allow_disjoint_writers() {
+        let mut lattice = TypeLattice::new();
+        let ty = lattice.define_simple("t", RelFrequencies::UNIFORM).unwrap();
+        let mut db = Database::with_lattice(lattice);
+        let root = db
+            .create_object(ObjectName::new("R", 1, "t"), ty, 10)
+            .unwrap();
+        let a = db
+            .create_object(ObjectName::new("A", 1, "t"), ty, 10)
+            .unwrap();
+        let b = db
+            .create_object(ObjectName::new("B", 1, "t"), ty, 10)
+            .unwrap();
+        db.relate(RelKind::Configuration, root, a).unwrap();
+        db.relate(RelKind::Configuration, root, b).unwrap();
+        let mut lm = LockManager::new();
+        assert!(lm.try_acquire_all(t(1), &LockManager::hierarchical_lockset(&db, a, Exclusive)));
+        // Disjoint subtree: IX + IX on the root are compatible.
+        assert!(lm.try_acquire_all(t(2), &LockManager::hierarchical_lockset(&db, b, Exclusive)));
+        // But a whole-configuration reader must wait for both.
+        assert!(!lm.try_acquire_all(t(3), &LockManager::hierarchical_lockset(&db, root, Shared)));
+        lm.release_all(t(1));
+        assert!(!lm.try_acquire_all(t(3), &LockManager::hierarchical_lockset(&db, root, Shared)));
+        lm.release_all(t(2));
+        assert!(lm.try_acquire_all(t(3), &LockManager::hierarchical_lockset(&db, root, Shared)));
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the lock manager.
+
+use proptest::prelude::*;
+use semcluster_lock::{LockManager, LockMode, LockResult, TxnId};
+use semcluster_vdm::ObjectId;
+
+fn modes() -> impl Strategy<Value = LockMode> {
+    prop_oneof![
+        Just(LockMode::IntentionShared),
+        Just(LockMode::IntentionExclusive),
+        Just(LockMode::Shared),
+        Just(LockMode::SharedIntentionExclusive),
+        Just(LockMode::Exclusive),
+    ]
+}
+
+proptest! {
+    /// Safety invariant: after any request/release interleaving, the
+    /// holders of every object are pairwise compatible (or the same
+    /// transaction).
+    #[test]
+    fn holders_always_pairwise_compatible(
+        script in proptest::collection::vec(
+            (0u64..6, 0u32..8, modes(), any::<bool>()),
+            1..200,
+        ),
+    ) {
+        let mut lm = LockManager::new();
+        let mut live: std::collections::HashSet<TxnId> = (0..6).map(TxnId).collect();
+        for (txn_raw, obj, mode, release) in script {
+            let txn = TxnId(txn_raw);
+            if release {
+                lm.release_all(txn);
+                live.insert(txn);
+                continue;
+            }
+            if !live.contains(&txn) {
+                continue;
+            }
+            match lm.request(txn, ObjectId(obj), mode) {
+                LockResult::Granted | LockResult::Waiting => {}
+                LockResult::Deadlock => {
+                    // Victim aborts entirely.
+                    lm.cancel_wait(txn, ObjectId(obj));
+                    lm.release_all(txn);
+                }
+            }
+            // Validate pairwise compatibility over all objects by probing
+            // held modes through the public API.
+            for o in 0..8u32 {
+                let holders: Vec<(TxnId, LockMode)> = (0..6)
+                    .filter_map(|t| {
+                        lm.held_mode(TxnId(t), ObjectId(o)).map(|m| (TxnId(t), m))
+                    })
+                    .collect();
+                for (i, &(ta, ma)) in holders.iter().enumerate() {
+                    for &(tb, mb) in &holders[i + 1..] {
+                        prop_assert!(
+                            ta == tb || ma.compatible(mb),
+                            "incompatible co-holders {ta}:{ma} and {tb}:{mb} on o{o}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Conservative acquisition is atomic: either every requested object
+    /// is held afterwards, or none of the newly requested ones are.
+    #[test]
+    fn conservative_is_atomic(
+        first in proptest::collection::vec((0u32..6, modes()), 1..6),
+        second in proptest::collection::vec((0u32..6, modes()), 1..6),
+    ) {
+        let mut lm = LockManager::new();
+        let to_reqs = |v: &[(u32, LockMode)]| -> Vec<(ObjectId, LockMode)> {
+            v.iter().map(|&(o, m)| (ObjectId(o), m)).collect()
+        };
+        let r1 = to_reqs(&first);
+        prop_assert!(lm.try_acquire_all(TxnId(1), &r1));
+        let r2 = to_reqs(&second);
+        let ok = lm.try_acquire_all(TxnId(2), &r2);
+        if ok {
+            for &(o, m) in &r2 {
+                let held = lm.held_mode(TxnId(2), o).expect("granted");
+                prop_assert!(held.covers(m));
+            }
+        } else {
+            for &(o, _) in &r2 {
+                // Nothing newly acquired (txn 2 held nothing before).
+                prop_assert_eq!(lm.held_mode(TxnId(2), o), None);
+            }
+        }
+    }
+
+    /// Release drains: after all transactions release, the table is
+    /// empty and a fresh exclusive on anything succeeds.
+    #[test]
+    fn full_release_drains_table(
+        script in proptest::collection::vec((0u64..4, 0u32..5, modes()), 1..60),
+    ) {
+        let mut lm = LockManager::new();
+        for (txn, obj, mode) in script {
+            if lm.request(TxnId(txn), ObjectId(obj), mode) == LockResult::Deadlock {
+                lm.cancel_wait(TxnId(txn), ObjectId(obj));
+                lm.release_all(TxnId(txn));
+            }
+        }
+        for t in 0..4 {
+            lm.release_all(TxnId(t));
+        }
+        // Queues may still hold entries of waiting transactions whose
+        // grants fired during releases; release those too.
+        for t in 0..4 {
+            lm.release_all(TxnId(t));
+            for o in 0..5 {
+                lm.cancel_wait(TxnId(t), ObjectId(o));
+            }
+        }
+        for t in 0..4 {
+            lm.release_all(TxnId(t));
+        }
+        prop_assert_eq!(lm.active_objects(), 0);
+        for o in 0..5u32 {
+            prop_assert_eq!(
+                lm.request(TxnId(9), ObjectId(o), LockMode::Exclusive),
+                LockResult::Granted
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Free-space map.
+//!
+//! A coarse, incrementally maintained index of page free space, bucketed
+//! into power-of-two classes — how a real storage manager answers the
+//! clusterer's "is there *any* page with ≥ N bytes free near this
+//! cluster?" without scanning. Kept separate from [`crate::StorageManager`]
+//! so callers opt in; the map observes placements through
+//! [`FreeSpaceMap::note`].
+
+use crate::page::PageId;
+use std::collections::BTreeSet;
+
+/// Number of free-space classes. Class `k` holds pages whose free space
+/// is in `[2^k, 2^(k+1))` bytes (class 0: `[0, 2)`).
+const CLASSES: usize = 16;
+
+/// Bucketed page free-space index.
+#[derive(Debug, Clone, Default)]
+pub struct FreeSpaceMap {
+    classes: [BTreeSet<PageId>; CLASSES],
+    known: Vec<Option<u8>>, // page → class, for O(1) reclassification
+}
+
+fn class_of(free: u32) -> usize {
+    (32 - (free | 1).leading_zeros() as usize - 1).min(CLASSES - 1)
+}
+
+impl FreeSpaceMap {
+    /// Empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record (or update) a page's free space.
+    pub fn note(&mut self, page: PageId, free: u32) {
+        let cls = class_of(free) as u8;
+        if self.known.len() <= page.index() {
+            self.known.resize(page.index() + 1, None);
+        }
+        if let Some(old) = self.known[page.index()] {
+            if old == cls {
+                return;
+            }
+            self.classes[old as usize].remove(&page);
+        }
+        self.classes[cls as usize].insert(page);
+        self.known[page.index()] = Some(cls);
+    }
+
+    /// Forget a page (e.g. taken offline).
+    pub fn forget(&mut self, page: PageId) {
+        if let Some(Some(cls)) = self.known.get(page.index()).copied() {
+            self.classes[cls as usize].remove(&page);
+            self.known[page.index()] = None;
+        }
+    }
+
+    /// Some page guaranteed to have at least `min_free` bytes free, if
+    /// one is known. Prefers the fullest suitable class (best-fit-ish),
+    /// lowest page id within it.
+    ///
+    /// Pages in the class containing `min_free` itself may have slightly
+    /// less than `min_free`; they are skipped via the exactness check the
+    /// caller performs, so this method only consults classes strictly
+    /// above.
+    pub fn page_with_room(&self, min_free: u32) -> Option<PageId> {
+        let first_safe = class_of(min_free) + 1;
+        self.classes[first_safe.min(CLASSES - 1)..]
+            .iter()
+            .flat_map(|set| set.iter())
+            .next()
+            .copied()
+    }
+
+    /// Number of pages tracked.
+    pub fn len(&self) -> usize {
+        self.known.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Whether the map tracks no pages.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PageId {
+        PageId(i)
+    }
+
+    #[test]
+    fn classes_are_power_of_two_buckets() {
+        assert_eq!(class_of(0), 0);
+        assert_eq!(class_of(1), 0);
+        assert_eq!(class_of(2), 1);
+        assert_eq!(class_of(3), 1);
+        assert_eq!(class_of(1024), 10);
+        assert_eq!(class_of(u32::MAX), CLASSES - 1);
+    }
+
+    #[test]
+    fn page_with_room_guarantees_capacity() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.note(p(1), 100); // class 6: [64,128)
+        fsm.note(p(2), 1000); // class 9: [512,1024)
+        fsm.note(p(3), 4000); // class 11
+        // Asking for 120 must skip p1 (same class as 120 → not
+        // guaranteed) and return a strictly-higher class page.
+        let found = fsm.page_with_room(120).unwrap();
+        assert!(found == p(2) || found == p(3));
+        assert_eq!(fsm.page_with_room(2000), Some(p(3)));
+        assert_eq!(fsm.page_with_room(5000), None);
+    }
+
+    #[test]
+    fn note_reclassifies_and_forget_removes() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.note(p(1), 2048);
+        assert_eq!(fsm.page_with_room(1000), Some(p(1)));
+        fsm.note(p(1), 10); // page filled up
+        assert_eq!(fsm.page_with_room(1000), None);
+        fsm.note(p(1), 3000);
+        fsm.forget(p(1));
+        assert_eq!(fsm.page_with_room(1000), None);
+        assert!(fsm.is_empty());
+    }
+
+    #[test]
+    fn prefers_smaller_sufficient_class() {
+        let mut fsm = FreeSpaceMap::new();
+        fsm.note(p(9), 4000);
+        fsm.note(p(2), 600);
+        // min_free 200 → first safe class is 8 ([256,512)); p2 is class 9.
+        assert_eq!(fsm.page_with_room(200), Some(p(2)));
+    }
+
+    #[test]
+    fn tracks_many_pages() {
+        let mut fsm = FreeSpaceMap::new();
+        for i in 0..1000u32 {
+            fsm.note(p(i), (i * 7) % 4000 + 1);
+        }
+        assert_eq!(fsm.len(), 1000);
+        // min_free 1500 → first safe class holds pages with ≥ 2048 free.
+        let found = fsm.page_with_room(1500).unwrap();
+        assert!((found.0 * 7) % 4000 + 1 >= 2048, "page {found} too full");
+        // Nothing can guarantee more than the 4000-byte maximum.
+        assert_eq!(fsm.page_with_room(4096), None);
+    }
+}

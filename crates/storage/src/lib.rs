@@ -1,0 +1,34 @@
+//! # semcluster-storage
+//!
+//! The physical storage substrate under the clustering engine: slotted
+//! [`Page`]s with exact capacity accounting, a [`StorageManager`] mapping
+//! every object to its page (with directed placement, sequential append,
+//! movement and removal), and the I/O subsystem's physical parameters
+//! ([`DiskParams`], [`DiskLayout`]).
+//!
+//! No payload bytes are stored — the simulation study needs placement and
+//! size accounting only — but the capacity arithmetic matches a real
+//! slotted page, so overflow and page-splitting behave faithfully.
+//!
+//! ```
+//! use semcluster_storage::{StorageManager, DEFAULT_PAGE_BYTES};
+//! use semcluster_vdm::ObjectId;
+//!
+//! let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+//! let page = store.append(ObjectId(0), 400).unwrap();
+//! store.append(ObjectId(1), 400).unwrap();
+//! assert!(store.co_resident(ObjectId(0), ObjectId(1)));
+//! assert_eq!(store.page_of(ObjectId(0)), Some(page));
+//! ```
+
+#![warn(missing_docs)]
+
+mod disk;
+mod fsm;
+mod page;
+mod store;
+
+pub use disk::{DiskLayout, DiskParams};
+pub use fsm::FreeSpaceMap;
+pub use page::{Page, PageError, PageId, DEFAULT_PAGE_BYTES, PAGE_OVERHEAD_BYTES};
+pub use store::{StorageError, StorageManager};

@@ -1,0 +1,89 @@
+//! Property-based tests for the storage substrate.
+
+use proptest::prelude::*;
+use semcluster_storage::{DiskLayout, PageId, StorageManager, DEFAULT_PAGE_BYTES};
+use semcluster_vdm::ObjectId;
+
+proptest! {
+    /// Bytes are conserved across append / move / remove sequences, the
+    /// directory always agrees with page contents, and no page ever
+    /// exceeds its capacity.
+    #[test]
+    fn storage_invariants(
+        sizes in proptest::collection::vec(1u32..1500, 1..120),
+        moves in proptest::collection::vec((0usize..120, 0u32..40), 0..60),
+        removes in proptest::collection::vec(0usize..120, 0..30),
+    ) {
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        let mut live: std::collections::HashMap<ObjectId, u32> =
+            std::collections::HashMap::new();
+        for (i, &size) in sizes.iter().enumerate() {
+            let id = ObjectId(i as u32);
+            store.append(id, size).unwrap();
+            live.insert(id, size);
+        }
+        for (obj_idx, page_raw) in moves {
+            let id = ObjectId(obj_idx as u32);
+            if !live.contains_key(&id) {
+                continue;
+            }
+            let page = PageId(page_raw % store.page_count().max(1) as u32);
+            let _ = store.move_object(id, page); // may fail when full; state must stay valid
+        }
+        for obj_idx in removes {
+            let id = ObjectId(obj_idx as u32);
+            if live.remove(&id).is_some() {
+                store.remove(id).unwrap();
+            }
+        }
+        // Conservation.
+        let expected: u64 = live.values().map(|&s| s as u64).sum();
+        prop_assert_eq!(store.used_bytes(), expected);
+        // Directory/page agreement and capacity.
+        for (&id, &size) in &live {
+            let page = store.page_of(id).expect("live object is placed");
+            let on_page = store
+                .objects_on(page)
+                .unwrap()
+                .iter()
+                .find(|&&(o, _)| o == id)
+                .map(|&(_, s)| s);
+            prop_assert_eq!(on_page, Some(size));
+        }
+        for p in 0..store.page_count() {
+            let page = store.page(PageId(p as u32)).unwrap();
+            prop_assert!(page.used() <= page.capacity());
+            let sum: u32 = page.objects().iter().map(|&(_, s)| s).sum();
+            prop_assert_eq!(sum, page.used());
+        }
+    }
+
+    /// Sequential append never wastes more than one partially filled page
+    /// beyond what object sizes force.
+    #[test]
+    fn append_packs_tightly(sizes in proptest::collection::vec(1u32..1000, 1..200)) {
+        let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+        for (i, &size) in sizes.iter().enumerate() {
+            store.append(ObjectId(i as u32), size).unwrap();
+        }
+        // Every page except possibly the cursor must have been too full
+        // for the object that opened the next page; with max object 1000B
+        // a page can never be left more than 1000B free when abandoned.
+        let pages = store.page_count();
+        for p in 0..pages.saturating_sub(1) {
+            let page = store.page(PageId(p as u32)).unwrap();
+            prop_assert!(page.free() < 1000, "page {p} abandoned with {} free", page.free());
+        }
+    }
+
+    /// Disk striping is total and stable.
+    #[test]
+    fn striping_total(disks in 1u32..64, pages in proptest::collection::vec(any::<u32>(), 1..100)) {
+        let layout = DiskLayout::new(disks);
+        for &p in &pages {
+            let d = layout.disk_of(PageId(p));
+            prop_assert!(d < disks);
+            prop_assert_eq!(d, layout.disk_of(PageId(p)));
+        }
+    }
+}

@@ -1,0 +1,392 @@
+//! The structure graph: every configuration / version / correspondence /
+//! inheritance edge in the database, navigable in both directions.
+//!
+//! Unlike OCT's untyped "attachments", edges here are typed first-class
+//! relationships — exactly the information the paper argues a storage
+//! component should be able to exploit.
+
+use crate::id::ObjectId;
+use crate::relationship::{Direction, RelKind};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Errors raised by graph mutation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// Self-relationships are meaningless in the model.
+    SelfEdge(ObjectId),
+    /// The edge already exists.
+    DuplicateEdge(RelKind, ObjectId, ObjectId),
+    /// The edge to remove does not exist.
+    MissingEdge(RelKind, ObjectId, ObjectId),
+    /// A version-history edge would create a cycle.
+    VersionCycle(ObjectId, ObjectId),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::SelfEdge(o) => write!(f, "self edge on {o}"),
+            GraphError::DuplicateEdge(k, a, b) => write!(f, "duplicate {k} edge {a}→{b}"),
+            GraphError::MissingEdge(k, a, b) => write!(f, "no {k} edge {a}→{b}"),
+            GraphError::VersionCycle(a, b) => {
+                write!(f, "version edge {a}→{b} would create a cycle")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[derive(Debug, Clone, Default)]
+struct Adjacency {
+    out: [Vec<ObjectId>; 4],
+    inc: [Vec<ObjectId>; 4],
+}
+
+/// Typed, bidirectional adjacency over all objects.
+#[derive(Debug, Clone, Default)]
+pub struct StructureGraph {
+    nodes: Vec<Adjacency>,
+    edges: u64,
+}
+
+impl StructureGraph {
+    /// Empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Make sure node storage covers `id`.
+    pub fn ensure_node(&mut self, id: ObjectId) {
+        if id.index() >= self.nodes.len() {
+            self.nodes.resize_with(id.index() + 1, Adjacency::default);
+        }
+    }
+
+    /// Number of node slots (max id + 1).
+    pub fn node_slots(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Total number of edges (symmetric edges counted once).
+    pub fn edge_count(&self) -> u64 {
+        self.edges
+    }
+
+    /// Add a typed edge `from → to`.
+    ///
+    /// Correspondence edges are symmetric: the edge becomes navigable
+    /// forward from both ends. Version-history edges are checked for
+    /// cycles (a version cannot be its own ancestor).
+    pub fn add_edge(
+        &mut self,
+        kind: RelKind,
+        from: ObjectId,
+        to: ObjectId,
+    ) -> Result<(), GraphError> {
+        if from == to {
+            return Err(GraphError::SelfEdge(from));
+        }
+        self.ensure_node(from);
+        self.ensure_node(to);
+        if self.nodes[from.index()].out[kind.index()].contains(&to) {
+            return Err(GraphError::DuplicateEdge(kind, from, to));
+        }
+        if kind == RelKind::VersionHistory && self.reaches(kind, to, from) {
+            return Err(GraphError::VersionCycle(from, to));
+        }
+        if kind.is_symmetric() {
+            self.nodes[from.index()].out[kind.index()].push(to);
+            self.nodes[to.index()].out[kind.index()].push(from);
+        } else {
+            self.nodes[from.index()].out[kind.index()].push(to);
+            self.nodes[to.index()].inc[kind.index()].push(from);
+        }
+        self.edges += 1;
+        Ok(())
+    }
+
+    /// Remove a typed edge `from → to` (either endpoint order works for
+    /// symmetric kinds).
+    pub fn remove_edge(
+        &mut self,
+        kind: RelKind,
+        from: ObjectId,
+        to: ObjectId,
+    ) -> Result<(), GraphError> {
+        let missing = || GraphError::MissingEdge(kind, from, to);
+        if from.index() >= self.nodes.len() || to.index() >= self.nodes.len() {
+            return Err(missing());
+        }
+        let k = kind.index();
+        if kind.is_symmetric() {
+            let pos_a = self.nodes[from.index()].out[k]
+                .iter()
+                .position(|&o| o == to)
+                .ok_or_else(missing)?;
+            self.nodes[from.index()].out[k].swap_remove(pos_a);
+            let pos_b = self.nodes[to.index()].out[k]
+                .iter()
+                .position(|&o| o == from)
+                .expect("symmetric edge stored on both ends");
+            self.nodes[to.index()].out[k].swap_remove(pos_b);
+        } else {
+            let pos_o = self.nodes[from.index()].out[k]
+                .iter()
+                .position(|&o| o == to)
+                .ok_or_else(missing)?;
+            self.nodes[from.index()].out[k].swap_remove(pos_o);
+            let pos_i = self.nodes[to.index()].inc[k]
+                .iter()
+                .position(|&o| o == from)
+                .expect("directed edge stored on both ends");
+            self.nodes[to.index()].inc[k].swap_remove(pos_i);
+        }
+        self.edges -= 1;
+        Ok(())
+    }
+
+    /// Neighbors of `id` over `kind` in `dir`. Symmetric kinds return the
+    /// same set for both directions.
+    pub fn neighbors(&self, id: ObjectId, kind: RelKind, dir: Direction) -> &[ObjectId] {
+        static EMPTY: [ObjectId; 0] = [];
+        let Some(adj) = self.nodes.get(id.index()) else {
+            return &EMPTY;
+        };
+        let k = kind.index();
+        match (kind.is_symmetric(), dir) {
+            (true, _) | (false, Direction::Forward) => &adj.out[k],
+            (false, Direction::Backward) => &adj.inc[k],
+        }
+    }
+
+    /// Component objects of a composite (configuration, downward).
+    pub fn components(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::Configuration, Direction::Forward)
+    }
+
+    /// Composites containing this component (configuration, upward).
+    pub fn composites(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::Configuration, Direction::Backward)
+    }
+
+    /// Immediate descendant versions.
+    pub fn descendants(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::VersionHistory, Direction::Forward)
+    }
+
+    /// Immediate ancestor versions.
+    pub fn ancestors(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::VersionHistory, Direction::Backward)
+    }
+
+    /// Corresponding objects in other representations.
+    pub fn correspondents(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::Correspondence, Direction::Forward)
+    }
+
+    /// Objects inheriting from `id` via instance-to-instance links.
+    pub fn inheritors(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::Inheritance, Direction::Forward)
+    }
+
+    /// Objects `id` inherits from via instance-to-instance links.
+    pub fn providers(&self, id: ObjectId) -> &[ObjectId] {
+        self.neighbors(id, RelKind::Inheritance, Direction::Backward)
+    }
+
+    /// Every related object of `id` with the kind and direction it is
+    /// reached through. Symmetric kinds are reported once, as `Forward`.
+    pub fn related(&self, id: ObjectId) -> Vec<(RelKind, Direction, ObjectId)> {
+        let mut out = Vec::new();
+        for kind in RelKind::ALL {
+            for &n in self.neighbors(id, kind, Direction::Forward) {
+                out.push((kind, Direction::Forward, n));
+            }
+            if !kind.is_symmetric() {
+                for &n in self.neighbors(id, kind, Direction::Backward) {
+                    out.push((kind, Direction::Backward, n));
+                }
+            }
+        }
+        out
+    }
+
+    /// Downward structural fan-out of `id` (number of component objects a
+    /// composite retrieval would return) — the paper's "structure density"
+    /// of the object.
+    pub fn downward_fanout(&self, id: ObjectId) -> usize {
+        self.components(id).len()
+    }
+
+    /// Transitive closure of components, breadth-first, visiting at most
+    /// `limit` objects (excluding the root). Models navigation like
+    /// MOSAICO's cell→net→segment walks.
+    pub fn transitive_components(&self, root: ObjectId, limit: usize) -> Vec<ObjectId> {
+        let mut out = Vec::new();
+        let mut seen = HashSet::with_capacity(limit.min(64) + 1);
+        seen.insert(root);
+        let mut frontier = vec![root];
+        'bfs: while let Some(cur) = frontier.pop() {
+            for &c in self.components(cur) {
+                if seen.insert(c) {
+                    out.push(c);
+                    frontier.push(c);
+                    if out.len() >= limit {
+                        break 'bfs;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether `to` is reachable from `from` over forward `kind` edges.
+    fn reaches(&self, kind: RelKind, from: ObjectId, to: ObjectId) -> bool {
+        if from.index() >= self.nodes.len() {
+            return false;
+        }
+        // Version chains and inheritance fans are tiny relative to the
+        // database, so a hash-set BFS avoids an O(n) allocation per check.
+        let mut seen = HashSet::with_capacity(16);
+        seen.insert(from);
+        let mut frontier = vec![from];
+        while let Some(cur) = frontier.pop() {
+            if cur == to {
+                return true;
+            }
+            for &n in self.neighbors(cur, kind, Direction::Forward) {
+                if seen.insert(n) {
+                    frontier.push(n);
+                }
+            }
+        }
+        false
+    }
+
+    /// Iterate all stored edges as `(kind, from, to)`. Symmetric edges are
+    /// yielded once, with `from < to`.
+    pub fn edges(&self) -> impl Iterator<Item = (RelKind, ObjectId, ObjectId)> + '_ {
+        self.nodes.iter().enumerate().flat_map(move |(i, adj)| {
+            let from = ObjectId(i as u32);
+            RelKind::ALL.into_iter().flat_map(move |kind| {
+                adj.out[kind.index()]
+                    .iter()
+                    .filter(move |&&to| !kind.is_symmetric() || from < to)
+                    .map(move |&to| (kind, from, to))
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn o(i: u32) -> ObjectId {
+        ObjectId(i)
+    }
+
+    #[test]
+    fn configuration_edges_are_bidirectional() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::Configuration, o(0), o(2)).unwrap();
+        assert_eq!(g.components(o(0)), &[o(1), o(2)]);
+        assert_eq!(g.composites(o(1)), &[o(0)]);
+        assert_eq!(g.downward_fanout(o(0)), 2);
+        assert_eq!(g.edge_count(), 2);
+    }
+
+    #[test]
+    fn correspondence_is_symmetric() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Correspondence, o(3), o(4)).unwrap();
+        assert_eq!(g.correspondents(o(3)), &[o(4)]);
+        assert_eq!(g.correspondents(o(4)), &[o(3)]);
+        // Duplicate in either orientation is rejected.
+        assert!(g.add_edge(RelKind::Correspondence, o(4), o(3)).is_err());
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn version_cycles_rejected() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::VersionHistory, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::VersionHistory, o(1), o(2)).unwrap();
+        assert_eq!(
+            g.add_edge(RelKind::VersionHistory, o(2), o(0)),
+            Err(GraphError::VersionCycle(o(2), o(0)))
+        );
+        assert_eq!(g.ancestors(o(2)), &[o(1)]);
+        assert_eq!(g.descendants(o(0)), &[o(1)]);
+    }
+
+    #[test]
+    fn self_edges_rejected() {
+        let mut g = StructureGraph::new();
+        assert_eq!(
+            g.add_edge(RelKind::Inheritance, o(5), o(5)),
+            Err(GraphError::SelfEdge(o(5)))
+        );
+    }
+
+    #[test]
+    fn remove_edge_both_kinds() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::Correspondence, o(0), o(2)).unwrap();
+        g.remove_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.remove_edge(RelKind::Correspondence, o(2), o(0)).unwrap();
+        assert_eq!(g.edge_count(), 0);
+        assert!(g.components(o(0)).is_empty());
+        assert!(g.correspondents(o(2)).is_empty());
+        assert!(g.remove_edge(RelKind::Configuration, o(0), o(1)).is_err());
+    }
+
+    #[test]
+    fn related_lists_every_neighbor_once() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::VersionHistory, o(2), o(0)).unwrap();
+        g.add_edge(RelKind::Correspondence, o(0), o(3)).unwrap();
+        g.add_edge(RelKind::Inheritance, o(2), o(0)).unwrap();
+        let rel = g.related(o(0));
+        assert_eq!(rel.len(), 4);
+        assert!(rel.contains(&(RelKind::Configuration, Direction::Forward, o(1))));
+        assert!(rel.contains(&(RelKind::VersionHistory, Direction::Backward, o(2))));
+        assert!(rel.contains(&(RelKind::Correspondence, Direction::Forward, o(3))));
+        assert!(rel.contains(&(RelKind::Inheritance, Direction::Backward, o(2))));
+    }
+
+    #[test]
+    fn transitive_components_bounded() {
+        let mut g = StructureGraph::new();
+        // 0 -> 1 -> 2 -> 3 -> 4 chain
+        for i in 0..4 {
+            g.add_edge(RelKind::Configuration, o(i), o(i + 1)).unwrap();
+        }
+        assert_eq!(g.transitive_components(o(0), 100).len(), 4);
+        assert_eq!(g.transitive_components(o(0), 2).len(), 2);
+        assert!(g.transitive_components(o(4), 10).is_empty());
+    }
+
+    #[test]
+    fn edges_iterator_covers_all_once() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::Correspondence, o(1), o(2)).unwrap();
+        g.add_edge(RelKind::VersionHistory, o(0), o(2)).unwrap();
+        let all: Vec<_> = g.edges().collect();
+        assert_eq!(all.len(), 3);
+        assert!(all.contains(&(RelKind::Correspondence, o(1), o(2))));
+    }
+
+    #[test]
+    fn neighbors_of_unknown_node_are_empty() {
+        let g = StructureGraph::new();
+        assert!(g.components(o(99)).is_empty());
+        assert!(g.related(o(99)).is_empty());
+    }
+}

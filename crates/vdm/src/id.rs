@@ -1,0 +1,54 @@
+//! Dense integer identifiers for objects and types.
+//!
+//! Identifiers are newtyped `u32` indexes: the logical database stores
+//! objects in arenas, so ids double as array indexes and stay cheap to hash
+//! and copy.
+
+use std::fmt;
+
+/// Identifier of a design object instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u32);
+
+/// Identifier of an object type in the type lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TypeId(pub u32);
+
+impl ObjectId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TypeId {
+    /// Arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "o{}", self.0)
+    }
+}
+
+impl fmt::Display for TypeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_ordered_and_displayable() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert_eq!(ObjectId(7).to_string(), "o7");
+        assert_eq!(TypeId(3).to_string(), "t3");
+        assert_eq!(ObjectId(9).index(), 9);
+    }
+}

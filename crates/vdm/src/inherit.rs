@@ -1,0 +1,298 @@
+//! Instance-to-instance inheritance.
+//!
+//! The paper's Version Data Model lets an offspring version inherit
+//! properties, behaviours, structural relationships and constraints
+//! *directly from its parent version* rather than from its type. Two
+//! pieces are implemented here:
+//!
+//! 1. **Relationship propagation** — a new descendant of `ALU[2].layout`
+//!    inherits `ALU[2].layout`'s correspondence relationships by default
+//!    (§1's motivating example).
+//! 2. **Copy-vs-reference costing** — for each inheritable attribute, a
+//!    cost formula chooses between *implementation by copy* (value
+//!    duplicated onto the child; cheap reads, storage + update-propagation
+//!    cost) and *by reference* (value stays on the parent; extra traversal
+//!    I/O per read, recorded as a first-class inheritance link the
+//!    clustering algorithm can see).
+
+use crate::db::{Database, DbError};
+use crate::id::ObjectId;
+use crate::object::{AttrImpl, REF_SIZE_BYTES};
+use crate::relationship::RelKind;
+
+/// Cost weights for the copy-vs-reference decision. All unit-free; only
+/// ratios matter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CopyVsRefModel {
+    /// Cost per stored byte of a copied value (space + extra write I/O
+    /// when the page spills).
+    pub storage_per_byte: f64,
+    /// Cost per unit of the attribute's update weight: every source update
+    /// must be re-propagated to copies.
+    pub update_propagation: f64,
+    /// Cost per unit of the attribute's read weight when implemented by
+    /// reference: each read may traverse to the provider's page.
+    pub traversal_per_read: f64,
+}
+
+impl Default for CopyVsRefModel {
+    fn default() -> Self {
+        // Defaults chosen so that large, hot-update attributes go by
+        // reference and small, hot-read ones get copied.
+        CopyVsRefModel {
+            storage_per_byte: 0.01,
+            update_propagation: 2.0,
+            traversal_per_read: 1.0,
+        }
+    }
+}
+
+/// Which implementation the cost model picked for one attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ImplChoice {
+    /// Duplicate the value onto the inheritor.
+    Copy,
+    /// Keep the value on the provider; dereference on read.
+    Reference,
+}
+
+impl CopyVsRefModel {
+    /// Expected cost of implementing an inherited attribute by copy.
+    pub fn copy_cost(&self, size_bytes: u32, update_weight: f64) -> f64 {
+        size_bytes as f64 * self.storage_per_byte + update_weight * self.update_propagation
+    }
+
+    /// Expected cost of implementing an inherited attribute by reference.
+    pub fn reference_cost(&self, read_weight: f64) -> f64 {
+        REF_SIZE_BYTES as f64 * self.storage_per_byte + read_weight * self.traversal_per_read
+    }
+
+    /// Pick the cheaper implementation (ties go to copy: local reads keep
+    /// navigation cheap, which is what read-dominated CAD workloads want).
+    pub fn decide(&self, size_bytes: u32, read_weight: f64, update_weight: f64) -> ImplChoice {
+        if self.copy_cost(size_bytes, update_weight) <= self.reference_cost(read_weight) {
+            ImplChoice::Copy
+        } else {
+            ImplChoice::Reference
+        }
+    }
+}
+
+/// Result of deriving a new version.
+#[derive(Debug, Clone)]
+pub struct DerivedVersion {
+    /// The new object.
+    pub id: ObjectId,
+    /// Attribute names implemented by copy.
+    pub copied: Vec<String>,
+    /// Attribute names implemented by reference (each added an
+    /// inheritance edge parent → child).
+    pub referenced: Vec<String>,
+    /// Number of correspondence relationships inherited from the parent.
+    pub inherited_correspondences: usize,
+}
+
+/// Derive a new descendant version of `parent`.
+///
+/// The child:
+/// * is named `base[latest+1].rep`,
+/// * has the parent's type and body size,
+/// * is linked to the parent by a version-history edge,
+/// * inherits the parent's correspondence relationships by default, and
+/// * implements each inheritable attribute by copy or by reference per
+///   `model`; by-reference attributes add an inheritance edge so the
+///   physical layer can cluster child near parent.
+pub fn derive_version(
+    db: &mut Database,
+    parent: ObjectId,
+    model: &CopyVsRefModel,
+) -> Result<DerivedVersion, DbError> {
+    let (parent_name, parent_ty, parent_body) = {
+        let p = db.get(parent)?;
+        (p.name.clone(), p.ty, p.body_bytes)
+    };
+    let next = db
+        .latest_version(&parent_name.base, &parent_name.rep)
+        .map(|v| v + 1)
+        .unwrap_or(parent_name.version + 1);
+    let child_name = crate::name::ObjectName::new(parent_name.base.clone(), next, parent_name.rep.clone());
+
+    let child = db.create_object(child_name, parent_ty, parent_body)?;
+    db.relate(RelKind::VersionHistory, parent, child)?;
+
+    // Inherit correspondences: the paper's default propagation rule.
+    let correspondents: Vec<ObjectId> = db.graph().correspondents(parent).to_vec();
+    let mut inherited = 0;
+    for c in correspondents {
+        if db.relate(RelKind::Correspondence, child, c).is_ok() {
+            inherited += 1;
+        }
+    }
+
+    // Copy-vs-reference decisions for inheritable attributes.
+    let defs = db.lattice().resolve_attributes(parent_ty)?;
+    let mut copied = Vec::new();
+    let mut referenced = Vec::new();
+    let mut any_reference = false;
+    {
+        let child_obj = db.get_mut(child)?;
+        for def in &defs {
+            if !def.inheritable {
+                continue;
+            }
+            let slot = child_obj
+                .attrs
+                .iter_mut()
+                .find(|a| a.name == def.name)
+                .expect("created from the same resolved definitions");
+            match model.decide(def.size_bytes, def.read_weight, def.update_weight) {
+                ImplChoice::Copy => {
+                    slot.implementation = AttrImpl::CopiedFrom(parent);
+                    copied.push(def.name.clone());
+                }
+                ImplChoice::Reference => {
+                    slot.implementation = AttrImpl::ReferenceTo(parent);
+                    referenced.push(def.name.clone());
+                    any_reference = true;
+                }
+            }
+        }
+    }
+    if any_reference {
+        db.relate(RelKind::Inheritance, parent, child)?;
+    }
+
+    Ok(DerivedVersion {
+        id: child,
+        copied,
+        referenced,
+        inherited_correspondences: inherited,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::ObjectName;
+    use crate::relationship::RelFrequencies;
+    use crate::types::{AttrDef, TypeLattice};
+
+    fn setup() -> (Database, ObjectId, ObjectId) {
+        let mut lattice = TypeLattice::new();
+        let layout = lattice
+            .define(
+                "layout",
+                vec![],
+                vec![
+                    // small + rarely updated → copy
+                    AttrDef {
+                        name: "owner".into(),
+                        size_bytes: 16,
+                        read_weight: 1.0,
+                        update_weight: 0.1,
+                        inheritable: true,
+                    },
+                    // large + hot-update → reference
+                    AttrDef {
+                        name: "design-rules".into(),
+                        size_bytes: 4096,
+                        read_weight: 0.2,
+                        update_weight: 5.0,
+                        inheritable: true,
+                    },
+                    // not inheritable → stays Local
+                    AttrDef {
+                        name: "checksum".into(),
+                        size_bytes: 8,
+                        read_weight: 1.0,
+                        update_weight: 1.0,
+                        inheritable: false,
+                    },
+                ],
+                vec![],
+                RelFrequencies::UNIFORM,
+            )
+            .unwrap();
+        let netlist = lattice
+            .define_simple("netlist", RelFrequencies::UNIFORM)
+            .unwrap();
+        let mut db = Database::with_lattice(lattice);
+        let alu2 = db
+            .create_object(ObjectName::new("ALU", 2, "layout"), layout, 500)
+            .unwrap();
+        let alu3n = db
+            .create_object(ObjectName::new("ALU", 3, "netlist"), netlist, 300)
+            .unwrap();
+        db.relate(RelKind::Correspondence, alu2, alu3n).unwrap();
+        (db, alu2, alu3n)
+    }
+
+    #[test]
+    fn paper_example_correspondence_inherited() {
+        // "If ALU[2].layout corresponds to ALU[3].netlist, then a new
+        // descendant of ALU[2].layout should inherit this correspondence
+        // relationship by default."
+        let (mut db, alu2, alu3n) = setup();
+        let derived = derive_version(&mut db, alu2, &CopyVsRefModel::default()).unwrap();
+        assert_eq!(derived.inherited_correspondences, 1);
+        assert_eq!(
+            db.get(derived.id).unwrap().name,
+            ObjectName::new("ALU", 3, "layout")
+        );
+        assert!(db.graph().correspondents(derived.id).contains(&alu3n));
+        assert_eq!(db.graph().ancestors(derived.id), &[alu2]);
+    }
+
+    #[test]
+    fn copy_vs_reference_split_follows_costs() {
+        let (mut db, alu2, _) = setup();
+        let derived = derive_version(&mut db, alu2, &CopyVsRefModel::default()).unwrap();
+        assert_eq!(derived.copied, vec!["owner".to_string()]);
+        assert_eq!(derived.referenced, vec!["design-rules".to_string()]);
+        // Reference created an inheritance edge the clusterer can see.
+        assert_eq!(db.graph().providers(derived.id), &[alu2]);
+        // Non-inheritable attribute stayed local.
+        let child = db.get(derived.id).unwrap();
+        assert_eq!(
+            child.attr("checksum").unwrap().implementation,
+            AttrImpl::Local
+        );
+        assert_eq!(
+            child.attr("design-rules").unwrap().implementation,
+            AttrImpl::ReferenceTo(alu2)
+        );
+    }
+
+    #[test]
+    fn version_numbers_skip_to_latest() {
+        let (mut db, alu2, _) = setup();
+        let v3 = derive_version(&mut db, alu2, &CopyVsRefModel::default()).unwrap();
+        // Deriving again from ALU[2] must not collide with ALU[3].
+        let v4 = derive_version(&mut db, alu2, &CopyVsRefModel::default()).unwrap();
+        assert_eq!(db.get(v3.id).unwrap().name.version, 3);
+        assert_eq!(db.get(v4.id).unwrap().name.version, 4);
+        // Both branch from ALU[2]: a version tree, not a chain.
+        assert_eq!(db.graph().descendants(alu2).len(), 2);
+    }
+
+    #[test]
+    fn cost_model_boundary() {
+        let m = CopyVsRefModel {
+            storage_per_byte: 0.0,
+            update_propagation: 1.0,
+            traversal_per_read: 1.0,
+        };
+        // copy cost = update_weight, ref cost = read_weight.
+        assert_eq!(m.decide(100, 2.0, 1.0), ImplChoice::Copy);
+        assert_eq!(m.decide(100, 1.0, 2.0), ImplChoice::Reference);
+        // Tie → copy.
+        assert_eq!(m.decide(100, 1.0, 1.0), ImplChoice::Copy);
+    }
+
+    #[test]
+    fn derived_body_size_matches_parent() {
+        let (mut db, alu2, _) = setup();
+        let d = derive_version(&mut db, alu2, &CopyVsRefModel::default()).unwrap();
+        assert_eq!(db.get(d.id).unwrap().body_bytes, 500);
+    }
+}

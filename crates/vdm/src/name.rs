@@ -1,0 +1,157 @@
+//! External object names.
+//!
+//! The Version Data Model denotes every object by the triple
+//! `name[i].type` — e.g. `ALU[4].layout` is version 4 of the ALU's layout
+//! representation. [`ObjectName`] stores the triple and round-trips through
+//! the paper's textual syntax.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The external name triple `base[version].representation`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ObjectName {
+    /// Design-object name, e.g. `ALU`.
+    pub base: String,
+    /// Version number `i` in `name[i].type`.
+    pub version: u32,
+    /// Representation type name, e.g. `layout` or `netlist`.
+    pub rep: String,
+}
+
+impl ObjectName {
+    /// Construct a name triple.
+    pub fn new(base: impl Into<String>, version: u32, rep: impl Into<String>) -> Self {
+        ObjectName {
+            base: base.into(),
+            version,
+            rep: rep.into(),
+        }
+    }
+
+    /// The same design object at the next version number.
+    pub fn successor(&self) -> ObjectName {
+        ObjectName {
+            base: self.base.clone(),
+            version: self.version + 1,
+            rep: self.rep.clone(),
+        }
+    }
+
+    /// Whether two names denote the same design entity in different
+    /// representations (candidates for a correspondence relationship).
+    pub fn same_entity(&self, other: &ObjectName) -> bool {
+        self.base == other.base && self.rep != other.rep
+    }
+
+    /// Whether `other` could be a version-history relative: same base and
+    /// representation, different version.
+    pub fn same_lineage(&self, other: &ObjectName) -> bool {
+        self.base == other.base && self.rep == other.rep && self.version != other.version
+    }
+}
+
+impl fmt::Display for ObjectName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}].{}", self.base, self.version, self.rep)
+    }
+}
+
+/// Error parsing an [`ObjectName`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseNameError {
+    input: String,
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cannot parse {:?} as name[i].type: {}",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+impl FromStr for ObjectName {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason| ParseNameError {
+            input: s.to_string(),
+            reason,
+        };
+        let open = s.find('[').ok_or_else(|| err("missing '['"))?;
+        let close = s.find(']').ok_or_else(|| err("missing ']'"))?;
+        if close < open {
+            return Err(err("']' before '['"));
+        }
+        let base = &s[..open];
+        if base.is_empty() {
+            return Err(err("empty base name"));
+        }
+        let version: u32 = s[open + 1..close]
+            .parse()
+            .map_err(|_| err("version is not an unsigned integer"))?;
+        let rest = &s[close + 1..];
+        let rep = rest
+            .strip_prefix('.')
+            .ok_or_else(|| err("missing '.' after ']'"))?;
+        if rep.is_empty() {
+            return Err(err("empty representation type"));
+        }
+        Ok(ObjectName::new(base, version, rep))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_syntax() {
+        let n = ObjectName::new("ALU", 4, "layout");
+        assert_eq!(n.to_string(), "ALU[4].layout");
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let n: ObjectName = "DATAPATH[2].netlist".parse().unwrap();
+        assert_eq!(n, ObjectName::new("DATAPATH", 2, "netlist"));
+        assert_eq!(n.to_string().parse::<ObjectName>().unwrap(), n);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for bad in [
+            "ALU.layout",
+            "[4].layout",
+            "ALU[x].layout",
+            "ALU[4]layout",
+            "ALU[4].",
+            "ALU]4[.layout",
+        ] {
+            assert!(bad.parse::<ObjectName>().is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn successor_bumps_version() {
+        let n = ObjectName::new("ALU", 2, "layout");
+        assert_eq!(n.successor(), ObjectName::new("ALU", 3, "layout"));
+    }
+
+    #[test]
+    fn entity_and_lineage_predicates() {
+        let layout2 = ObjectName::new("ALU", 2, "layout");
+        let netlist3 = ObjectName::new("ALU", 3, "netlist");
+        let layout5 = ObjectName::new("ALU", 5, "layout");
+        assert!(layout2.same_entity(&netlist3));
+        assert!(!layout2.same_entity(&layout5));
+        assert!(layout2.same_lineage(&layout5));
+        assert!(!layout2.same_lineage(&netlist3));
+    }
+}

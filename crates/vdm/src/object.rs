@@ -1,0 +1,130 @@
+//! Design-object instances.
+
+use crate::id::{ObjectId, TypeId};
+use crate::name::ObjectName;
+
+/// Size in bytes of an object reference stored inside another object
+/// (an inheritance link implemented by reference).
+pub const REF_SIZE_BYTES: u32 = 8;
+
+/// How an (inherited) attribute is materialised on an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttrImpl {
+    /// Value stored directly on this object (defined here, not inherited).
+    Local,
+    /// Value copied from another instance at inheritance time; reads are
+    /// local, but updates to the source do not propagate automatically.
+    CopiedFrom(ObjectId),
+    /// Value left on the provider; reads dereference an inheritance link
+    /// (extra traversal, possibly extra I/O), updates happen in one place.
+    ReferenceTo(ObjectId),
+}
+
+/// One attribute slot on an instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttrInstance {
+    /// Attribute name (matches an [`crate::types::AttrDef`]).
+    pub name: String,
+    /// Declared value size in bytes.
+    pub size_bytes: u32,
+    /// Where the value lives.
+    pub implementation: AttrImpl,
+}
+
+impl AttrInstance {
+    /// Bytes this slot occupies on the instance itself.
+    pub fn stored_bytes(&self) -> u32 {
+        match self.implementation {
+            AttrImpl::Local | AttrImpl::CopiedFrom(_) => self.size_bytes,
+            AttrImpl::ReferenceTo(_) => REF_SIZE_BYTES,
+        }
+    }
+
+    /// The provider object, if the value is inherited by reference.
+    pub fn reference_target(&self) -> Option<ObjectId> {
+        match self.implementation {
+            AttrImpl::ReferenceTo(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// A typed, versioned design object.
+#[derive(Debug, Clone)]
+pub struct DesignObject {
+    /// Instance identifier.
+    pub id: ObjectId,
+    /// External `name[i].type` triple.
+    pub name: ObjectName,
+    /// Type in the lattice.
+    pub ty: TypeId,
+    /// Representation payload size in bytes, excluding attribute slots
+    /// (geometry, netlist body, …).
+    pub body_bytes: u32,
+    /// Attribute slots.
+    pub attrs: Vec<AttrInstance>,
+}
+
+impl DesignObject {
+    /// Total storage footprint: body plus every attribute slot.
+    pub fn size_bytes(&self) -> u32 {
+        self.body_bytes + self.attrs.iter().map(AttrInstance::stored_bytes).sum::<u32>()
+    }
+
+    /// Find an attribute slot by name.
+    pub fn attr(&self, name: &str) -> Option<&AttrInstance> {
+        self.attrs.iter().find(|a| a.name == name)
+    }
+
+    /// Objects this instance reads through by-reference inherited
+    /// attributes.
+    pub fn reference_providers(&self) -> impl Iterator<Item = ObjectId> + '_ {
+        self.attrs.iter().filter_map(AttrInstance::reference_target)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obj() -> DesignObject {
+        DesignObject {
+            id: ObjectId(1),
+            name: ObjectName::new("ALU", 2, "layout"),
+            ty: TypeId(0),
+            body_bytes: 100,
+            attrs: vec![
+                AttrInstance {
+                    name: "owner".into(),
+                    size_bytes: 16,
+                    implementation: AttrImpl::Local,
+                },
+                AttrInstance {
+                    name: "rules".into(),
+                    size_bytes: 64,
+                    implementation: AttrImpl::ReferenceTo(ObjectId(0)),
+                },
+                AttrInstance {
+                    name: "bbox".into(),
+                    size_bytes: 32,
+                    implementation: AttrImpl::CopiedFrom(ObjectId(0)),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn size_counts_copies_but_not_referenced_values() {
+        let o = obj();
+        assert_eq!(o.size_bytes(), 100 + 16 + REF_SIZE_BYTES + 32);
+    }
+
+    #[test]
+    fn attr_lookup_and_reference_providers() {
+        let o = obj();
+        assert_eq!(o.attr("owner").unwrap().size_bytes, 16);
+        assert!(o.attr("absent").is_none());
+        let providers: Vec<_> = o.reference_providers().collect();
+        assert_eq!(providers, vec![ObjectId(0)]);
+    }
+}

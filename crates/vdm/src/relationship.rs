@@ -1,0 +1,222 @@
+//! Structural relationships as first-class model elements.
+//!
+//! The Version Data Model supports three structural relationships —
+//! configuration, version history, and correspondence — plus
+//! instance-to-instance inheritance links. Each relationship is directed
+//! for storage purposes but navigable both ways; [`Direction`] names the
+//! two ends.
+
+use std::fmt;
+
+/// Kind of a structural relationship between two instances.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RelKind {
+    /// Composite → component (`ALU[4].layout` is composed of
+    /// `CARRY-PROPAGATE[2].layout`).
+    Configuration,
+    /// Ancestor → descendant version (`ALU[3].layout` → `ALU[4].layout`).
+    VersionHistory,
+    /// Equivalence across representations (`ALU[2].layout` corresponds to
+    /// `ALU[3].netlist`). Symmetric; stored once, navigable both ways.
+    Correspondence,
+    /// Instance-to-instance inheritance: provider → inheritor. Created when
+    /// an inherited attribute is implemented *by reference* rather than by
+    /// copy.
+    Inheritance,
+}
+
+impl RelKind {
+    /// All four kinds, in a fixed order (useful for per-kind tallies).
+    pub const ALL: [RelKind; 4] = [
+        RelKind::Configuration,
+        RelKind::VersionHistory,
+        RelKind::Correspondence,
+        RelKind::Inheritance,
+    ];
+
+    /// Dense index for table lookups.
+    pub fn index(self) -> usize {
+        match self {
+            RelKind::Configuration => 0,
+            RelKind::VersionHistory => 1,
+            RelKind::Correspondence => 2,
+            RelKind::Inheritance => 3,
+        }
+    }
+
+    /// Whether the relationship is symmetric (no distinct forward /
+    /// backward meaning).
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, RelKind::Correspondence)
+    }
+}
+
+impl fmt::Display for RelKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            RelKind::Configuration => "configuration",
+            RelKind::VersionHistory => "version-history",
+            RelKind::Correspondence => "correspondence",
+            RelKind::Inheritance => "inheritance",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Which end of a directed relationship to navigate toward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Direction {
+    /// Follow stored edges forward: composite→components,
+    /// ancestor→descendants, provider→inheritors.
+    Forward,
+    /// Follow stored edges backward: component→composites,
+    /// descendant→ancestors, inheritor→providers.
+    Backward,
+}
+
+impl Direction {
+    /// The opposite direction.
+    pub fn reverse(self) -> Direction {
+        match self {
+            Direction::Forward => Direction::Backward,
+            Direction::Backward => Direction::Forward,
+        }
+    }
+}
+
+/// Per-relationship traversal frequencies — the knowledge the clustering
+/// and buffering algorithms exploit. Units are arbitrary relative weights;
+/// instances inherit them from their type at creation and user hints can
+/// override them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RelFrequencies {
+    /// Composite → component traversals (walking a configuration down).
+    pub config_down: f64,
+    /// Component → composite traversals (walking a configuration up).
+    pub config_up: f64,
+    /// Descendant → ancestor traversals (most inheritance references run
+    /// along version history, §2.1c).
+    pub version_up: f64,
+    /// Ancestor → descendant traversals.
+    pub version_down: f64,
+    /// Correspondence traversals (multi-representation browsing).
+    pub correspondence: f64,
+    /// Inheritance-link dereferences (reading an attribute implemented by
+    /// reference).
+    pub inheritance: f64,
+}
+
+impl RelFrequencies {
+    /// A neutral profile: everything equally likely.
+    pub const UNIFORM: RelFrequencies = RelFrequencies {
+        config_down: 1.0,
+        config_up: 1.0,
+        version_up: 1.0,
+        version_down: 1.0,
+        correspondence: 1.0,
+        inheritance: 1.0,
+    };
+
+    /// Weight for traversing `kind` in `dir`.
+    pub fn weight(&self, kind: RelKind, dir: Direction) -> f64 {
+        match (kind, dir) {
+            (RelKind::Configuration, Direction::Forward) => self.config_down,
+            (RelKind::Configuration, Direction::Backward) => self.config_up,
+            (RelKind::VersionHistory, Direction::Forward) => self.version_down,
+            (RelKind::VersionHistory, Direction::Backward) => self.version_up,
+            (RelKind::Correspondence, _) => self.correspondence,
+            (RelKind::Inheritance, _) => self.inheritance,
+        }
+    }
+
+    /// The relationship kind with the largest total weight (both
+    /// directions) — the initial-placement driver of §2.1.
+    pub fn dominant_kind(&self) -> RelKind {
+        let totals = [
+            (RelKind::Configuration, self.config_down + self.config_up),
+            (RelKind::VersionHistory, self.version_down + self.version_up),
+            (RelKind::Correspondence, 2.0 * self.correspondence),
+            (RelKind::Inheritance, 2.0 * self.inheritance),
+        ];
+        totals
+            .into_iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("weights are finite"))
+            .map(|(k, _)| k)
+            .expect("non-empty")
+    }
+
+    /// Scale every weight by `factor` (used when merging user hints).
+    pub fn scaled(&self, factor: f64) -> RelFrequencies {
+        RelFrequencies {
+            config_down: self.config_down * factor,
+            config_up: self.config_up * factor,
+            version_up: self.version_up * factor,
+            version_down: self.version_down * factor,
+            correspondence: self.correspondence * factor,
+            inheritance: self.inheritance * factor,
+        }
+    }
+}
+
+impl Default for RelFrequencies {
+    fn default() -> Self {
+        RelFrequencies::UNIFORM
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_indexes_are_dense_and_distinct() {
+        let mut seen = [false; 4];
+        for k in RelKind::ALL {
+            assert!(!seen[k.index()]);
+            seen[k.index()] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn only_correspondence_is_symmetric() {
+        assert!(RelKind::Correspondence.is_symmetric());
+        assert!(!RelKind::Configuration.is_symmetric());
+        assert!(!RelKind::VersionHistory.is_symmetric());
+        assert!(!RelKind::Inheritance.is_symmetric());
+    }
+
+    #[test]
+    fn weight_lookup_respects_direction() {
+        let f = RelFrequencies {
+            config_down: 5.0,
+            config_up: 1.0,
+            ..RelFrequencies::UNIFORM
+        };
+        assert_eq!(f.weight(RelKind::Configuration, Direction::Forward), 5.0);
+        assert_eq!(f.weight(RelKind::Configuration, Direction::Backward), 1.0);
+        assert_eq!(f.weight(RelKind::Correspondence, Direction::Forward), 1.0);
+    }
+
+    #[test]
+    fn dominant_kind_picks_heaviest() {
+        let f = RelFrequencies {
+            version_up: 10.0,
+            ..RelFrequencies::UNIFORM
+        };
+        assert_eq!(f.dominant_kind(), RelKind::VersionHistory);
+    }
+
+    #[test]
+    fn direction_reverse_is_involution() {
+        assert_eq!(Direction::Forward.reverse(), Direction::Backward);
+        assert_eq!(Direction::Forward.reverse().reverse(), Direction::Forward);
+    }
+
+    #[test]
+    fn scaled_multiplies_everything() {
+        let f = RelFrequencies::UNIFORM.scaled(3.0);
+        assert_eq!(f.config_down, 3.0);
+        assert_eq!(f.inheritance, 3.0);
+    }
+}

@@ -1,0 +1,163 @@
+//! Property-based tests for the Version Data Model.
+
+use proptest::prelude::*;
+use semcluster_vdm::{
+    derive_version, validate, CopyVsRefModel, Database, ObjectId, ObjectName, RelFrequencies,
+    RelKind, SyntheticDbSpec, TypeLattice,
+};
+
+fn name_strategy() -> impl Strategy<Value = ObjectName> {
+    ("[A-Za-z][A-Za-z0-9_-]{0,12}", 0u32..1000, "[a-z]{1,8}")
+        .prop_map(|(base, v, rep)| ObjectName::new(base, v, rep))
+}
+
+proptest! {
+    /// `name[i].type` display/parse is a round trip.
+    #[test]
+    fn object_name_roundtrip(name in name_strategy()) {
+        let text = name.to_string();
+        let parsed: ObjectName = text.parse().expect("own display must parse");
+        prop_assert_eq!(parsed, name);
+    }
+
+    /// Synthetic databases of any shape pass referential-integrity
+    /// validation and report consistent statistics.
+    #[test]
+    fn synthetic_db_always_validates(
+        modules in 1usize..5,
+        depth in 0usize..4,
+        fan_lo in 1usize..3,
+        fan_extra in 0usize..3,
+        corr in 0.0f64..1.0,
+        vers in 0.0f64..0.8,
+        seed in any::<u64>(),
+    ) {
+        let spec = SyntheticDbSpec {
+            modules,
+            depth,
+            fanout: (fan_lo, fan_lo + fan_extra),
+            representations: vec!["layout".into(), "netlist".into()],
+            correspondence_prob: corr,
+            version_prob: vers,
+            body_bytes: (32, 256),
+            seed,
+        };
+        let (db, stats) = spec.build();
+        prop_assert_eq!(db.object_count(), stats.objects);
+        prop_assert!(validate(&db).is_empty());
+    }
+
+    /// Version derivation preserves integrity and always inherits every
+    /// parent correspondence.
+    #[test]
+    fn derive_version_preserves_integrity(
+        seed in any::<u64>(),
+        derivations in 1usize..12,
+    ) {
+        let spec = SyntheticDbSpec {
+            modules: 2,
+            depth: 2,
+            fanout: (2, 3),
+            correspondence_prob: 0.7,
+            version_prob: 0.0,
+            ..SyntheticDbSpec::default()
+        };
+        let (mut db, _) = SyntheticDbSpec { seed, ..spec }.build();
+        let model = CopyVsRefModel::default();
+        let n = db.object_count() as u32;
+        for k in 0..derivations {
+            let parent = ObjectId((seed as u32).wrapping_add(k as u32 * 7919) % n);
+            let parent_corrs = db.graph().correspondents(parent).len();
+            let derived = derive_version(&mut db, parent, &model).expect("derivable");
+            prop_assert_eq!(derived.inherited_correspondences, parent_corrs);
+            prop_assert!(db.graph().ancestors(derived.id).contains(&parent));
+        }
+        prop_assert!(validate(&db).is_empty());
+    }
+
+    /// Graph edges added in any order stay bidirectionally consistent and
+    /// are all removable.
+    #[test]
+    fn graph_add_remove_consistency(
+        edges in proptest::collection::vec((0u32..30, 0u32..30), 1..60),
+    ) {
+        let mut lattice = TypeLattice::new();
+        let ty = lattice.define_simple("t", RelFrequencies::UNIFORM).unwrap();
+        let mut db = Database::with_lattice(lattice);
+        for i in 0..30u32 {
+            db.create_object(ObjectName::new(format!("O{i}"), 1, "t"), ty, 10)
+                .unwrap();
+        }
+        let mut added = Vec::new();
+        for (a, b) in edges {
+            if db
+                .relate(RelKind::Configuration, ObjectId(a), ObjectId(b))
+                .is_ok()
+            {
+                added.push((a, b));
+            }
+        }
+        // Forward and backward views agree.
+        for &(a, b) in &added {
+            prop_assert!(db.graph().components(ObjectId(a)).contains(&ObjectId(b)));
+            prop_assert!(db.graph().composites(ObjectId(b)).contains(&ObjectId(a)));
+        }
+        prop_assert_eq!(db.graph().edge_count(), added.len() as u64);
+        for (a, b) in added {
+            db.unrelate(RelKind::Configuration, ObjectId(a), ObjectId(b))
+                .unwrap();
+        }
+        prop_assert_eq!(db.graph().edge_count(), 0);
+    }
+
+    /// Version-history edges never create cycles, whatever order they
+    /// arrive in.
+    #[test]
+    fn version_history_stays_acyclic(
+        edges in proptest::collection::vec((0u32..12, 0u32..12), 1..80),
+    ) {
+        let mut lattice = TypeLattice::new();
+        let ty = lattice.define_simple("t", RelFrequencies::UNIFORM).unwrap();
+        let mut db = Database::with_lattice(lattice);
+        for i in 0..12u32 {
+            // Same lineage so validation would not flag the edges.
+            db.create_object(ObjectName::new("X", i, "t"), ty, 10).unwrap();
+        }
+        for (a, b) in edges {
+            let _ = db.relate(RelKind::VersionHistory, ObjectId(a), ObjectId(b));
+        }
+        // If a cycle existed, some node would be its own transitive
+        // ancestor. Walk each node's ancestor closure.
+        for i in 0..12u32 {
+            let start = ObjectId(i);
+            let mut stack = vec![start];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(cur) = stack.pop() {
+                for &anc in db.graph().ancestors(cur) {
+                    prop_assert_ne!(anc, start, "cycle through {:?}", start);
+                    if seen.insert(anc) {
+                        stack.push(anc);
+                    }
+                }
+            }
+        }
+    }
+
+    /// The dominant relationship kind is invariant under uniform scaling.
+    #[test]
+    fn dominant_kind_scale_invariant(
+        a in 0.1f64..10.0, b in 0.1f64..10.0, c in 0.1f64..10.0,
+        d in 0.1f64..10.0, e in 0.1f64..10.0, f in 0.1f64..10.0,
+        scale in 0.1f64..100.0,
+    ) {
+        let freqs = RelFrequencies {
+            config_down: a,
+            config_up: b,
+            version_up: c,
+            version_down: d,
+            correspondence: e,
+            inheritance: f,
+        };
+        prop_assert_eq!(freqs.dominant_kind(), freqs.scaled(scale).dominant_kind());
+    }
+}

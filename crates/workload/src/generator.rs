@@ -1,0 +1,173 @@
+//! Stochastic transaction generation against a live database.
+//!
+//! The generator is stateless: the engine owns the database (and mutates
+//! it as writes create objects), so each call samples from the database's
+//! current population.
+
+use crate::query::QueryKind;
+use crate::session::{CreateMode, Transaction, TxnOp};
+use crate::spec::WorkloadSpec;
+use semcluster_sim::SimRng;
+use semcluster_vdm::{Database, ObjectId};
+
+/// Relative frequencies of the six read query types. Navigation dominates
+/// ad-hoc lookup in object-oriented tools (§3.5 observation 1).
+const READ_MIX: [f64; 6] = [
+    1.0, // SimpleLookup
+    1.0, // ComponentRetrieval
+    5.0, // CompositeRetrieval
+    0.5, // DescendantRetrieval
+    1.0, // AncestorRetrieval
+    1.0, // CorrespondentRetrieval
+];
+
+/// Probability that a create attaches as a new component (the remainder
+/// derives a new version).
+const NEW_COMPONENT_FRACTION: f64 = 0.7;
+
+/// Sample a read query kind from the navigation-heavy mix.
+pub fn sample_read_kind(rng: &mut SimRng) -> QueryKind {
+    QueryKind::READS[rng.weighted_index(&READ_MIX)]
+}
+
+/// Sample the shape of a write transaction: for each mutation, whether it
+/// creates (`Some(mode)`) or updates (`None`).
+pub fn sample_write_shape(spec: &WorkloadSpec, rng: &mut SimRng) -> Vec<Option<CreateMode>> {
+    let n = rng.range_inclusive(spec.writes_per_txn.0 as u64, spec.writes_per_txn.1 as u64);
+    (0..n)
+        .map(|_| {
+            if rng.chance(spec.create_fraction) {
+                Some(if rng.chance(NEW_COMPONENT_FRACTION) {
+                    CreateMode::NewComponent
+                } else {
+                    CreateMode::NewVersion
+                })
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Pick a uniformly random existing object.
+pub fn pick_object(db: &Database, rng: &mut SimRng) -> ObjectId {
+    let n = db.object_count();
+    assert!(n > 0, "cannot sample from an empty database");
+    ObjectId(rng.below(n as u64) as u32)
+}
+
+/// Sample one read transaction.
+pub fn gen_read(db: &Database, rng: &mut SimRng) -> Transaction {
+    let kind = QueryKind::READS[rng.weighted_index(&READ_MIX)];
+    Transaction {
+        ops: vec![TxnOp::Read {
+            kind,
+            root: pick_object(db, rng),
+        }],
+    }
+}
+
+/// Sample one write transaction (1–k mutations, per the spec).
+pub fn gen_write(db: &Database, spec: &WorkloadSpec, rng: &mut SimRng) -> Transaction {
+    let n = rng.range_inclusive(spec.writes_per_txn.0 as u64, spec.writes_per_txn.1 as u64);
+    let mut ops = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        if rng.chance(spec.create_fraction) {
+            let mode = if rng.chance(NEW_COMPONENT_FRACTION) {
+                CreateMode::NewComponent
+            } else {
+                CreateMode::NewVersion
+            };
+            ops.push(TxnOp::Create {
+                anchor: pick_object(db, rng),
+                mode,
+            });
+        } else {
+            ops.push(TxnOp::Update {
+                target: pick_object(db, rng),
+            });
+        }
+    }
+    Transaction { ops }
+}
+
+/// Sample the next transaction: read with probability
+/// `spec.read_probability()`, write otherwise.
+pub fn gen_transaction(db: &Database, spec: &WorkloadSpec, rng: &mut SimRng) -> Transaction {
+    if rng.chance(spec.read_probability()) {
+        gen_read(db, rng)
+    } else {
+        gen_write(db, spec, rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StructureDensity;
+    use semcluster_vdm::SyntheticDbSpec;
+
+    fn db() -> Database {
+        SyntheticDbSpec::default().build().0
+    }
+
+    #[test]
+    fn read_write_mix_tracks_ratio() {
+        let db = db();
+        let spec = WorkloadSpec::new(StructureDensity::Low3, 5.0);
+        let mut rng = SimRng::seed_from_u64(2);
+        let n = 20_000;
+        let reads = (0..n)
+            .filter(|_| gen_transaction(&db, &spec, &mut rng).is_read())
+            .count();
+        let frac = reads as f64 / n as f64;
+        assert!((frac - 5.0 / 6.0).abs() < 0.02, "read fraction {frac}");
+    }
+
+    #[test]
+    fn writes_have_spec_bounded_ops() {
+        let db = db();
+        let spec = WorkloadSpec::new(StructureDensity::Med5, 1.0);
+        let mut rng = SimRng::seed_from_u64(3);
+        for _ in 0..500 {
+            let t = gen_write(&db, &spec, &mut rng);
+            assert!((1..=3).contains(&t.ops.len()));
+            assert!(!t.is_read());
+        }
+    }
+
+    #[test]
+    fn reads_are_single_op_and_in_range() {
+        let db = db();
+        let mut rng = SimRng::seed_from_u64(4);
+        for _ in 0..500 {
+            let t = gen_read(&db, &mut rng);
+            assert_eq!(t.ops.len(), 1);
+            match t.ops[0] {
+                TxnOp::Read { root, .. } => {
+                    assert!(root.index() < db.object_count());
+                }
+                _ => panic!("read txn must hold a read op"),
+            }
+        }
+    }
+
+    #[test]
+    fn composite_retrieval_dominates_reads() {
+        let db = db();
+        let mut rng = SimRng::seed_from_u64(5);
+        let mut composite = 0;
+        let n = 5_000;
+        for _ in 0..n {
+            if let TxnOp::Read {
+                kind: QueryKind::CompositeRetrieval,
+                ..
+            } = gen_read(&db, &mut rng).ops[0]
+            {
+                composite += 1;
+            }
+        }
+        let frac = composite as f64 / n as f64;
+        assert!(frac > 0.4, "composite fraction {frac}");
+    }
+}

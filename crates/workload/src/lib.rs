@@ -1,0 +1,37 @@
+//! # semcluster-workload
+//!
+//! The workload-definition layer of the simulation model (§4.1) plus the
+//! Section 3 measurement study, reconstructed:
+//!
+//! * the seven engineering-DB query types ([`QueryKind`]),
+//! * workload characterisation by structure density and read/write ratio
+//!   ([`StructureDensity`], [`WorkloadSpec`]),
+//! * sessions of 5–20 transactions with checkout/checkin macros
+//!   ([`Session`], [`checkout`], [`checkin`]),
+//! * stochastic transaction generation against a live database
+//!   ([`gen_transaction`]),
+//! * OCT tool profiles ([`oct_tools`]) encoding Figures 3.2–3.4, a
+//!   synthetic trace generator ([`generate_trace`]) and the analyzer
+//!   ([`analyze`]) that recovers those figures from a trace.
+
+#![warn(missing_docs)]
+
+mod generator;
+pub mod oct;
+mod phases;
+mod query;
+mod session;
+mod spec;
+pub mod trace;
+
+pub use generator::{
+    gen_read, gen_transaction, gen_write, pick_object, sample_read_kind, sample_write_shape,
+};
+pub use oct::{oct_tools, ToolProfile};
+pub use phases::PhaseSchedule;
+pub use query::QueryKind;
+pub use session::{
+    checkin, checkout, sample_session_length, CreateMode, Session, Transaction, TxnOp,
+};
+pub use spec::{StructureDensity, WorkloadSpec};
+pub use trace::{analyze, generate_invocation, generate_trace, Invocation, ToolStats, TraceOp};

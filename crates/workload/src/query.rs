@@ -1,0 +1,78 @@
+//! The seven engineering-database query types (§4.1).
+
+use std::fmt;
+
+/// The paper's taxonomy of engineering-design procedure calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryKind {
+    /// (1) Simple object lookup by unique name.
+    SimpleLookup,
+    /// (2) Component object retrieval: navigate upward from a component to
+    /// its composites.
+    ComponentRetrieval,
+    /// (3) Composite object retrieval: the object plus a fan-out of its
+    /// component objects.
+    CompositeRetrieval,
+    /// (4) Descendant version retrieval.
+    DescendantRetrieval,
+    /// (5) Ancestor version retrieval.
+    AncestorRetrieval,
+    /// (6) Corresponding objects retrieval.
+    CorrespondentRetrieval,
+    /// (7) Object insertion / deletion / update.
+    Mutation,
+}
+
+impl QueryKind {
+    /// The six read-only query types, in paper order.
+    pub const READS: [QueryKind; 6] = [
+        QueryKind::SimpleLookup,
+        QueryKind::ComponentRetrieval,
+        QueryKind::CompositeRetrieval,
+        QueryKind::DescendantRetrieval,
+        QueryKind::AncestorRetrieval,
+        QueryKind::CorrespondentRetrieval,
+    ];
+
+    /// Whether this query reads without writing.
+    pub fn is_read(self) -> bool {
+        self != QueryKind::Mutation
+    }
+
+    /// Whether this query navigates structural relationships (vs a simple
+    /// name lookup). Used to classify trace events into structure vs
+    /// simple reads (§3.2).
+    pub fn is_structural(self) -> bool {
+        !matches!(self, QueryKind::SimpleLookup | QueryKind::Mutation)
+    }
+}
+
+impl fmt::Display for QueryKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            QueryKind::SimpleLookup => "simple-lookup",
+            QueryKind::ComponentRetrieval => "component-retrieval",
+            QueryKind::CompositeRetrieval => "composite-retrieval",
+            QueryKind::DescendantRetrieval => "descendant-retrieval",
+            QueryKind::AncestorRetrieval => "ancestor-retrieval",
+            QueryKind::CorrespondentRetrieval => "correspondent-retrieval",
+            QueryKind::Mutation => "mutation",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_and_structure_classification() {
+        assert_eq!(QueryKind::READS.len(), 6);
+        assert!(QueryKind::READS.iter().all(|q| q.is_read()));
+        assert!(!QueryKind::Mutation.is_read());
+        assert!(QueryKind::CompositeRetrieval.is_structural());
+        assert!(!QueryKind::SimpleLookup.is_structural());
+        assert!(!QueryKind::Mutation.is_structural());
+    }
+}

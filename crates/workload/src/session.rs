@@ -1,0 +1,173 @@
+//! Sessions and transactions.
+//!
+//! §4.1: "every object read and write operation is a transaction.
+//! Furthermore, a user session is composed of 5 to 20 transactions with
+//! various read/write ratios." Checkout/checkin are macros over the seven
+//! query types: a checkout is several component retrievals plus one
+//! corresponding-object retrieval; a checkin is some insertions and
+//! updates.
+
+use crate::query::QueryKind;
+use crate::spec::WorkloadSpec;
+use semcluster_sim::SimRng;
+use semcluster_vdm::ObjectId;
+
+/// One logical operation inside a transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnOp {
+    /// Execute a read query rooted at `root`.
+    Read {
+        /// The query type.
+        kind: QueryKind,
+        /// The root object the query starts from.
+        root: ObjectId,
+    },
+    /// Create a new object structurally related to `anchor`.
+    Create {
+        /// The existing object the new one attaches to.
+        anchor: ObjectId,
+        /// How it attaches.
+        mode: CreateMode,
+    },
+    /// Update an existing object in place.
+    Update {
+        /// The object being updated.
+        target: ObjectId,
+    },
+}
+
+/// How a created object attaches to the existing structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CreateMode {
+    /// A new component of the anchor (configuration edge).
+    NewComponent,
+    /// A new descendant version derived from the anchor (version edge,
+    /// inherited correspondences, copy-vs-reference attribute decisions).
+    NewVersion,
+}
+
+/// One transaction: a read (single op) or a write (1–k mutations, the
+/// checkin pattern).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transaction {
+    /// The operations, executed in order under one commit.
+    pub ops: Vec<TxnOp>,
+}
+
+impl Transaction {
+    /// Whether the transaction only reads.
+    pub fn is_read(&self) -> bool {
+        self.ops
+            .iter()
+            .all(|op| matches!(op, TxnOp::Read { .. }))
+    }
+}
+
+/// A user session: 5–20 transactions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Session {
+    /// The transactions, in submission order.
+    pub transactions: Vec<Transaction>,
+}
+
+impl Session {
+    /// Count of read transactions.
+    pub fn reads(&self) -> usize {
+        self.transactions.iter().filter(|t| t.is_read()).count()
+    }
+
+    /// Count of write transactions.
+    pub fn writes(&self) -> usize {
+        self.transactions.len() - self.reads()
+    }
+}
+
+/// Build a checkout macro: `components` component retrievals plus one
+/// corresponding-objects retrieval, all rooted at `root` (§4.1).
+pub fn checkout(root: ObjectId, components: usize) -> Vec<Transaction> {
+    let mut txns = Vec::with_capacity(components + 1);
+    for _ in 0..components {
+        txns.push(Transaction {
+            ops: vec![TxnOp::Read {
+                kind: QueryKind::CompositeRetrieval,
+                root,
+            }],
+        });
+    }
+    txns.push(Transaction {
+        ops: vec![TxnOp::Read {
+            kind: QueryKind::CorrespondentRetrieval,
+            root,
+        }],
+    });
+    txns
+}
+
+/// Build a checkin macro: one transaction inserting `inserts` new
+/// components under `anchor` and updating the anchor (§4.1).
+pub fn checkin(anchor: ObjectId, inserts: usize) -> Transaction {
+    let mut ops = Vec::with_capacity(inserts + 1);
+    for _ in 0..inserts {
+        ops.push(TxnOp::Create {
+            anchor,
+            mode: CreateMode::NewComponent,
+        });
+    }
+    ops.push(TxnOp::Update { target: anchor });
+    Transaction { ops }
+}
+
+/// Sample the number of transactions in a session from the spec's range.
+pub fn sample_session_length(spec: &WorkloadSpec, rng: &mut SimRng) -> u32 {
+    rng.range_inclusive(spec.session_txns.0 as u64, spec.session_txns.1 as u64) as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::StructureDensity;
+
+    #[test]
+    fn checkout_shape() {
+        let txns = checkout(ObjectId(3), 4);
+        assert_eq!(txns.len(), 5);
+        assert!(txns.iter().all(|t| t.is_read()));
+        assert!(matches!(
+            txns[4].ops[0],
+            TxnOp::Read {
+                kind: QueryKind::CorrespondentRetrieval,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn checkin_shape() {
+        let txn = checkin(ObjectId(7), 3);
+        assert_eq!(txn.ops.len(), 4);
+        assert!(!txn.is_read());
+        assert!(matches!(txn.ops[3], TxnOp::Update { .. }));
+    }
+
+    #[test]
+    fn session_counts() {
+        let s = Session {
+            transactions: vec![
+                checkout(ObjectId(1), 1).remove(0),
+                checkin(ObjectId(1), 1),
+            ],
+        };
+        assert_eq!(s.reads(), 1);
+        assert_eq!(s.writes(), 1);
+    }
+
+    #[test]
+    fn session_length_in_spec_range() {
+        let spec = WorkloadSpec::new(StructureDensity::Low3, 5.0);
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let n = sample_session_length(&spec, &mut rng);
+            assert!((5..=20).contains(&n));
+        }
+    }
+}

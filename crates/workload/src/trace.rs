@@ -1,0 +1,275 @@
+//! Synthetic OCT traces and their analysis.
+//!
+//! §3.2 lists what the instrumentation recorded per tool invocation: the
+//! tool identifier, structure/simple read and write counts, session time,
+//! and the fan-out of structural accesses. [`generate_invocation`]
+//! synthesises such a record from a [`ToolProfile`]; [`analyze`] reduces a
+//! trace back to the per-tool aggregates of Figures 3.2 (R/W ratio), 3.3
+//! (I/O rate) and 3.4 (density distribution) — closing the loop the
+//! paper's measurement study established.
+
+use crate::oct::ToolProfile;
+use crate::spec::StructureDensity;
+use semcluster_sim::{SimDuration, SimRng};
+use std::collections::BTreeMap;
+
+/// One logical operation in a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceOp {
+    /// Retrieval through attachment links; `fanout` objects returned.
+    StructureRead {
+        /// Number of objects the structural access returned.
+        fanout: u32,
+    },
+    /// Name-based retrieval.
+    SimpleRead,
+    /// Creation of an attachment link.
+    StructureWrite,
+    /// Plain object write.
+    SimpleWrite,
+}
+
+impl TraceOp {
+    /// Whether the operation is a read.
+    pub fn is_read(self) -> bool {
+        matches!(self, TraceOp::StructureRead { .. } | TraceOp::SimpleRead)
+    }
+}
+
+/// One tool invocation: everything §3.2 says was recorded.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Invocation {
+    /// Tool identifier (e.g. `SPARCS`, `VEM`).
+    pub tool: String,
+    /// Session time between `octBegin()` and `octEnd()`.
+    pub session: SimDuration,
+    /// The logical operations of the session.
+    pub ops: Vec<TraceOp>,
+}
+
+/// Synthesize one invocation of `profile`.
+pub fn generate_invocation(profile: &ToolProfile, rng: &mut SimRng) -> Invocation {
+    // Session lengths are exponential around the tool's mean, floored so
+    // even the shortest session does some work.
+    let session_s = rng
+        .exp_f64(profile.mean_session_s)
+        .max(profile.mean_session_s * 0.05);
+    let op_count = ((profile.io_rate_per_s * session_s).round() as usize).max(1);
+    let p_read = profile.rw_ratio / (profile.rw_ratio + 1.0);
+    let mut ops = Vec::with_capacity(op_count);
+    for _ in 0..op_count {
+        if rng.chance(p_read) {
+            if rng.chance(profile.structural_read_fraction) {
+                let bucket = rng.weighted_index(&profile.density_mix);
+                let fanout = match bucket {
+                    0 => rng.range_inclusive(0, 3),
+                    1 => rng.range_inclusive(4, 10),
+                    _ => rng.range_inclusive(11, 20),
+                } as u32;
+                ops.push(TraceOp::StructureRead { fanout });
+            } else {
+                ops.push(TraceOp::SimpleRead);
+            }
+        } else if rng.chance(0.5) {
+            ops.push(TraceOp::StructureWrite);
+        } else {
+            ops.push(TraceOp::SimpleWrite);
+        }
+    }
+    Invocation {
+        tool: profile.name.to_string(),
+        session: SimDuration::from_secs_f64(session_s),
+        ops,
+    }
+}
+
+/// Synthesize `per_tool` invocations of every profile.
+pub fn generate_trace(
+    profiles: &[ToolProfile],
+    per_tool: usize,
+    rng: &mut SimRng,
+) -> Vec<Invocation> {
+    let mut out = Vec::with_capacity(profiles.len() * per_tool);
+    for p in profiles {
+        for _ in 0..per_tool {
+            out.push(generate_invocation(p, rng));
+        }
+    }
+    out
+}
+
+/// Per-tool aggregates recovered from a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ToolStats {
+    /// Tool identifier.
+    pub tool: String,
+    /// Number of invocations analysed.
+    pub invocations: usize,
+    /// Structure reads observed.
+    pub structure_reads: u64,
+    /// Simple reads observed.
+    pub simple_reads: u64,
+    /// Structure writes observed.
+    pub structure_writes: u64,
+    /// Simple writes observed.
+    pub simple_writes: u64,
+    /// Total session time.
+    pub session: SimDuration,
+    /// Downward-density bucket shares (low / med / high) among structure
+    /// reads.
+    pub density_shares: [f64; 3],
+}
+
+impl ToolStats {
+    /// Figure 3.2's metric: (structure+simple reads) / (structure+simple
+    /// writes). Infinite when the tool never wrote.
+    pub fn rw_ratio(&self) -> f64 {
+        let reads = (self.structure_reads + self.simple_reads) as f64;
+        let writes = (self.structure_writes + self.simple_writes) as f64;
+        if writes == 0.0 {
+            f64::INFINITY
+        } else {
+            reads / writes
+        }
+    }
+
+    /// Figure 3.3's metric: logical I/Os per session second.
+    pub fn io_rate(&self) -> f64 {
+        let ops =
+            self.structure_reads + self.simple_reads + self.structure_writes + self.simple_writes;
+        let secs = self.session.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            ops as f64 / secs
+        }
+    }
+}
+
+/// Reduce a trace to per-tool aggregates, sorted by tool name.
+pub fn analyze(trace: &[Invocation]) -> Vec<ToolStats> {
+    let mut by_tool: BTreeMap<&str, ToolStats> = BTreeMap::new();
+    let mut density_counts: BTreeMap<&str, [u64; 3]> = BTreeMap::new();
+    for inv in trace {
+        let entry = by_tool.entry(&inv.tool).or_insert_with(|| ToolStats {
+            tool: inv.tool.clone(),
+            invocations: 0,
+            structure_reads: 0,
+            simple_reads: 0,
+            structure_writes: 0,
+            simple_writes: 0,
+            session: SimDuration::ZERO,
+            density_shares: [0.0; 3],
+        });
+        entry.invocations += 1;
+        entry.session += inv.session;
+        let counts = density_counts.entry(&inv.tool).or_insert([0; 3]);
+        for op in &inv.ops {
+            match *op {
+                TraceOp::StructureRead { fanout } => {
+                    entry.structure_reads += 1;
+                    let bucket = match StructureDensity::classify(fanout as usize) {
+                        StructureDensity::Low3 => 0,
+                        StructureDensity::Med5 => 1,
+                        StructureDensity::High10 => 2,
+                    };
+                    counts[bucket] += 1;
+                }
+                TraceOp::SimpleRead => entry.simple_reads += 1,
+                TraceOp::StructureWrite => entry.structure_writes += 1,
+                TraceOp::SimpleWrite => entry.simple_writes += 1,
+            }
+        }
+    }
+    let mut out: Vec<ToolStats> = by_tool.into_values().collect();
+    for stats in &mut out {
+        let counts = density_counts[stats.tool.as_str()];
+        let total: u64 = counts.iter().sum();
+        if total > 0 {
+            for (share, &c) in stats.density_shares.iter_mut().zip(&counts) {
+                *share = c as f64 / total as f64;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oct::oct_tools;
+
+    #[test]
+    fn analysis_recovers_profile_rw_ratio() {
+        let mut rng = SimRng::seed_from_u64(7);
+        let tools = oct_tools();
+        let trace = generate_trace(&tools, 30, &mut rng);
+        let stats = analyze(&trace);
+        assert_eq!(stats.len(), tools.len());
+        for t in &tools {
+            if t.rw_ratio > 500.0 {
+                continue; // too few writes to estimate reliably
+            }
+            let s = stats.iter().find(|s| s.tool == t.name).unwrap();
+            let measured = s.rw_ratio();
+            let rel = (measured - t.rw_ratio).abs() / t.rw_ratio;
+            assert!(
+                rel < 0.25,
+                "{}: profile {} measured {measured}",
+                t.name,
+                t.rw_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn analysis_recovers_io_rate() {
+        let mut rng = SimRng::seed_from_u64(8);
+        let tools = oct_tools();
+        let trace = generate_trace(&tools, 30, &mut rng);
+        for s in analyze(&trace) {
+            let profile = tools.iter().find(|t| t.name == s.tool).unwrap();
+            let rel = (s.io_rate() - profile.io_rate_per_s).abs() / profile.io_rate_per_s;
+            assert!(rel < 0.1, "{}: {} vs {}", s.tool, s.io_rate(), profile.io_rate_per_s);
+        }
+    }
+
+    #[test]
+    fn analysis_recovers_density_mix() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let tools = oct_tools();
+        let trace = generate_trace(&tools, 50, &mut rng);
+        for s in analyze(&trace) {
+            let profile = tools.iter().find(|t| t.name == s.tool).unwrap();
+            for (measured, expected) in s.density_shares.iter().zip(&profile.density_mix) {
+                assert!(
+                    (measured - expected).abs() < 0.05,
+                    "{}: {:?} vs {:?}",
+                    s.tool,
+                    s.density_shares,
+                    profile.density_mix
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn vem_never_infinite_with_enough_ops() {
+        // VEM's 6000:1 ratio needs very long traces to see a write; the
+        // ratio estimator must stay finite or infinite, never NaN.
+        let mut rng = SimRng::seed_from_u64(10);
+        let vem = crate::oct::tool("vem").unwrap();
+        let inv = generate_invocation(&vem, &mut rng);
+        let stats = analyze(std::slice::from_ref(&inv));
+        let r = stats[0].rw_ratio();
+        assert!(r.is_infinite() || r > 100.0);
+    }
+
+    #[test]
+    fn trace_ops_classified() {
+        assert!(TraceOp::StructureRead { fanout: 2 }.is_read());
+        assert!(TraceOp::SimpleRead.is_read());
+        assert!(!TraceOp::StructureWrite.is_read());
+        assert!(!TraceOp::SimpleWrite.is_read());
+    }
+}

@@ -1,0 +1,132 @@
+//! A design browser walking a multi-representation design: shows how the
+//! context-sensitive buffer manager and relationship-directed prefetching
+//! cut misses for navigation-style access.
+//!
+//! ```sh
+//! cargo run --release --example design_browser
+//! ```
+
+use semcluster_buffer::{
+    apply_prefetch, prefetch_group, AccessHint, BufferPool, PrefetchScope, ReplacementPolicy,
+};
+use semcluster_clustering::{plan_placement, AllResident, ClusteringPolicy, WeightModel};
+use semcluster_sim::SimRng;
+use semcluster_storage::{StorageManager, DEFAULT_PAGE_BYTES, PAGE_OVERHEAD_BYTES};
+use semcluster_vdm::{Database, ObjectId, SyntheticDbSpec};
+
+/// Browse: visit a composite, then all its components (one screenful),
+/// hopping between modules like a designer reviewing a chip.
+fn browse(
+    db: &Database,
+    store: &StorageManager,
+    pool: &mut BufferPool,
+    prefetch: PrefetchScope,
+    rng: &mut SimRng,
+    steps: usize,
+) -> (u64, u64) {
+    let composites: Vec<ObjectId> = db
+        .objects()
+        .filter(|o| db.graph().downward_fanout(o.id) > 0)
+        .map(|o| o.id)
+        .collect();
+    for _ in 0..steps {
+        let root = *rng.pick(&composites);
+        if let Some(page) = store.page_of(root) {
+            pool.access(page);
+        }
+        // The context-sensitive policy's defining behaviour: touching an
+        // object raises the priority of its relatives' resident pages.
+        if pool.policy() == ReplacementPolicy::ContextSensitive {
+            for &c in db.graph().components(root) {
+                if let Some(page) = store.page_of(c) {
+                    pool.boost(page);
+                }
+            }
+        }
+        let group = prefetch_group(db, store, root, AccessHint::ByConfiguration);
+        apply_prefetch(pool, &group, prefetch);
+        for &c in db.graph().components(root) {
+            if let Some(page) = store.page_of(c) {
+                pool.access(page);
+            }
+        }
+    }
+    let s = pool.stats();
+    (s.hits, s.misses)
+}
+
+fn main() {
+    let (db, stats) = SyntheticDbSpec {
+        modules: 40,
+        depth: 3,
+        fanout: (3, 6),
+        correspondence_prob: 0.5,
+        version_prob: 0.2,
+        seed: 2024,
+        ..SyntheticDbSpec::default()
+    }
+    .build();
+    println!(
+        "design database: {} objects, {} configuration edges",
+        stats.objects, stats.configuration_edges
+    );
+
+    // Cluster it the way the paper's storage manager would.
+    let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+    let model = WeightModel::with_hint(AccessHint::ByConfiguration);
+    let reserve = (DEFAULT_PAGE_BYTES - PAGE_OVERHEAD_BYTES) * 3 / 10;
+    for obj in db.objects() {
+        let size = obj.size_bytes();
+        let plan = plan_placement(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::NoLimit,
+            &model,
+            obj.id,
+            size,
+        );
+        match plan.target {
+            semcluster_clustering::PlacementTarget::Existing(p) => {
+                store.place(obj.id, size, p).unwrap()
+            }
+            semcluster_clustering::PlacementTarget::Append => {
+                store.append_reserving(obj.id, size, reserve).map(|_| ()).unwrap()
+            }
+        }
+    }
+    println!("placed on {} pages\n", store.page_count());
+
+    let steps = 3000;
+    println!("browsing {steps} composites with a 24-frame pool:");
+    for (label, policy, prefetch) in [
+        ("LRU, no prefetch           ", ReplacementPolicy::Lru, PrefetchScope::None),
+        (
+            "LRU, prefetch-within-DB    ",
+            ReplacementPolicy::Lru,
+            PrefetchScope::WithinDatabase,
+        ),
+        (
+            "Context-sensitive, no pref ",
+            ReplacementPolicy::ContextSensitive,
+            PrefetchScope::None,
+        ),
+        (
+            "Context-sensitive + pref-DB",
+            ReplacementPolicy::ContextSensitive,
+            PrefetchScope::WithinDatabase,
+        ),
+    ] {
+        let mut pool = BufferPool::new(24, policy, 7);
+        let mut rng = SimRng::seed_from_u64(5);
+        let (hits, misses) = browse(&db, &store, &mut pool, prefetch, &mut rng, steps);
+        let ratio = hits as f64 / (hits + misses) as f64;
+        println!(
+            "  {label}: hit ratio {:5.1}%  (prefetch reads: {})",
+            ratio * 100.0,
+            pool.stats().prefetch_reads
+        );
+    }
+    println!("\nthe smart buffer manager keeps a navigation working set alive that");
+    println!("plain LRU keeps evicting — §2.2's argument, reproduced.");
+}

@@ -1,0 +1,64 @@
+//! Reconstruct the paper's Section 3 measurement study: synthesise OCT
+//! tool traces from the published per-tool statistics and run the
+//! analyzer over them, printing the three figures' data side by side.
+//!
+//! ```sh
+//! cargo run --release --example oct_trace_analysis
+//! ```
+
+use semcluster_analysis::Table;
+use semcluster_sim::SimRng;
+use semcluster_workload::{analyze, generate_trace, oct_tools};
+
+fn main() {
+    let tools = oct_tools();
+    let mut rng = SimRng::seed_from_u64(1989);
+    // ~5000 invocations, like the paper's measurement campaign.
+    let per_tool = 5000 / tools.len();
+    let trace = generate_trace(&tools, per_tool, &mut rng);
+    let total_hours: f64 = trace.iter().map(|i| i.session.as_secs_f64()).sum::<f64>() / 3600.0;
+    println!(
+        "synthesised {} invocations of {} tools covering {:.0} hours of design work\n",
+        trace.len(),
+        tools.len(),
+        total_hours
+    );
+
+    let stats = analyze(&trace);
+    let mut table = Table::new(vec![
+        "tool",
+        "R/W ratio (fig 3.2)",
+        "I/O rate /s (fig 3.3)",
+        "low/med/high density (fig 3.4)",
+        "role",
+    ]);
+    for profile in &tools {
+        let s = stats.iter().find(|s| s.tool == profile.name).unwrap();
+        let rw = if s.rw_ratio().is_finite() {
+            format!("{:.2}", s.rw_ratio())
+        } else {
+            "∞".into()
+        };
+        table.row(vec![
+            profile.name.to_string(),
+            rw,
+            format!("{:.1}", s.io_rate()),
+            format!(
+                "{:.0}% / {:.0}% / {:.0}%",
+                s.density_shares[0] * 100.0,
+                s.density_shares[1] * 100.0,
+                s.density_shares[2] * 100.0
+            ),
+            profile.description.to_string(),
+        ]);
+    }
+    table.print();
+
+    println!("\nobservations the paper draws from this data:");
+    println!(" * reads dominate writes in every interactive tool (VEM ≈ 6000:1),");
+    println!("   so dynamic clustering can pay for its write-side overhead;");
+    println!(" * within one application (MOSAICO's phases: atlas→mosaico) the");
+    println!("   ratio swings from 0.52 to 170 — clustering must adapt at run time;");
+    println!(" * most tools' structural retrievals are low-density, but wolfe and");
+    println!("   VEM need the high-density path — hence density as a control factor.");
+}

@@ -1,0 +1,72 @@
+//! Interactive policy exploration from the command line: pick a workload
+//! and compare every clustering × buffering combination on it.
+//!
+//! ```sh
+//! cargo run --release --example policy_explorer -- hi10-100
+//! cargo run --release --example policy_explorer -- med5-5 --reps 3
+//! ```
+
+use semcluster::{run_replicated, workload_from_label, SimConfig};
+use semcluster_analysis::Table;
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_clustering::{ClusteringPolicy, SplitPolicy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let label = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "med5-10".to_string());
+    let reps: u32 = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2);
+    let Some(workload) = workload_from_label(&label) else {
+        eprintln!("unknown workload {label:?}; use low3-5 … hi10-100");
+        std::process::exit(2);
+    };
+
+    println!("workload {label}, {reps} replications per cell\n");
+    let mut table = Table::new(vec![
+        "clustering \\ buffering",
+        "LRU / none",
+        "LRU / pref-DB",
+        "Ctx / none",
+        "Ctx / pref-DB",
+    ]);
+    let buffering = [
+        (ReplacementPolicy::Lru, PrefetchScope::None),
+        (ReplacementPolicy::Lru, PrefetchScope::WithinDatabase),
+        (ReplacementPolicy::ContextSensitive, PrefetchScope::None),
+        (
+            ReplacementPolicy::ContextSensitive,
+            PrefetchScope::WithinDatabase,
+        ),
+    ];
+    for clustering in [
+        ClusteringPolicy::NoCluster,
+        ClusteringPolicy::WithinBuffer,
+        ClusteringPolicy::IoLimit(2),
+        ClusteringPolicy::NoLimit,
+    ] {
+        let mut cells = vec![clustering.to_string()];
+        for (replacement, prefetch) in buffering {
+            let cfg = SimConfig {
+                workload: workload.clone(),
+                clustering,
+                split: SplitPolicy::Linear,
+                replacement,
+                prefetch,
+                ..SimConfig::default()
+            };
+            let result = run_replicated(&cfg, reps);
+            cells.push(format!("{:.1} ms", result.response.mean * 1e3));
+        }
+        table.row(cells);
+    }
+    table.print();
+    println!("\nmean transaction response time; lower is better.");
+}

@@ -1,0 +1,38 @@
+//! Quickstart: run the simulated OODBMS under two clustering policies and
+//! compare response times.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use semcluster::{run_simulation, SimConfig};
+use semcluster_clustering::ClusteringPolicy;
+use semcluster_workload::StructureDensity;
+
+fn main() {
+    // A CAD-style workload: high structure density (composite retrievals
+    // return ≥10 objects), 100 reads per write — the paper's `hi10-100`.
+    let base = SimConfig::default().with_workload(StructureDensity::High10, 100.0);
+
+    println!("simulating {} objects…", base.target_objects());
+
+    let clustered = run_simulation(base.clone().with_clustering(ClusteringPolicy::NoLimit));
+    let scattered = run_simulation(base.with_clustering(ClusteringPolicy::NoCluster));
+
+    println!(
+        "clustered   : {:.1} ms mean response, {:.0}% buffer hits, {} demand reads",
+        clustered.mean_response_s * 1e3,
+        clustered.hit_ratio * 100.0,
+        clustered.io.data_reads
+    );
+    println!(
+        "no clustering: {:.1} ms mean response, {:.0}% buffer hits, {} demand reads",
+        scattered.mean_response_s * 1e3,
+        scattered.hit_ratio * 100.0,
+        scattered.io.data_reads
+    );
+    println!(
+        "semantic clustering improves response time {:.1}×",
+        scattered.mean_response_s / clustered.mean_response_s
+    );
+}

@@ -1,0 +1,1 @@
+//! Umbrella test/example package for the semcluster workspace.

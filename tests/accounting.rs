@@ -1,0 +1,101 @@
+//! Cross-crate accounting invariants: the engine's I/O breakdown must be
+//! consistent with the buffer manager's own counters, for every policy
+//! combination.
+
+use semcluster::{run_simulation, SimConfig};
+use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
+use semcluster_clustering::{ClusteringPolicy, SplitPolicy};
+use semcluster_workload::{StructureDensity, WorkloadSpec};
+
+fn base() -> SimConfig {
+    SimConfig {
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 80,
+        measured_txns: 400,
+        ..SimConfig::default()
+    }
+}
+
+#[test]
+fn demand_plus_search_reads_equal_buffer_misses() {
+    for clustering in [
+        ClusteringPolicy::NoCluster,
+        ClusteringPolicy::WithinBuffer,
+        ClusteringPolicy::IoLimit(2),
+        ClusteringPolicy::NoLimit,
+        ClusteringPolicy::Adaptive,
+    ] {
+        for prefetch in [PrefetchScope::None, PrefetchScope::WithinDatabase] {
+            let mut cfg = base();
+            cfg.clustering = clustering;
+            cfg.prefetch = prefetch;
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 5.0);
+            let r = run_simulation(cfg);
+            assert_eq!(
+                r.io.data_reads + r.io.cluster_search_ios,
+                r.buffer.misses,
+                "{clustering} {prefetch}: reads {} + search {} != misses {}",
+                r.io.data_reads,
+                r.io.cluster_search_ios,
+                r.buffer.misses
+            );
+        }
+    }
+}
+
+#[test]
+fn log_report_matches_log_stats() {
+    let r = run_simulation(base());
+    assert_eq!(r.log_ios, r.log.total_ios());
+    assert_eq!(
+        r.log.total_ios(),
+        r.log.buffer_flushes + r.log.before_image_ios + r.log.commit_forces
+    );
+    // The engine charges every log I/O it reports.
+    assert_eq!(r.io.log_ios, r.log.total_ios());
+}
+
+#[test]
+fn prefetch_ios_appear_only_with_database_scope() {
+    let mut cfg = base();
+    cfg.prefetch = PrefetchScope::WithinBuffer;
+    let within = run_simulation(cfg.clone());
+    assert_eq!(within.io.prefetch_ios, 0, "within-buffer never does I/O");
+    cfg.prefetch = PrefetchScope::WithinDatabase;
+    cfg.replacement = ReplacementPolicy::ContextSensitive;
+    let db_scope = run_simulation(cfg);
+    assert!(db_scope.io.prefetch_ios > 0);
+    // The engine's prefetch I/O = pool-counted prefetch reads plus any
+    // write-backs those prefetches forced.
+    assert!(
+        db_scope.io.prefetch_ios >= db_scope.buffer.prefetch_reads,
+        "prefetch I/O {} < pool prefetch reads {}",
+        db_scope.io.prefetch_ios,
+        db_scope.buffer.prefetch_reads
+    );
+}
+
+#[test]
+fn splits_charge_split_ios() {
+    let mut cfg = base();
+    cfg.split = SplitPolicy::Linear;
+    cfg.clustering = ClusteringPolicy::NoLimit;
+    cfg.workload = WorkloadSpec::new(StructureDensity::High10, 2.0);
+    cfg.measured_txns = 800;
+    let r = run_simulation(cfg);
+    assert_eq!(
+        r.splits, r.io.split_ios,
+        "one charged flush per split: {} splits vs {} I/Os",
+        r.splits, r.io.split_ios
+    );
+}
+
+#[test]
+fn read_write_counts_partition_transactions() {
+    let r = run_simulation(base());
+    assert_eq!(r.reads + r.writes, r.txns);
+    // rw=5 default: reads ≈ 5/6 of transactions.
+    let frac = r.reads as f64 / r.txns as f64;
+    assert!((0.70..0.95).contains(&frac), "read fraction {frac}");
+}

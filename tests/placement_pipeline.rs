@@ -1,0 +1,211 @@
+//! Cross-crate pipeline tests below the engine: vdm → storage →
+//! clustering → buffer, exercised directly.
+
+use semcluster_buffer::{
+    apply_prefetch, prefetch_group, AccessHint, BufferPool, PrefetchScope, ReplacementPolicy,
+};
+use semcluster_clustering::{
+    execute_placement, plan_placement, plan_recluster, AllResident, ClusteringPolicy,
+    PlacementTarget, WeightModel,
+};
+use semcluster_storage::{StorageManager, DEFAULT_PAGE_BYTES};
+use semcluster_vdm::{RelKind, SyntheticDbSpec};
+
+fn spec(seed: u64) -> SyntheticDbSpec {
+    SyntheticDbSpec {
+        modules: 6,
+        depth: 3,
+        fanout: (2, 4),
+        correspondence_prob: 0.6,
+        version_prob: 0.2,
+        seed,
+        ..SyntheticDbSpec::default()
+    }
+}
+
+/// Affinity-load the whole database and measure configuration-edge
+/// co-residency; compare with sequential append of a shuffled order.
+#[test]
+fn affinity_load_co_locates_related_objects() {
+    let (db, _) = spec(11).build();
+    let model = WeightModel::no_hints();
+
+    let mut clustered = StorageManager::new(DEFAULT_PAGE_BYTES);
+    // As the engine does on load: leave ~30 % slack on appended pages so
+    // relatives placed later can join.
+    let reserve = (DEFAULT_PAGE_BYTES - semcluster_storage::PAGE_OVERHEAD_BYTES) * 3 / 10;
+    for obj in db.objects() {
+        let size = obj.size_bytes();
+        let plan = plan_placement(
+            &db,
+            &clustered,
+            &AllResident,
+            ClusteringPolicy::NoLimit,
+            &model,
+            obj.id,
+            size,
+        );
+        match plan.target {
+            PlacementTarget::Existing(page) => {
+                clustered.place(obj.id, size, page).unwrap();
+            }
+            PlacementTarget::Append => {
+                clustered.append_reserving(obj.id, size, reserve).unwrap();
+            }
+        }
+    }
+
+    let mut scattered = StorageManager::new(DEFAULT_PAGE_BYTES);
+    // Stride order approximates interleaved arrival.
+    let n = db.object_count();
+    for k in 0..n {
+        let idx = (k * 257) % n;
+        let obj = db.get(semcluster_vdm::ObjectId(idx as u32)).unwrap();
+        scattered.append(obj.id, obj.size_bytes()).unwrap();
+    }
+
+    let co_residency = |store: &StorageManager| {
+        let mut co = 0usize;
+        let mut total = 0usize;
+        for (kind, a, b) in db.graph().edges() {
+            if kind != RelKind::Configuration {
+                continue;
+            }
+            total += 1;
+            if store.co_resident(a, b) {
+                co += 1;
+            }
+        }
+        co as f64 / total as f64
+    };
+    let clustered_rate = co_residency(&clustered);
+    let scattered_rate = co_residency(&scattered);
+    assert!(
+        clustered_rate > 0.25,
+        "affinity load co-residency {clustered_rate:.2}"
+    );
+    assert!(
+        clustered_rate > scattered_rate * 3.0,
+        "clustered {clustered_rate:.2} vs scattered {scattered_rate:.2}"
+    );
+}
+
+/// Reclustering a scattered store converges: repeated passes reduce total
+/// broken configuration arcs monotonically (allowing small plateaus).
+#[test]
+fn reclustering_reduces_broken_arcs() {
+    let (db, _) = spec(13).build();
+    let model = WeightModel::no_hints();
+    let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+    let n = db.object_count();
+    for k in 0..n {
+        let idx = (k * 131) % n;
+        let obj = db.get(semcluster_vdm::ObjectId(idx as u32)).unwrap();
+        store.append(obj.id, obj.size_bytes()).unwrap();
+    }
+    let broken = |store: &StorageManager| {
+        db.graph()
+            .edges()
+            .filter(|&(_, a, b)| !store.co_resident(a, b))
+            .count()
+    };
+    let before = broken(&store);
+    let mut moves = 0;
+    for pass in 0..3 {
+        for i in 0..n {
+            let id = semcluster_vdm::ObjectId(i as u32);
+            if let Some(plan) = plan_recluster(
+                &db,
+                &store,
+                &AllResident,
+                ClusteringPolicy::NoLimit,
+                &model,
+                id,
+                0.5,
+            ) {
+                if store.move_object(id, plan.to).is_ok() {
+                    moves += 1;
+                }
+            }
+        }
+        let _ = pass;
+    }
+    let after = broken(&store);
+    assert!(moves > 0, "reclustering should find moves");
+    assert!(
+        after < before,
+        "broken arcs before {before}, after {after} ({moves} moves)"
+    );
+}
+
+/// The prefetcher and the placement agree: after affinity load, a
+/// composite's prefetch group is mostly co-resident (tiny groups), so
+/// prefetch-within-database fetches few pages.
+#[test]
+fn prefetch_groups_shrink_after_clustering() {
+    let (db, _) = spec(17).build();
+    let model = WeightModel::no_hints();
+    let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+    for obj in db.objects() {
+        let size = obj.size_bytes();
+        let plan = plan_placement(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::NoLimit,
+            &model,
+            obj.id,
+            size,
+        );
+        execute_placement(&mut store, obj.id, size, &plan).unwrap();
+    }
+    let mut pool = BufferPool::new(16, ReplacementPolicy::ContextSensitive, 5);
+    let mut total_group = 0usize;
+    let mut composites = 0usize;
+    for obj in db.objects() {
+        if db.graph().downward_fanout(obj.id) == 0 {
+            continue;
+        }
+        composites += 1;
+        let group = prefetch_group(&db, &store, obj.id, AccessHint::ByConfiguration);
+        total_group += group.len();
+        let effect = apply_prefetch(&mut pool, &group, PrefetchScope::WithinDatabase);
+        assert_eq!(effect.fetched.len() + effect.boosted, group.len());
+    }
+    let mean_group = total_group as f64 / composites as f64;
+    assert!(
+        mean_group < 2.0,
+        "after clustering, prefetch groups should be small (got {mean_group:.2})"
+    );
+}
+
+/// A full placement plan is executable exactly as planned: the chosen page
+/// has room and the object lands there.
+#[test]
+fn plans_execute_as_stated() {
+    let (db, _) = spec(23).build();
+    let model = WeightModel::no_hints();
+    let mut store = StorageManager::new(DEFAULT_PAGE_BYTES);
+    for obj in db.objects() {
+        let size = obj.size_bytes();
+        let plan = plan_placement(
+            &db,
+            &store,
+            &AllResident,
+            ClusteringPolicy::IoLimit(2),
+            &model,
+            obj.id,
+            size,
+        );
+        let landed = execute_placement(&mut store, obj.id, size, &plan).unwrap();
+        match plan.target {
+            PlacementTarget::Existing(p) => assert_eq!(landed, p),
+            PlacementTarget::Append => {}
+        }
+        assert_eq!(store.page_of(obj.id), Some(landed));
+    }
+    assert_eq!(
+        store.used_bytes(),
+        db.objects().map(|o| o.size_bytes() as u64).sum::<u64>()
+    );
+}
