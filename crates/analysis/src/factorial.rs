@@ -59,7 +59,9 @@ impl FactorialDesign {
     /// Level vector of run `i`: `true` = high. Bit `j` of `i` is factor
     /// `j`'s level.
     pub fn levels(&self, run: usize) -> Vec<bool> {
-        (0..self.factors.len()).map(|j| (run >> j) & 1 == 1).collect()
+        (0..self.factors.len())
+            .map(|j| (run >> j) & 1 == 1)
+            .collect()
     }
 
     /// Estimate every effect (all non-empty factor subsets) from the
@@ -157,7 +159,15 @@ mod tests {
         let effects = design.effects(&responses);
         let ab = effects.iter().find(|e| e.label == "A×B").unwrap();
         assert!((ab.effect - 10.0).abs() < 1e-12);
-        assert!(effects.iter().find(|e| e.label == "A").unwrap().effect.abs() < 1e-12);
+        assert!(
+            effects
+                .iter()
+                .find(|e| e.label == "A")
+                .unwrap()
+                .effect
+                .abs()
+                < 1e-12
+        );
     }
 
     #[test]

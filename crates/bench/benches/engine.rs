@@ -3,9 +3,10 @@
 //! regression guards on simulation throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use semcluster::{run_simulation, SimConfig};
+use semcluster::{run_simulation, run_simulation_with_obs, ObsConfig, SimConfig};
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::ClusteringPolicy;
+use semcluster_obs::{JsonlSink, SharedBuf};
 use semcluster_sim::SimRng;
 use semcluster_workload::{analyze, generate_trace, oct_tools, StructureDensity};
 
@@ -48,6 +49,35 @@ fn bench_engine_buffering(c: &mut Criterion) {
     group.finish();
 }
 
+/// Observability overhead: the same simulation with the default
+/// `NoopSink` (tracing compiled in but disabled) vs a live JSONL sink
+/// writing every event to an in-memory buffer. The gap is the full cost
+/// of event construction + serialisation; the Noop side measures the
+/// `enabled()` guard on the hot path.
+fn bench_engine_tracing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine/tracing_300txn");
+    group.sample_size(10);
+    group.bench_function("trace_off_noop_sink", |b| {
+        b.iter(|| {
+            let (report, _) =
+                run_simulation_with_obs(tiny(ClusteringPolicy::NoLimit), ObsConfig::default());
+            black_box(report.mean_response_s)
+        })
+    });
+    group.bench_function("trace_on_jsonl_sink", |b| {
+        b.iter(|| {
+            let buf = SharedBuf::default();
+            let sink = JsonlSink::new(buf.clone());
+            let (report, _) = run_simulation_with_obs(
+                tiny(ClusteringPolicy::NoLimit),
+                ObsConfig::with_sink(Box::new(sink)),
+            );
+            black_box((report.mean_response_s, buf.bytes().len()))
+        })
+    });
+    group.finish();
+}
+
 fn bench_trace_pipeline(c: &mut Criterion) {
     let tools = oct_tools();
     c.bench_function("workload/trace_generate_analyze_10_invocations", |b| {
@@ -62,6 +92,7 @@ fn bench_trace_pipeline(c: &mut Criterion) {
 criterion_group!(
     name = engine;
     config = Criterion::default();
-    targets = bench_engine_policies, bench_engine_buffering, bench_trace_pipeline
+    targets = bench_engine_policies, bench_engine_buffering, bench_engine_tracing,
+        bench_trace_pipeline
 );
 criterion_main!(engine);

@@ -44,7 +44,9 @@ fn bench_server(c: &mut Criterion) {
 fn bench_zipf(c: &mut Criterion) {
     let z = Zipf::new(10_000, 0.8);
     let mut rng = SimRng::seed_from_u64(1);
-    c.bench_function("sim/zipf_sample", |b| b.iter(|| black_box(z.sample(&mut rng))));
+    c.bench_function("sim/zipf_sample", |b| {
+        b.iter(|| black_box(z.sample(&mut rng)))
+    });
 }
 
 fn bench_buffer_policies(c: &mut Criterion) {

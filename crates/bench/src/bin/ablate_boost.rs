@@ -2,9 +2,9 @@
 //! (DESIGN.md §5). Too small degenerates to LRU; too large pins stale
 //! relationship neighbourhoods.
 
+use semcluster::{buffering_study_base, run_replicated};
 use semcluster_analysis::Table;
 use semcluster_bench::{banner, FigureOpts};
-use semcluster::{buffering_study_base, run_replicated};
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 

@@ -1,16 +1,25 @@
 //! Ablation: buffer pool size (Table 4.1 parameter L — the study the
 //! paper defers to \[CHAN89\]).
 
+use semcluster::{buffering_study_base, run_replicated};
 use semcluster_analysis::Table;
 use semcluster_bench::{banner, FigureOpts};
-use semcluster::{buffering_study_base, run_replicated};
 use semcluster_buffer::ReplacementPolicy;
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 
 fn main() {
-    banner("Ablation", "buffer pool size under LRU vs context-sensitive (med5-100)");
+    banner(
+        "Ablation",
+        "buffer pool size under LRU vs context-sensitive (med5-100)",
+    );
     let opts = FigureOpts::from_env();
-    let mut table = Table::new(vec!["frames", "LRU resp (s)", "Ctx resp (s)", "LRU hits", "Ctx hits"]);
+    let mut table = Table::new(vec![
+        "frames",
+        "LRU resp (s)",
+        "Ctx resp (s)",
+        "LRU hits",
+        "Ctx hits",
+    ]);
     for frames in [25usize, 50, 100, 200, 400, 800] {
         let mut cells = vec![frames.to_string()];
         let mut hits = Vec::new();

@@ -4,9 +4,7 @@
 
 use semcluster_analysis::Table;
 use semcluster_bench::banner;
-use semcluster_vdm::{
-    derive_version, CopyVsRefModel, Database, ObjectId, SyntheticDbSpec,
-};
+use semcluster_vdm::{derive_version, CopyVsRefModel, Database, ObjectId, SyntheticDbSpec};
 
 fn main() {
     banner("Ablation", "copy-vs-reference traversal weight");
@@ -29,12 +27,7 @@ fn main() {
             traversal_per_read: weight,
             ..CopyVsRefModel::default()
         };
-        let parents: Vec<ObjectId> = db
-            .objects()
-            .map(|o| o.id)
-            .step_by(7)
-            .take(60)
-            .collect();
+        let parents: Vec<ObjectId> = db.objects().map(|o| o.id).step_by(7).take(60).collect();
         let mut copied = 0usize;
         let mut referenced = 0usize;
         let mut bytes = 0u64;

@@ -10,7 +10,10 @@ use semcluster_clustering::{ClusteringPolicy, HintPolicy};
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 
 fn main() {
-    banner("Extension", "user-hint effectiveness (configuration-heavy workload)");
+    banner(
+        "Extension",
+        "user-hint effectiveness (configuration-heavy workload)",
+    );
     let opts = FigureOpts::from_env();
     let mut table = Table::new(vec!["hint policy", "response (s)"]);
     let cases: [(&str, HintPolicy, AccessHint); 3] = [

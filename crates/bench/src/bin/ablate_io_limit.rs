@@ -1,14 +1,17 @@
 //! Ablation: sweep the candidate-search I/O limit from 0 to unbounded —
 //! the continuous version of Figures 5.2–5.4's discrete levels.
 
+use semcluster::{clustering_study_base, run_replicated};
 use semcluster_analysis::Table;
 use semcluster_bench::{banner, FigureOpts};
-use semcluster::{clustering_study_base, run_replicated};
 use semcluster_clustering::ClusteringPolicy;
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 
 fn main() {
-    banner("Ablation", "candidate-search I/O limit sweep (med5, rw 5 and 100)");
+    banner(
+        "Ablation",
+        "candidate-search I/O limit sweep (med5, rw 5 and 100)",
+    );
     let opts = FigureOpts::from_env();
     let mut table = Table::new(vec!["I/O limit", "rw=5 resp (s)", "rw=100 resp (s)"]);
     let limits: [(String, ClusteringPolicy); 7] = [
@@ -26,7 +29,10 @@ fn main() {
             let mut cfg = opts.apply(clustering_study_base());
             cfg.workload = WorkloadSpec::new(StructureDensity::Med5, rw);
             cfg.clustering = policy;
-            cells.push(format!("{:.3}", run_replicated(&cfg, opts.reps).response.mean));
+            cells.push(format!(
+                "{:.3}",
+                run_replicated(&cfg, opts.reps).response.mean
+            ));
         }
         table.row(cells);
     }

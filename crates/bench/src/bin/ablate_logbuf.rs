@@ -1,15 +1,20 @@
 //! Ablation: circular log-buffer size vs physical log I/O (the §4
 //! "circular in-memory log buffer" design point).
 
+use semcluster::{clustering_study_base, run_replicated};
 use semcluster_analysis::Table;
 use semcluster_bench::{banner, FigureOpts};
-use semcluster::{clustering_study_base, run_replicated};
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 
 fn main() {
     banner("Ablation", "circular log-buffer size (med5-5)");
     let opts = FigureOpts::from_env();
-    let mut table = Table::new(vec!["log buffer", "log I/Os", "buffer flushes", "response (s)"]);
+    let mut table = Table::new(vec![
+        "log buffer",
+        "log I/Os",
+        "buffer flushes",
+        "response (s)",
+    ]);
     for kb in [1u32, 4, 16, 64, 256] {
         let mut cfg = opts.apply(clustering_study_base());
         cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 5.0);

@@ -57,7 +57,10 @@ fn main() {
     for step in 0..=steps {
         table.row(vec![
             format!("{}", step * per_step),
-            format!("{:.0}", broken_arc_weight(&static_db, &static_store, &model)),
+            format!(
+                "{:.0}",
+                broken_arc_weight(&static_db, &static_store, &model)
+            ),
             format!(
                 "{:.0}",
                 broken_arc_weight(&dynamic_db, &dynamic_store, &model)

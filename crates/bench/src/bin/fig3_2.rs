@@ -21,7 +21,11 @@ fn main() {
         } else {
             format!("{measured:.2}")
         };
-        table.row(vec![t.name.to_string(), format!("{:.2}", t.rw_ratio), shown]);
+        table.row(vec![
+            t.name.to_string(),
+            format!("{:.2}", t.rw_ratio),
+            shown,
+        ]);
     }
     table.print();
     println!("\npaper: VEM 6000; other tools span 0.52 (atlas) to 170 (mosaico).");

@@ -11,5 +11,10 @@ fn main() {
         "prefetching effect under Context-sensitive replacement — response (s)",
     );
     let opts = FigureOpts::from_env();
-    prefetch_effect(&opts, ReplacementPolicy::ContextSensitive, &corner_workloads()).print("response (s)");
+    prefetch_effect(
+        &opts,
+        ReplacementPolicy::ContextSensitive,
+        &corner_workloads(),
+    )
+    .print("response (s)");
 }

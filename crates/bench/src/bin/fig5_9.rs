@@ -5,7 +5,10 @@ use semcluster_bench::experiments::{corner_workloads, split_effect};
 use semcluster_bench::{banner, FigureOpts};
 
 fn main() {
-    banner("Figure 5.9", "page-splitting effects — mean response time (s)");
+    banner(
+        "Figure 5.9",
+        "page-splitting effects — mean response time (s)",
+    );
     let opts = FigureOpts::from_env();
     split_effect(&opts, &corner_workloads()).print("response (s)");
     println!("\npaper: differences are small; Linear_Split best at high density + high rw,");

@@ -7,10 +7,16 @@ use semcluster_bench::experiments::{factorial_design, factorial_responses_cached
 use semcluster_bench::{banner, FigureOpts};
 
 fn main() {
-    banner("Figure 6.1", "two-level factorial effect analysis (2^8 runs)");
+    banner(
+        "Figure 6.1",
+        "two-level factorial effect analysis (2^8 runs)",
+    );
     let opts = FigureOpts::from_env();
     let design = factorial_design();
-    eprintln!("running {} configurations (cached across 6.1/6.2)…", design.runs());
+    eprintln!(
+        "running {} configurations (cached across 6.1/6.2)…",
+        design.runs()
+    );
     let responses = factorial_responses_cached(&opts);
     let ranked = design.ranked_effects(&responses, 2);
     let mut table = Table::new(vec!["rank", "factor(s)", "|effect| (s)", "signed"]);

@@ -6,10 +6,16 @@ use semcluster_bench::experiments::{corners_from, factorial_design, factorial_re
 use semcluster_bench::{banner, FigureOpts};
 
 fn main() {
-    banner("Figure 6.2", "interaction analysis of control-parameter pairs");
+    banner(
+        "Figure 6.2",
+        "interaction analysis of control-parameter pairs",
+    );
     let opts = FigureOpts::from_env();
     let design = factorial_design();
-    eprintln!("running {} configurations (cached across 6.1/6.2)…", design.runs());
+    eprintln!(
+        "running {} configurations (cached across 6.1/6.2)…",
+        design.runs()
+    );
     let responses = factorial_responses_cached(&opts);
     // The pairs §6 singles out.
     let pairs = [

@@ -13,9 +13,16 @@ fn main() {
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
+    // `repro_all --verbose` propagates to the child exhibits via the
+    // environment, so every configuration prints its response breakdown.
+    let verbose = std::env::args().any(|a| a == "--verbose");
     for exhibit in exhibits {
         let path = dir.join(exhibit);
-        let status = Command::new(&path)
+        let mut cmd = Command::new(&path);
+        if verbose {
+            cmd.env("SEMCLUSTER_VERBOSE", "1");
+        }
+        let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {exhibit}: {e}"));
         assert!(status.success(), "{exhibit} failed");

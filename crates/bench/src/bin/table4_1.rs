@@ -56,10 +56,22 @@ fn main() {
         "Clustering policy",
         "No_Cluster, Cluster_within_Buffer, 2_IO_limit, 10_IO_limit, No_limit",
     ]);
-    c.row(vec!["I", "Page splitting", "No_Splitting, Linear_Split, NP_Split"]);
+    c.row(vec![
+        "I",
+        "Page splitting",
+        "No_Splitting, Linear_Split, NP_Split",
+    ]);
     c.row(vec!["J", "User hints", "No_hint, User_hint"]);
-    c.row(vec!["K", "Buffer replacement", "LRU, Context-sensitive, Random"]);
-    c.row(vec!["L", "Buffer pool size", "100, 1000, 10000 (paper scale)"]);
+    c.row(vec![
+        "K",
+        "Buffer replacement",
+        "LRU, Context-sensitive, Random",
+    ]);
+    c.row(vec![
+        "L",
+        "Buffer pool size",
+        "100, 1000, 10000 (paper scale)",
+    ]);
     c.row(vec![
         "M",
         "Prefetch policy",

@@ -49,8 +49,16 @@ impl Sweep {
     }
 }
 
-fn response(cfg: &SimConfig, reps: u32) -> Estimate {
-    run_replicated(cfg, reps).response
+fn response_verbose(cfg: &SimConfig, reps: u32, verbose: bool) -> Estimate {
+    let result = run_replicated(cfg, reps);
+    if verbose {
+        crate::print_breakdown(&result.reports[0]);
+    }
+    result.response
+}
+
+fn response(cfg: &SimConfig, opts: &FigureOpts) -> Estimate {
+    response_verbose(cfg, opts.reps, opts.verbose)
 }
 
 /// The six workloads of Figures 5.1 / 5.9 / 5.11 (densities × rw 5, 100).
@@ -86,7 +94,7 @@ pub fn clustering_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep
             let mut cfg = opts.apply(clustering_study_base());
             cfg.workload = w.clone();
             cfg.clustering = p;
-            row.push(response(&cfg, opts.reps));
+            row.push(response(&cfg, opts));
         }
         cells.push(row);
     }
@@ -100,7 +108,11 @@ pub fn clustering_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep
 /// Page-splitting sweep (Figure 5.9): No/Linear/NP splitting under
 /// clustering without I/O limitation.
 pub fn split_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep {
-    let policies = [SplitPolicy::NoSplit, SplitPolicy::Linear, SplitPolicy::Optimal];
+    let policies = [
+        SplitPolicy::NoSplit,
+        SplitPolicy::Linear,
+        SplitPolicy::Optimal,
+    ];
     let mut cells = Vec::new();
     for w in workloads {
         let mut row = Vec::new();
@@ -109,7 +121,7 @@ pub fn split_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep {
             cfg.workload = w.clone();
             cfg.clustering = ClusteringPolicy::NoLimit;
             cfg.split = p;
-            row.push(response(&cfg, opts.reps));
+            row.push(response(&cfg, opts));
         }
         cells.push(row);
     }
@@ -132,7 +144,7 @@ pub fn buffering_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep 
             cfg.workload = w.clone();
             cfg.replacement = replacement;
             cfg.prefetch = prefetch;
-            row.push(response(&cfg, opts.reps));
+            row.push(response(&cfg, opts));
         }
         cells.push(row);
     }
@@ -162,7 +174,7 @@ pub fn prefetch_effect(
             cfg.workload = w.clone();
             cfg.replacement = replacement;
             cfg.prefetch = s;
-            row.push(response(&cfg, opts.reps));
+            row.push(response(&cfg, opts));
         }
         cells.push(row);
     }
@@ -218,7 +230,7 @@ pub fn break_even_for(opts: &FigureOpts, density: StructureDensity) -> BreakEven
         let mut plain = opts.apply(clustering_study_base());
         plain.workload = WorkloadSpec::new(density, rw);
         plain.clustering = ClusteringPolicy::NoCluster;
-        response(&clustered, opts.reps).mean - response(&plain, opts.reps).mean
+        response(&clustered, opts).mean - response(&plain, opts).mean
     };
     find_break_even(diff, 1.0, 10.0, 7, 4)
 }
@@ -289,7 +301,7 @@ pub fn factorial_responses(opts: &FigureOpts) -> Vec<f64> {
     let mut out = Vec::with_capacity(design.runs());
     for run in 0..design.runs() {
         let cfg = factorial_config(opts, &design.levels(run));
-        out.push(response(&cfg, 1).mean);
+        out.push(response_verbose(&cfg, 1, opts.verbose).mean);
     }
     out
 }
@@ -304,19 +316,13 @@ pub fn factorial_responses_cached(opts: &FigureOpts) -> Vec<f64> {
     );
     let path = std::env::temp_dir().join(format!("semcluster_{key}"));
     if let Ok(text) = std::fs::read_to_string(&path) {
-        let parsed: Vec<f64> = text
-            .lines()
-            .filter_map(|l| l.trim().parse().ok())
-            .collect();
+        let parsed: Vec<f64> = text.lines().filter_map(|l| l.trim().parse().ok()).collect();
         if parsed.len() == factorial_design().runs() {
             return parsed;
         }
     }
     let responses = factorial_responses(opts);
-    let text: String = responses
-        .iter()
-        .map(|v| format!("{v:.9}\n"))
-        .collect();
+    let text: String = responses.iter().map(|v| format!("{v:.9}\n")).collect();
     let _ = std::fs::write(&path, text);
     responses
 }
@@ -415,6 +421,7 @@ mod tests {
             measured_txns: 150,
             warmup_txns: 50,
             seed: 1,
+            verbose: false,
         }
     }
 

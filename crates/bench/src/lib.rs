@@ -11,12 +11,15 @@
 //! * `SEMCLUSTER_REPS` — replications per configuration (default 3).
 //! * `SEMCLUSTER_FAST` — set to any value for a quick smoke pass
 //!   (smaller database, fewer transactions, 1 replication).
+//! * `SEMCLUSTER_VERBOSE` (or `--verbose`) — print the response-time
+//!   breakdown (cpu / reads / flushes / search / log / lock wait) for
+//!   every configuration as it runs.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 
-use semcluster::SimConfig;
+use semcluster::{RunReport, SimConfig};
 
 /// Sweep options shared by all figure binaries.
 #[derive(Debug, Clone, Copy)]
@@ -31,12 +34,16 @@ pub struct FigureOpts {
     pub warmup_txns: u64,
     /// Base seed.
     pub seed: u64,
+    /// Print the per-component response breakdown of every run.
+    pub verbose: bool,
 }
 
 impl FigureOpts {
-    /// Resolve options from the environment.
+    /// Resolve options from the environment (and a `--verbose` flag).
     pub fn from_env() -> Self {
         let fast = std::env::var_os("SEMCLUSTER_FAST").is_some();
+        let verbose = std::env::var_os("SEMCLUSTER_VERBOSE").is_some()
+            || std::env::args().any(|a| a == "--verbose");
         let reps = std::env::var("SEMCLUSTER_REPS")
             .ok()
             .and_then(|v| v.parse().ok())
@@ -48,6 +55,7 @@ impl FigureOpts {
                 measured_txns: 500,
                 warmup_txns: 150,
                 seed: 42,
+                verbose,
             }
         } else {
             FigureOpts {
@@ -56,6 +64,7 @@ impl FigureOpts {
                 measured_txns: 2000,
                 warmup_txns: 400,
                 seed: 42,
+                verbose,
             }
         }
     }
@@ -79,4 +88,21 @@ pub fn banner(exhibit: &str, caption: &str) {
     println!("================================================================");
     println!("{exhibit} — {caption}");
     println!("================================================================");
+}
+
+/// Print one run's response-time attribution (used under `--verbose`).
+pub fn print_breakdown(report: &RunReport) {
+    let b = report.breakdown;
+    println!(
+        "  [{}] response {:.1} ms = cpu {:.1} + read {:.1} + flush {:.1} \
+         + search {:.1} + log {:.1} + lock {:.1}",
+        report.config_label,
+        b.response_total_s() * 1e3,
+        b.cpu_s * 1e3,
+        b.data_read_s * 1e3,
+        b.dirty_flush_s * 1e3,
+        b.cluster_search_s * 1e3,
+        b.log_s * 1e3,
+        b.lock_wait_s * 1e3,
+    );
 }

@@ -85,8 +85,14 @@ mod tests {
 
     #[test]
     fn display_names() {
-        assert_eq!(ReplacementPolicy::ContextSensitive.to_string(), "Context-sensitive");
-        assert_eq!(PrefetchScope::WithinDatabase.to_string(), "prefetch-within-DB");
+        assert_eq!(
+            ReplacementPolicy::ContextSensitive.to_string(),
+            "Context-sensitive"
+        );
+        assert_eq!(
+            PrefetchScope::WithinDatabase.to_string(),
+            "prefetch-within-DB"
+        );
         assert_eq!(AccessHint::ByConfiguration.to_string(), "by-configuration");
         assert_eq!(AccessHint::default(), AccessHint::None);
     }

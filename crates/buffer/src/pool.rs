@@ -396,7 +396,12 @@ mod tests {
     #[test]
     fn hits_and_misses_counted() {
         let mut pool = BufferPool::new(4, ReplacementPolicy::Lru, 0);
-        assert_eq!(pool.access(p(1)), Access::Miss { evicted_dirty: None });
+        assert_eq!(
+            pool.access(p(1)),
+            Access::Miss {
+                evicted_dirty: None
+            }
+        );
         assert_eq!(pool.access(p(1)), Access::Hit);
         let s = pool.stats();
         assert_eq!(s.requests, 2);

@@ -1,12 +1,16 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
-use semcluster::{run_replicated, workload_from_label, RunReport, SimConfig};
+use semcluster::{
+    run_replicated, run_simulation, run_simulation_with_obs, workload_from_label, ObsConfig,
+    RunReport, SimConfig,
+};
 use semcluster_analysis::Table;
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::{
     broken_arc_weight, static_recluster, ClusteringPolicy, SplitPolicy, WeightModel,
 };
+use semcluster_obs::JsonlSink;
 use semcluster_sim::SimRng;
 use semcluster_storage::StorageManager;
 use semcluster_vdm::{RelKind, SyntheticDbSpec};
@@ -16,16 +20,26 @@ use semcluster_workload::{analyze, generate_trace, oct_tools};
 pub const USAGE: &str = "semclusterctl — the semcluster OODBMS simulator
 
 USAGE:
-  semclusterctl simulate [--workload low3-5|med5-10|hi10-100|…]
+  semclusterctl simulate [--preset|--workload low3-5|med5-10|hi10-100|…]
                          [--clustering none|buffer|2io|10io|nolimit|adaptive]
                          [--replacement lru|random|ctx]
                          [--prefetch none|buffer|db]
                          [--split none|linear|np]
                          [--buffer-pages N] [--reps N] [--seed N] [--json]
+                         [--trace out.jsonl] [--metrics json|table]
+  semclusterctl explain  [same config flags as simulate] [--json]
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
   semclusterctl help
+
+  simulate --trace streams every engine event (txn begin/commit, page
+  reads/flushes, prefetch, log flushes, lock waits, splits) as JSON
+  Lines stamped in simulated time; same seed → byte-identical trace.
+  simulate --metrics prints the counter/gauge/histogram registry
+  snapshot for the measured interval. explain attributes mean response
+  time into CPU / demand-read / dirty-flush / cluster-search / log /
+  lock-wait components.
 ";
 
 /// Parse the clustering policy flag.
@@ -80,7 +94,8 @@ pub fn parse_split(v: &str) -> Result<SplitPolicy, String> {
 /// Build a `SimConfig` from flags.
 pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
     let mut cfg = SimConfig::default();
-    if let Some(label) = args.get("workload") {
+    // `--preset` is an alias for `--workload`.
+    if let Some(label) = args.get("workload").or_else(|| args.get("preset")) {
         cfg.workload =
             workload_from_label(label).ok_or_else(|| format!("unknown workload {label:?}"))?;
     }
@@ -138,6 +153,9 @@ pub fn report_to_json(report: &RunReport) -> String {
 /// `simulate` subcommand.
 pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let cfg = config_from_args(args)?;
+    if args.get("trace").is_some() || args.get("metrics").is_some() {
+        return simulate_instrumented(args, cfg);
+    }
     let reps: u32 = args.get_parsed("reps", 1)?;
     let result = run_replicated(&cfg, reps);
     if args.flag("json") {
@@ -165,7 +183,11 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     ]);
     table.row(vec![
         "p50 / p95 response".to_string(),
-        format!("{:.1} / {:.1} ms", r.p50_response_s * 1e3, r.p95_response_s * 1e3),
+        format!(
+            "{:.1} / {:.1} ms",
+            r.p50_response_s * 1e3,
+            r.p95_response_s * 1e3
+        ),
     ]);
     table.row(vec![
         "buffer hit ratio".to_string(),
@@ -184,9 +206,120 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     ]);
     table.row(vec![
         "disk / cpu utilisation".to_string(),
-        format!("{:.1} % / {:.1} %", r.disk_utilization * 100.0, r.cpu_utilization * 100.0),
+        format!(
+            "{:.1} % / {:.1} %",
+            r.disk_utilization * 100.0,
+            r.cpu_utilization * 100.0
+        ),
     ]);
     Ok(table.render())
+}
+
+/// One instrumented run: optional JSONL trace to a file, optional
+/// metrics-registry snapshot (JSON or ASCII table).
+fn simulate_instrumented(args: &Args, cfg: SimConfig) -> Result<String, String> {
+    let trace_path = args.get("trace");
+    let obs = match trace_path {
+        Some(path) => {
+            let file = std::fs::File::create(path)
+                .map_err(|e| format!("--trace {path}: cannot create file: {e}"))?;
+            ObsConfig::with_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))))
+        }
+        None => ObsConfig::default(),
+    };
+    let (report, snapshot) = run_simulation_with_obs(cfg, obs);
+    let mut out = String::new();
+    match args.get("metrics") {
+        Some("json") => {
+            // Report + registry snapshot in one parseable object, so the
+            // per-category counters can be reconciled against the I/O
+            // breakdown they mirror.
+            out.push_str("{\"report\":");
+            out.push_str(&report_to_json(&report));
+            out.push_str(",\"metrics\":");
+            out.push_str(&snapshot.to_json());
+            out.push_str("}\n");
+        }
+        Some("table") => {
+            out.push_str(&snapshot.to_ascii_table());
+        }
+        Some(other) => return Err(format!("--metrics: expected json or table, got {other:?}")),
+        None => {
+            out.push_str(&report_to_json(&report));
+            out.push('\n');
+        }
+    }
+    if let Some(path) = trace_path {
+        if args.get("metrics") != Some("json") {
+            out.push_str(&format!("trace written to {path}\n"));
+        }
+    }
+    Ok(out)
+}
+
+/// `explain` subcommand: attribute mean response time per component.
+pub fn cmd_explain(args: &Args) -> Result<String, String> {
+    let cfg = config_from_args(args)?;
+    let report = run_simulation(cfg);
+    let b = report.breakdown;
+    let total = b.response_total_s();
+    if args.flag("json") {
+        return Ok(format!(
+            concat!(
+                "{{\"config\":{config:?},\"txns\":{txns},",
+                "\"mean_response_s\":{total:.6},\"cpu_s\":{cpu:.6},",
+                "\"data_read_s\":{dr:.6},\"dirty_flush_s\":{df:.6},",
+                "\"cluster_search_s\":{cs:.6},\"log_s\":{log:.6},",
+                "\"lock_wait_s\":{lw:.6},\"think_s\":{think:.6}}}\n"
+            ),
+            config = report.config_label,
+            txns = report.txns,
+            total = total,
+            cpu = b.cpu_s,
+            dr = b.data_read_s,
+            df = b.dirty_flush_s,
+            cs = b.cluster_search_s,
+            log = b.log_s,
+            lw = b.lock_wait_s,
+            think = b.think_s,
+        ));
+    }
+    let share = |v: f64| {
+        if total > 0.0 {
+            format!("{:.1} %", v / total * 100.0)
+        } else {
+            "-".to_string()
+        }
+    };
+    let mut table = Table::new(vec!["component", "mean per txn", "share"]);
+    let rows: [(&str, f64); 6] = [
+        ("cpu", b.cpu_s),
+        ("demand reads", b.data_read_s),
+        ("dirty flushes", b.dirty_flush_s),
+        ("cluster search", b.cluster_search_s),
+        ("log", b.log_s),
+        ("lock wait", b.lock_wait_s),
+    ];
+    for (name, v) in rows {
+        table.row(vec![
+            name.to_string(),
+            format!("{:.2} ms", v * 1e3),
+            share(v),
+        ]);
+    }
+    table.row(vec![
+        "total response".to_string(),
+        format!("{:.2} ms", total * 1e3),
+        "100.0 %".to_string(),
+    ]);
+    table.row(vec![
+        "think (not in response)".to_string(),
+        format!("{:.0} ms", b.think_s * 1e3),
+        "-".to_string(),
+    ]);
+    let mut out = format!("response-time attribution — {}\n", report.config_label);
+    out.push_str(&table.render());
+    Ok(out)
 }
 
 /// `trace` subcommand.
@@ -333,6 +466,7 @@ pub fn cmd_reorg(args: &Args) -> Result<String, String> {
 pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_deref() {
         Some("simulate") => cmd_simulate(args),
+        Some("explain") => cmd_explain(args),
         Some("trace") => cmd_trace(args),
         Some("inspect") => cmd_inspect(args),
         Some("reorg") => cmd_reorg(args),
@@ -351,9 +485,18 @@ mod tests {
 
     #[test]
     fn policy_parsers() {
-        assert_eq!(parse_clustering("2io").unwrap(), ClusteringPolicy::IoLimit(2));
-        assert_eq!(parse_clustering("7io").unwrap(), ClusteringPolicy::IoLimit(7));
-        assert_eq!(parse_clustering("adaptive").unwrap(), ClusteringPolicy::Adaptive);
+        assert_eq!(
+            parse_clustering("2io").unwrap(),
+            ClusteringPolicy::IoLimit(2)
+        );
+        assert_eq!(
+            parse_clustering("7io").unwrap(),
+            ClusteringPolicy::IoLimit(7)
+        );
+        assert_eq!(
+            parse_clustering("adaptive").unwrap(),
+            ClusteringPolicy::Adaptive
+        );
         assert!(parse_clustering("bogus").is_err());
         assert_eq!(
             parse_replacement("ctx").unwrap(),
@@ -402,6 +545,66 @@ mod tests {
         assert!(out.starts_with('[') && out.ends_with(']'));
         assert!(out.contains("\"mean_response_s\""));
         assert!(out.contains("\"hit_ratio\""));
+    }
+
+    #[test]
+    fn preset_aliases_workload() {
+        let cfg = config_from_args(&parse("simulate --preset hi10-100")).unwrap();
+        assert_eq!(cfg.workload.label(), "hi10-100");
+        // --workload wins when both are given.
+        let cfg = config_from_args(&parse("simulate --workload low3-5 --preset hi10-100")).unwrap();
+        assert_eq!(cfg.workload.label(), "low3-5");
+    }
+
+    #[test]
+    fn simulate_trace_and_metrics() {
+        let dir = std::env::temp_dir().join("semcluster-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let path = path.to_str().unwrap();
+        let out = dispatch(&parse(&format!(
+            "simulate --preset low3-5 --txns 60 --buffer-pages 16 \
+             --trace {path} --metrics json"
+        )))
+        .unwrap();
+        // Combined JSON object with report + registry snapshot.
+        assert!(out.starts_with("{\"report\":"));
+        assert!(out.contains("\"metrics\":"));
+        assert!(out.contains("\"counters\""));
+        assert!(out.contains("buffer.miss"));
+        // Trace file holds one JSON object per line, in event-time order.
+        let trace = std::fs::read_to_string(path).unwrap();
+        assert!(trace.lines().count() > 60);
+        for line in trace.lines().take(50) {
+            assert!(line.starts_with("{\"t\":") && line.ends_with('}'));
+            assert!(line.contains("\"ev\":"));
+        }
+        assert!(trace.contains("\"ev\":\"txn_commit\""));
+        std::fs::remove_file(path).unwrap();
+
+        let out = dispatch(&parse(
+            "simulate --preset low3-5 --txns 60 --buffer-pages 16 --metrics table",
+        ))
+        .unwrap();
+        assert!(out.contains("buffer.hit"));
+        assert!(out.contains("counter"));
+    }
+
+    #[test]
+    fn explain_attributes_response() {
+        let out = dispatch(&parse(
+            "explain --preset low3-5 --txns 60 --buffer-pages 16",
+        ))
+        .unwrap();
+        assert!(out.contains("response-time attribution"));
+        assert!(out.contains("demand reads"));
+        assert!(out.contains("total response"));
+        let out = dispatch(&parse(
+            "explain --preset low3-5 --txns 60 --buffer-pages 16 --json",
+        ))
+        .unwrap();
+        assert!(out.contains("\"data_read_s\""));
+        assert!(out.contains("\"think_s\""));
     }
 
     #[test]

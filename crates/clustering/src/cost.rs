@@ -149,11 +149,7 @@ pub fn candidate_pages(
 
 /// Expected access cost of having `object` on `page`: total arc weight to
 /// related objects *not* co-resident on `page`. Lower is better.
-pub fn placement_cost(
-    store: &StorageManager,
-    neighbors: &[(ObjectId, f64)],
-    page: PageId,
-) -> f64 {
+pub fn placement_cost(store: &StorageManager, neighbors: &[(ObjectId, f64)], page: PageId) -> f64 {
     neighbors
         .iter()
         .filter(|&&(o, _)| store.page_of(o) != Some(page))

@@ -8,9 +8,9 @@
 //! static layout *drift* as structures keep changing — the reason the
 //! paper argues for run-time reclustering.
 
+use crate::config::ClusteringPolicy;
 use crate::cost::WeightModel;
 use crate::placement::{plan_placement, AllResident, PlacementTarget};
-use crate::config::ClusteringPolicy;
 use semcluster_storage::{StorageManager, PAGE_OVERHEAD_BYTES};
 use semcluster_vdm::Database;
 
@@ -50,9 +50,7 @@ pub fn broken_arc_weight(db: &Database, store: &StorageManager, model: &WeightMo
             // for this relationship (forward from a, so use a's profile).
             let w = db
                 .frequencies_of(a)
-                .map(|f| {
-                    model.arc_weight(kind, f.weight(kind, semcluster_vdm::Direction::Forward))
-                })
+                .map(|f| model.arc_weight(kind, f.weight(kind, semcluster_vdm::Direction::Forward)))
                 .unwrap_or(1.0);
             total += w;
         }
@@ -138,8 +136,12 @@ mod tests {
         let old = scattered_store(&db);
         let (fresh, report) = static_recluster(&db, &old, &model, 0.3);
         assert_eq!(report.objects, db.object_count());
-        assert!(report.broken_after < report.broken_before * 0.75,
-            "before {} after {}", report.broken_before, report.broken_after);
+        assert!(
+            report.broken_after < report.broken_before * 0.75,
+            "before {} after {}",
+            report.broken_before,
+            report.broken_after
+        );
         assert!(report.improvement() > 0.25);
         // Every object is placed in the new store.
         for obj in db.objects() {

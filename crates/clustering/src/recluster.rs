@@ -10,7 +10,9 @@
 //!   it if the expected-cost improvement clears a threshold.
 
 use crate::config::{ClusteringPolicy, SplitPolicy};
-use crate::cost::{candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel};
+use crate::cost::{
+    candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel,
+};
 use crate::placement::ResidencyView;
 use crate::split::{build_dependency_graph, linear_split, optimal_split, Partition};
 use semcluster_storage::{PageId, StorageError, StorageManager, PAGE_OVERHEAD_BYTES};
@@ -241,8 +243,10 @@ mod tests {
             ids.push(id);
         }
         for w in 0..3 {
-            db.relate(RelKind::Configuration, ids[w], ids[w + 1]).unwrap();
-            db.relate(RelKind::Configuration, ids[4 + w], ids[5 + w]).unwrap();
+            db.relate(RelKind::Configuration, ids[w], ids[w + 1])
+                .unwrap();
+            db.relate(RelKind::Configuration, ids[4 + w], ids[5 + w])
+                .unwrap();
         }
         // Incoming object strongly tied to the first sub-cluster.
         let incoming = db

@@ -94,9 +94,12 @@ pub fn build_dependency_graph(
             }
         }
     }
-    let mut arcs: Vec<(u32, u32, f64)> =
-        weights.into_iter().map(|((a, b), w)| (a, b, w)).collect();
-    arcs.sort_by(|x, y| y.2.partial_cmp(&x.2).expect("finite").then((x.0, x.1).cmp(&(y.0, y.1))));
+    let mut arcs: Vec<(u32, u32, f64)> = weights.into_iter().map(|((a, b), w)| (a, b, w)).collect();
+    arcs.sort_by(|x, y| {
+        y.2.partial_cmp(&x.2)
+            .expect("finite")
+            .then((x.0, x.1).cmp(&(y.0, y.1)))
+    });
     DependencyGraph {
         objects,
         sizes,
@@ -292,7 +295,8 @@ pub fn optimal_split(g: &DependencyGraph, capacity: u32) -> Result<Partition, Sp
     let mut best: Option<(f64, Vec<bool>)> = None;
     let mut side = vec![false; n];
     // Node 0 stays left; enumerate assignments of nodes 1..n.
-    #[allow(clippy::needless_range_loop)] // `i` simultaneously indexes `side`, `g.sizes` and the mask
+    #[allow(clippy::needless_range_loop)]
+    // `i` simultaneously indexes `side`, `g.sizes` and the mask
     for mask in 0u64..(1u64 << (n - 1)) {
         let mut left_size = g.sizes[0] as u64;
         let mut right_size = 0u64;

@@ -1,21 +1,15 @@
 //! Property-based tests for the clustering engine.
 
 use proptest::prelude::*;
-use semcluster_clustering::{
-    linear_split, optimal_split, DependencyGraph, Partition,
-};
+use semcluster_clustering::{linear_split, optimal_split, DependencyGraph, Partition};
 use semcluster_vdm::ObjectId;
 
-fn graph_strategy(
-    max_nodes: usize,
-) -> impl Strategy<Value = (DependencyGraph, u32)> {
+fn graph_strategy(max_nodes: usize) -> impl Strategy<Value = (DependencyGraph, u32)> {
     (2usize..=max_nodes)
         .prop_flat_map(move |n| {
             let sizes = proptest::collection::vec(10u32..400, n..=n);
-            let arcs = proptest::collection::vec(
-                (0u32..n as u32, 0u32..n as u32, 0.1f64..10.0),
-                0..n * 2,
-            );
+            let arcs =
+                proptest::collection::vec((0u32..n as u32, 0u32..n as u32, 0.1f64..10.0), 0..n * 2);
             (Just(n), sizes, arcs)
         })
         .prop_map(|(n, sizes, raw_arcs)| {
@@ -49,7 +43,10 @@ fn check_partition(g: &DependencyGraph, p: &Partition, capacity: u32) -> Result<
         seen[i as usize] = true;
     }
     prop_assert!(seen.iter().all(|&b| b), "some node unassigned");
-    prop_assert!(!p.left.is_empty() && !p.right.is_empty(), "degenerate split");
+    prop_assert!(
+        !p.left.is_empty() && !p.right.is_empty(),
+        "degenerate split"
+    );
     // Sides fit.
     for side in [&p.left, &p.right] {
         let bytes: u64 = side.iter().map(|&i| g.sizes[i as usize] as u64).sum();

@@ -229,8 +229,10 @@ mod tests {
         let paper = SimConfig::paper_scale();
         let paper_ratio = paper.buffer_pages as f64 / paper.database_pages() as f64;
         // Within 2× of the paper's ~0.8 %.
-        assert!(ratio / paper_ratio < 2.0 && paper_ratio / ratio < 2.0,
-            "scaled ratio {ratio} vs paper {paper_ratio}");
+        assert!(
+            ratio / paper_ratio < 2.0 && paper_ratio / ratio < 2.0,
+            "scaled ratio {ratio} vs paper {paper_ratio}"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@
 //!   servers.
 
 use crate::config::SimConfig;
-use crate::metrics::{MetricsCollector, RunReport};
+use crate::metrics::{MetricsCollector, RunReport, SpanBreakdown};
 use semcluster_buffer::{
     apply_prefetch, prefetch_group, Access, AccessHint, BufferPool, PrefetchScope,
     ReplacementPolicy,
@@ -37,12 +37,14 @@ use semcluster_clustering::{
     consider_split, execute_placement, execute_split, plan_placement, plan_recluster,
     ClusteringPolicy, PlacementTarget, SplitPolicy, WeightModel,
 };
+use semcluster_lock::{LockManager, LockMode};
+use semcluster_obs::{
+    FlushCause, LogFlushKind, MetricsRegistry, MetricsSnapshot, NoopSink, ReadCause, TraceEvent,
+    TraceSink,
+};
 use semcluster_sim::{EventQueue, FcfsServer, ServerBank, SimDuration, SimRng, SimTime};
 use semcluster_storage::{DiskLayout, PageId, StorageManager};
-use semcluster_vdm::{
-    derive_version, Database, ObjectId, ObjectName, RelKind, SyntheticDbSpec,
-};
-use semcluster_lock::{LockManager, LockMode};
+use semcluster_vdm::{derive_version, Database, ObjectId, ObjectName, RelKind, SyntheticDbSpec};
 use semcluster_wal::LogManager;
 use semcluster_workload::{
     sample_read_kind, sample_session_length, sample_write_shape, CreateMode, QueryKind,
@@ -84,6 +86,36 @@ struct ActiveTxn {
     started: SimTime,
     is_read: bool,
     token: Option<semcluster_wal::TxnToken>,
+    /// Global transaction sequence number (trace identity).
+    id: u64,
+    /// Exact response-time attribution accumulated so far.
+    span: SpanBreakdown,
+}
+
+/// Observability wiring for an engine run.
+///
+/// The default is behaviourally free: a [`NoopSink`] whose
+/// `enabled() == false` short-circuits event construction, so an
+/// uninstrumented run does no tracing work beyond a branch. Any sink is
+/// a pure observer — attaching one changes no simulation result.
+pub struct ObsConfig {
+    /// Trace sink receiving every typed event, stamped in simulated time.
+    pub sink: Box<dyn TraceSink>,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            sink: Box::new(NoopSink),
+        }
+    }
+}
+
+impl ObsConfig {
+    /// Wire a specific trace sink.
+    pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
+        ObsConfig { sink }
+    }
 }
 
 #[derive(Debug)]
@@ -121,12 +153,27 @@ pub struct Engine {
     measure_start: SimTime,
     create_seq: u64,
     disk_service: SimDuration,
+    /// Named counters/gauges/histograms, reset at measurement start so
+    /// snapshots reconcile with [`RunReport::io`].
+    registry: MetricsRegistry,
+    /// Typed event sink (NoopSink unless the caller attached one).
+    trace: Box<dyn TraceSink>,
+    /// Global transaction sequence number.
+    txn_seq: u64,
+    /// Scratch attribution for the operation currently executing; drained
+    /// into the owning transaction's span after each operation.
+    cur_span: SpanBreakdown,
 }
 
 impl Engine {
     /// Build the engine: synthesise the database, lay it out under the
     /// configured policy's history, and prime the event queue.
     pub fn new(cfg: SimConfig) -> Self {
+        Self::with_obs(cfg, ObsConfig::default())
+    }
+
+    /// Build the engine with an attached observability configuration.
+    pub fn with_obs(cfg: SimConfig, obs: ObsConfig) -> Self {
         let mut rng = SimRng::seed_from_u64(cfg.seed);
         let db = Self::build_database(&cfg, &mut rng);
         let weights = match cfg.hints {
@@ -141,8 +188,11 @@ impl Engine {
         } else {
             LogManager::new(cfg.log)
         };
-        let mut pool =
-            BufferPool::new(cfg.buffer_pages, cfg.replacement, rng.below(u32::MAX as u64));
+        let mut pool = BufferPool::new(
+            cfg.buffer_pages,
+            cfg.replacement,
+            rng.below(u32::MAX as u64),
+        );
         if let Some(boost) = cfg.context_boost_ticks {
             pool.set_boost_amount(boost);
         }
@@ -182,11 +232,17 @@ impl Engine {
             measure_start: SimTime::ZERO,
             create_seq: 0,
             disk_service,
+            registry: MetricsRegistry::new(),
+            trace: obs.sink,
+            txn_seq: 0,
+            cur_span: SpanBreakdown::default(),
         };
         for u in 0..engine.cfg.users {
             engine.start_session(u);
             let think = engine.rng.exp_duration(engine.cfg.think_time);
-            engine.queue.schedule(SimTime::ZERO + think, Event::ThinkDone(u));
+            engine
+                .queue
+                .schedule(SimTime::ZERO + think, Event::ThinkDone(u));
         }
         engine
     }
@@ -397,9 +453,43 @@ impl Engine {
     // ----------------------------------------------------------- running
 
     /// Run to completion (warmup + measured transactions) and report.
-    pub fn run(mut self) -> RunReport {
+    pub fn run(self) -> RunReport {
+        self.run_with_obs().0
+    }
+
+    /// Run to completion, returning the report plus a snapshot of the
+    /// metrics registry (counters reconcile with [`RunReport::io`]).
+    pub fn run_with_obs(mut self) -> (RunReport, MetricsSnapshot) {
         self.drive();
-        self.report()
+        self.finalize_obs();
+        let report = self.report();
+        let snapshot = self.registry.snapshot();
+        (report, snapshot)
+    }
+
+    /// Live view of the metrics registry (for tests and embedding).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Stamp end-of-run utilisation gauges and flush the trace sink.
+    fn finalize_obs(&mut self) {
+        for i in 0..self.disks.len() {
+            let busy = self.disks.member(i).busy_time().as_micros();
+            self.registry
+                .set_gauge(&format!("disk.{i}.busy_us"), busy as i64);
+        }
+        self.registry.set_gauge(
+            "log_disk.busy_us",
+            self.log_disk.busy_time().as_micros() as i64,
+        );
+        self.registry
+            .set_gauge("cpu.busy_us", self.cpu.busy_time().as_micros() as i64);
+        self.registry.set_gauge(
+            "lock.wait_us",
+            self.metrics.lock_wait_time.as_micros() as i64,
+        );
+        self.trace.flush();
     }
 
     /// Run to completion, then simulate a server crash and recover from
@@ -413,6 +503,7 @@ impl Engine {
             "run_and_crash requires cfg.retain_log = true"
         );
         self.drive();
+        self.finalize_obs();
         let report = self.report();
         let durable = self.log.crash();
         (report, semcluster_wal::recover(&durable))
@@ -435,7 +526,7 @@ impl Engine {
     fn report(&self) -> RunReport {
         let now = self.queue.now();
         let span = now - self.measure_start;
-        RunReport::new(
+        let mut report = RunReport::new(
             self.cfg.label(),
             &self.metrics,
             self.pool.stats(),
@@ -443,7 +534,9 @@ impl Engine {
             self.disks.mean_utilization(now),
             self.cpu.utilization(now),
             span,
-        )
+        );
+        report.breakdown.think_s = self.cfg.think_time.as_secs_f64();
+        report
     }
 
     fn on_think_done(&mut self, u: u32, now: SimTime) {
@@ -453,6 +546,10 @@ impl Engine {
             self.users[u as usize].parked = Some((ops, now));
             self.parked_fifo.push_back(u);
             self.metrics.lock_waits += 1;
+            self.registry.inc("lock.wait");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::LockWait { at: now, user: u });
+            }
             return;
         }
         self.begin_txn(u, ops, now, now);
@@ -462,13 +559,36 @@ impl Engine {
     /// user submitted it (response time includes any lock wait).
     fn begin_txn(&mut self, u: u32, ops: Vec<Op>, submitted: SimTime, now: SimTime) {
         let is_read = ops.iter().all(|op| matches!(op, Op::Read { .. }));
-        let token = if is_read { None } else { Some(self.log.begin()) };
+        let token = if is_read {
+            None
+        } else {
+            Some(self.log.begin())
+        };
+        self.txn_seq += 1;
+        let id = self.txn_seq;
+        // Any gap between submission and lock grant is the lock-wait
+        // component of the transaction's response time.
+        let span = SpanBreakdown {
+            lock_wait_us: now.since(submitted).as_micros(),
+            ..SpanBreakdown::default()
+        };
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::TxnBegin {
+                at: now,
+                user: u,
+                txn: id,
+                is_read,
+                ops: ops.len() as u32,
+            });
+        }
         self.users[u as usize].txn = Some(ActiveTxn {
             ops,
             next_op: 0,
             started: submitted,
             is_read,
             token,
+            id,
+            span,
         });
         self.run_next_op(u, now);
     }
@@ -500,16 +620,48 @@ impl Engine {
             if let Some(token) = token {
                 let ios = self.log.commit(token);
                 for _ in 0..ios {
-                    done = self.log_disk.submit(done, self.disk_service);
-                    self.metrics.io.log_ios += 1;
+                    done = self.submit_log_io(done, LogFlushKind::Commit);
                 }
             }
+            // The commit force is part of the transaction's log component.
+            let commit_span = std::mem::take(&mut self.cur_span);
+            self.users[u as usize]
+                .txn
+                .as_mut()
+                .expect("txn in flight")
+                .span
+                .add(&commit_span);
             self.queue.schedule(done, Event::TxnDone(u));
         }
     }
 
     fn on_txn_done(&mut self, u: u32, now: SimTime) {
         let txn = self.users[u as usize].txn.take().expect("txn in flight");
+        let response = now.since(txn.started);
+        // Every microsecond of response time is attributed to exactly one
+        // component: the op chain only ever advances through the charge_*
+        // helpers, which account each advance as they make it.
+        debug_assert_eq!(
+            txn.span.total_us(),
+            response.as_micros(),
+            "span components must sum exactly to the response time"
+        );
+        self.registry
+            .observe("txn.response_us", response.as_micros());
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::TxnCommit {
+                at: now,
+                user: u,
+                txn: txn.id,
+                response_us: response.as_micros(),
+                cpu_us: txn.span.cpu_us,
+                data_read_us: txn.span.data_read_us,
+                dirty_flush_us: txn.span.dirty_flush_us,
+                cluster_search_us: txn.span.cluster_search_us,
+                log_us: txn.span.log_us,
+                lock_wait_us: txn.span.lock_wait_us,
+            });
+        }
         if self.cfg.locking {
             self.locks.release_all(semcluster_lock::TxnId(u as u64));
             self.wake_parked(now);
@@ -519,7 +671,7 @@ impl Engine {
         }
         self.recent_kinds.push_back(txn.is_read);
         if self.measuring {
-            self.metrics.record_txn(now - txn.started, txn.is_read);
+            self.metrics.record_txn(response, txn.is_read, txn.span);
         }
         self.completed += 1;
         if !self.measuring && self.completed >= self.cfg.warmup_txns {
@@ -546,6 +698,13 @@ impl Engine {
                 if self.measuring {
                     self.metrics.lock_wait_time += now - submitted;
                 }
+                if self.trace.enabled() {
+                    self.trace.emit(&TraceEvent::LockGrant {
+                        at: now,
+                        user: u,
+                        wait_us: now.since(submitted).as_micros(),
+                    });
+                }
                 self.begin_txn(u, ops, submitted, now);
             } else {
                 self.users[u as usize].parked = Some((ops, submitted));
@@ -559,6 +718,9 @@ impl Engine {
         self.measuring = true;
         self.measure_start = now;
         self.metrics = MetricsCollector::default();
+        // Counters restart with the measured interval so the final
+        // snapshot reconciles with the RunReport's I/O breakdown.
+        self.registry.reset();
         self.pool.reset_stats();
         self.log.reset_stats();
         self.disks.reset_stats();
@@ -691,6 +853,14 @@ impl Engine {
                 self.exec_delete(target, token, now)
             }
         };
+        // Drain this operation's attribution into the owning transaction.
+        let op_span = std::mem::take(&mut self.cur_span);
+        self.users[u as usize]
+            .txn
+            .as_mut()
+            .expect("txn in flight")
+            .span
+            .add(&op_span);
         self.queue.schedule(done.max(now), Event::OpDone(u));
     }
 
@@ -706,30 +876,126 @@ impl Engine {
     }
 
     /// Fault `page` through the pool, chaining any physical I/O after `t`.
-    /// Returns the time the page is available.
-    fn charge_access(&mut self, page: PageId, mut t: SimTime) -> SimTime {
+    /// Returns the time the page is available. `cause` decides whether the
+    /// read is a demand read or a clustering-search read — the two are
+    /// charged to different response components and counters.
+    fn charge_access(&mut self, page: PageId, t: SimTime, cause: ReadCause) -> SimTime {
         match self.pool.access(page) {
-            Access::Hit => t,
+            Access::Hit => {
+                self.registry.inc("buffer.hit");
+                t
+            }
             Access::Miss { evicted_dirty } => {
+                self.registry.inc("buffer.miss");
+                let issued = t;
+                let mut ios = 1u32;
+                let mut t = t;
                 if let Some(victim) = evicted_dirty {
-                    let d = self.layout.disk_of(victim) as usize;
-                    t = self.disks.submit_to(d, t, self.disk_service);
-                    self.metrics.io.dirty_writebacks += 1;
+                    t = self.charge_flush(victim, t, FlushCause::Evict);
+                    ios += 1;
                 }
                 let d = self.layout.disk_of(page) as usize;
+                let read_issued = t;
                 t = self.disks.submit_to(d, t, self.disk_service);
-                self.metrics.io.data_reads += 1;
+                let wait = t.since(read_issued).as_micros();
+                match cause {
+                    ReadCause::Demand => {
+                        self.metrics.io.data_reads += 1;
+                        self.registry.inc("io.read.demand");
+                        self.cur_span.data_read_us += wait;
+                    }
+                    ReadCause::ClusterSearch => {
+                        self.metrics.io.cluster_search_ios += 1;
+                        self.registry.inc("cluster.search.candidate_io");
+                        self.cur_span.cluster_search_us += wait;
+                    }
+                }
+                if self.trace.enabled() {
+                    self.trace.emit(&TraceEvent::IoExpand {
+                        at: issued,
+                        page,
+                        ios,
+                    });
+                    self.trace.emit(&TraceEvent::PageRead {
+                        at: read_issued,
+                        page,
+                        disk: d as u32,
+                        cause,
+                        done: t,
+                    });
+                }
                 t
             }
         }
     }
 
+    /// Write a dirty page back on the transaction's critical path.
+    fn charge_flush(&mut self, page: PageId, t: SimTime, cause: FlushCause) -> SimTime {
+        let d = self.layout.disk_of(page) as usize;
+        let done = self.disks.submit_to(d, t, self.disk_service);
+        self.cur_span.dirty_flush_us += done.since(t).as_micros();
+        match cause {
+            FlushCause::Evict => {
+                self.metrics.io.dirty_writebacks += 1;
+                self.registry.inc("buffer.evict.dirty");
+            }
+            FlushCause::Split => {
+                self.metrics.io.split_ios += 1;
+                self.registry.inc("split.io");
+            }
+            FlushCause::Prefetch => unreachable!("prefetch write-backs are asynchronous"),
+        }
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::PageFlush {
+                at: t,
+                page,
+                disk: d as u32,
+                cause,
+                done,
+            });
+        }
+        done
+    }
+
     /// Admit a page the engine just created (no disk image yet).
     fn charge_install(&mut self, page: PageId, mut t: SimTime) -> SimTime {
         if let Some(victim) = self.pool.install(page) {
-            let d = self.layout.disk_of(victim) as usize;
-            t = self.disks.submit_to(d, t, self.disk_service);
-            self.metrics.io.dirty_writebacks += 1;
+            t = self.charge_flush(victim, t, FlushCause::Evict);
+        }
+        t
+    }
+
+    /// One physical log-device I/O of the given kind, chained after `t`.
+    fn submit_log_io(&mut self, t: SimTime, kind: LogFlushKind) -> SimTime {
+        let done = self.log_disk.submit(t, self.disk_service);
+        self.metrics.io.log_ios += 1;
+        self.registry.inc(match kind {
+            LogFlushKind::BeforeImage => "wal.flush.before_image",
+            LogFlushKind::Full => "wal.flush.full",
+            LogFlushKind::Commit => "wal.flush.commit",
+        });
+        self.cur_span.log_us += done.since(t).as_micros();
+        if self.trace.enabled() {
+            self.trace.emit(&TraceEvent::LogFlush { at: t, kind, done });
+        }
+        done
+    }
+
+    /// Log an update and charge the physical log I/Os it caused
+    /// (first-touch before-image and/or log-buffer wraps).
+    fn charge_log(
+        &mut self,
+        token: semcluster_wal::TxnToken,
+        page: PageId,
+        bytes: u32,
+        mut t: SimTime,
+    ) -> SimTime {
+        let io = self.log.log_update_detail(token, page, bytes);
+        if io.before_image {
+            t = self.submit_log_io(t, LogFlushKind::BeforeImage);
+        }
+        for _ in 0..io.wrap_flushes {
+            t = self.submit_log_io(t, LogFlushKind::Full);
         }
         t
     }
@@ -768,17 +1034,47 @@ impl Engine {
             return;
         }
         let effect = apply_prefetch(&mut self.pool, &group, self.cfg.prefetch);
+        if !effect.fetched.is_empty() || !effect.write_backs.is_empty() {
+            self.registry.inc("prefetch.issue");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::PrefetchIssue {
+                    at: t,
+                    fetched: effect.fetched.len() as u32,
+                    write_backs: effect.write_backs.len() as u32,
+                });
+            }
+        }
         // Prefetch I/Os are issued asynchronously: they load the disks but
         // do not extend this transaction's critical path.
         for &page in &effect.fetched {
             let d = self.layout.disk_of(page) as usize;
-            self.disks.submit_to(d, t, self.disk_service);
+            let done = self.disks.submit_to(d, t, self.disk_service);
             self.metrics.io.prefetch_ios += 1;
+            self.registry.inc("prefetch.io");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::PrefetchIo {
+                    at: t,
+                    page,
+                    disk: d as u32,
+                    write_back: false,
+                    done,
+                });
+            }
         }
         for &victim in &effect.write_backs {
             let d = self.layout.disk_of(victim) as usize;
-            self.disks.submit_to(d, t, self.disk_service);
+            let done = self.disks.submit_to(d, t, self.disk_service);
             self.metrics.io.prefetch_ios += 1;
+            self.registry.inc("prefetch.io");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::PrefetchIo {
+                    at: t,
+                    page: victim,
+                    disk: d as u32,
+                    write_back: true,
+                    done,
+                });
+            }
         }
     }
 
@@ -791,9 +1087,7 @@ impl Engine {
             },
             QueryKind::DescendantRetrieval => semcluster_vdm::ReadQuery::DescendantRetrieval,
             QueryKind::AncestorRetrieval => semcluster_vdm::ReadQuery::AncestorRetrieval,
-            QueryKind::CorrespondentRetrieval => {
-                semcluster_vdm::ReadQuery::CorrespondentRetrieval
-            }
+            QueryKind::CorrespondentRetrieval => semcluster_vdm::ReadQuery::CorrespondentRetrieval,
             QueryKind::Mutation => unreachable!("reads only"),
         };
         let objects = semcluster_vdm::execute_read(&self.db, query, root);
@@ -804,7 +1098,7 @@ impl Engine {
         let mut t = now;
         for (i, &obj) in objects.iter().enumerate() {
             if let Some(page) = self.store.page_of(obj) {
-                t = self.charge_access(page, t);
+                t = self.charge_access(page, t, ReadCause::Demand);
             }
             if i == 0 {
                 self.context_boost(obj);
@@ -812,7 +1106,15 @@ impl Engine {
             }
         }
         self.remember(u, root);
-        cpu_done.max(t)
+        self.finish_op(t, cpu_done)
+    }
+
+    /// Close an operation: any time the CPU keeps the transaction busy
+    /// beyond its I/O chain is the operation's CPU component.
+    fn finish_op(&mut self, t: SimTime, cpu_done: SimTime) -> SimTime {
+        let done = cpu_done.max(t);
+        self.cur_span.cpu_us += done.since(t).as_micros();
+        done
     }
 
     fn exec_create(
@@ -864,13 +1166,9 @@ impl Engine {
         let mut t = now;
         // Candidate-page reads flow through the buffer manager; misses
         // they cause are search I/Os, not demand reads.
-        let reads_before = self.metrics.io.data_reads;
         for &page in &plan.examined {
-            t = self.charge_access(page, t);
+            t = self.charge_access(page, t, ReadCause::ClusterSearch);
         }
-        let search = self.metrics.io.data_reads - reads_before;
-        self.metrics.io.data_reads -= search;
-        self.metrics.io.cluster_search_ios += search;
 
         // 3. Page-overflow handling.
         let landed = if plan.target == PlacementTarget::Append
@@ -894,26 +1192,31 @@ impl Engine {
                     let outcome =
                         execute_split(&mut self.store, &split_plan).expect("plan is feasible");
                     let split_cpu = self.cpu.submit(now, self.cfg.cpu_per_split);
-                    t = t.max(split_cpu);
-                    t = self.charge_access(full, t);
+                    let chained = t.max(split_cpu);
+                    self.cur_span.cpu_us += chained.since(t).as_micros();
+                    t = chained;
+                    t = self.charge_access(full, t, ReadCause::Demand);
                     t = self.charge_install(outcome.new_page, t);
                     self.pool.mark_dirty(full);
                     self.pool.mark_dirty(outcome.new_page);
                     // One extra I/O to flush the new page, plus a log
                     // record for the split (§5.1.2).
-                    let d = self.layout.disk_of(outcome.new_page) as usize;
-                    t = self.disks.submit_to(d, t, self.disk_service);
-                    self.metrics.io.split_ios += 1;
-                    let log_ios = self.log.log_update(token, outcome.new_page, size);
-                    for _ in 0..log_ios {
-                        t = self.log_disk.submit(t, self.disk_service);
-                        self.metrics.io.log_ios += 1;
-                    }
+                    t = self.charge_flush(outcome.new_page, t, FlushCause::Split);
+                    t = self.charge_log(token, outcome.new_page, size, t);
                     self.metrics.splits += 1;
+                    self.registry.inc("cluster.split");
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::Split {
+                            at: t,
+                            from: full,
+                            new: outcome.new_page,
+                        });
+                    }
                     outcome.incoming_page
                 }
-                None => execute_placement(&mut self.store, id, size, &plan)
-                    .expect("append cannot fail"),
+                None => {
+                    execute_placement(&mut self.store, id, size, &plan).expect("append cannot fail")
+                }
             }
         } else {
             execute_placement(&mut self.store, id, size, &plan).expect("placement is feasible")
@@ -928,19 +1231,15 @@ impl Engine {
         t = if fresh {
             self.charge_install(landed, t)
         } else {
-            self.charge_access(landed, t)
+            self.charge_access(landed, t, ReadCause::Demand)
         };
         self.pool.mark_dirty(landed);
-        let log_ios = self.log.log_update(token, landed, size);
-        for _ in 0..log_ios {
-            t = self.log_disk.submit(t, self.disk_service);
-            self.metrics.io.log_ios += 1;
-        }
+        t = self.charge_log(token, landed, size, t);
         if self.measuring {
             self.metrics.objects_created += 1;
         }
         self.remember(u, id);
-        cpu_done.max(t)
+        self.finish_op(t, cpu_done)
     }
 
     fn exec_update(
@@ -953,9 +1252,9 @@ impl Engine {
         let cpu_done = self.cpu.submit(now, self.cfg.cpu_per_access);
         let mut t = now;
         let Some(page) = self.store.page_of(target) else {
-            return cpu_done;
+            return self.finish_op(now, cpu_done);
         };
-        t = self.charge_access(page, t);
+        t = self.charge_access(page, t, ReadCause::Demand);
         self.pool.mark_dirty(page);
         let size = self
             .store
@@ -963,11 +1262,7 @@ impl Engine {
             .ok()
             .and_then(|objs| objs.iter().find(|&&(o, _)| o == target).map(|&(_, s)| s))
             .unwrap_or(128);
-        let log_ios = self.log.log_update(token, page, size);
-        for _ in 0..log_ios {
-            t = self.log_disk.submit(t, self.disk_service);
-            self.metrics.io.log_ios += 1;
-        }
+        t = self.charge_log(token, page, size, t);
 
         // Run-time reclustering: the update is the moment the cluster
         // manager re-evaluates the object's placement.
@@ -981,27 +1276,28 @@ impl Engine {
                 target,
                 self.cfg.recluster_min_gain,
             ) {
-                let reads_before = self.metrics.io.data_reads;
                 for &p in &plan.examined {
-                    t = self.charge_access(p, t);
+                    t = self.charge_access(p, t, ReadCause::ClusterSearch);
                 }
-                let search = self.metrics.io.data_reads - reads_before;
-                self.metrics.io.data_reads -= search;
-                self.metrics.io.cluster_search_ios += search;
                 if self.store.move_object(target, plan.to).is_ok() {
                     self.pool.mark_dirty(page);
                     self.pool.mark_dirty(plan.to);
-                    let log_ios = self.log.log_update(token, plan.to, size);
-                    for _ in 0..log_ios {
-                        t = self.log_disk.submit(t, self.disk_service);
-                        self.metrics.io.log_ios += 1;
-                    }
+                    t = self.charge_log(token, plan.to, size, t);
                     self.metrics.recluster_moves += 1;
+                    self.registry.inc("cluster.recluster.move");
+                    if self.trace.enabled() {
+                        self.trace.emit(&TraceEvent::ReclusterMove {
+                            at: t,
+                            object: target.0,
+                            from: page,
+                            to: plan.to,
+                        });
+                    }
                 }
             }
         }
         self.remember(u, target);
-        cpu_done.max(t)
+        self.finish_op(t, cpu_done)
     }
 
     /// §4.1 query type 7 also covers deletion: remove the object
@@ -1017,11 +1313,11 @@ impl Engine {
         if self.db.delete_object(target).is_err() {
             // Already gone, or protected by inheritors: a no-op read of
             // the catalog.
-            return cpu_done;
+            return self.finish_op(now, cpu_done);
         }
         let mut t = now;
         if let Some(page) = self.store.page_of(target) {
-            t = self.charge_access(page, t);
+            t = self.charge_access(page, t, ReadCause::Demand);
             let size = self
                 .store
                 .objects_on(page)
@@ -1030,22 +1326,24 @@ impl Engine {
                 .unwrap_or(0);
             let _ = self.store.remove(target);
             self.pool.mark_dirty(page);
-            let log_ios = self.log.log_update(token, page, size);
-            for _ in 0..log_ios {
-                t = self.log_disk.submit(t, self.disk_service);
-                self.metrics.io.log_ios += 1;
-            }
+            t = self.charge_log(token, page, size, t);
             if self.measuring {
                 self.metrics.objects_deleted += 1;
             }
         }
-        cpu_done.max(t)
+        self.finish_op(t, cpu_done)
     }
 }
 
 /// Run one configured simulation to completion.
 pub fn run_simulation(cfg: SimConfig) -> RunReport {
     Engine::new(cfg).run()
+}
+
+/// Run one configured simulation with observability attached, returning
+/// the report plus the final metrics snapshot.
+pub fn run_simulation_with_obs(cfg: SimConfig, obs: ObsConfig) -> (RunReport, MetricsSnapshot) {
+    Engine::with_obs(cfg, obs).run_with_obs()
 }
 
 #[cfg(test)]
@@ -1106,12 +1404,12 @@ mod tests {
         // write transaction. Compare the per-commit rate (totals are
         // diluted by the random write-transaction counts of each run).
         let mut base = tiny();
-        base.measured_txns = 1200;
+        base.measured_txns = 2000;
+        base.workload = semcluster_workload::WorkloadSpec::new(StructureDensity::Med5, 2.0);
         let clustered = run_simulation(base.clone().with_clustering(ClusteringPolicy::NoLimit));
         let scattered = run_simulation(base.with_clustering(ClusteringPolicy::NoCluster));
-        let rate = |r: &crate::RunReport| {
-            r.log.before_image_ios as f64 / r.log.commits.max(1) as f64
-        };
+        let rate =
+            |r: &crate::RunReport| r.log.before_image_ios as f64 / r.log.commits.max(1) as f64;
         assert!(
             rate(&clustered) < rate(&scattered),
             "clustered {:.3} vs scattered {:.3} images/commit",
@@ -1164,7 +1462,11 @@ mod tests {
         let report = run_simulation(cfg);
         // Write-heavy high-density load on a clustered store must
         // eventually overflow preferred pages.
-        assert!(report.splits > 0, "expected splits, got {:?}", report.splits);
+        assert!(
+            report.splits > 0,
+            "expected splits, got {:?}",
+            report.splits
+        );
     }
 }
 
@@ -1174,16 +1476,18 @@ mod lock_tests {
 
     #[test]
     fn locking_produces_waits_under_contention() {
-        // A small, write-heavy database maximises composite-lock
-        // collisions between the ten users.
+        // A small, write-heavy database with nearly no think time keeps
+        // all ten users concurrently active, maximising composite-lock
+        // collisions.
         let mut cfg = SimConfig {
-            database_bytes: 512 * 1024,
+            database_bytes: 256 * 1024,
             buffer_pages: 16,
             warmup_txns: 50,
             measured_txns: 600,
             ..SimConfig::default()
         };
-        cfg.workload = semcluster_workload::WorkloadSpec::new(StructureDensity::Med5, 1.0);
+        cfg.think_time = SimDuration::from_millis(100);
+        cfg.workload = semcluster_workload::WorkloadSpec::new(StructureDensity::Med5, 0.5);
         let locked = run_simulation(cfg.clone());
         assert!(
             locked.lock_waits > 0,
@@ -1304,7 +1608,11 @@ mod crash_tests {
         // Every winner committed; with force-on-commit nothing committed
         // can be lost, and in-flight losers are bounded by the user count.
         assert!(!recovery.winners.is_empty());
-        assert!(recovery.losers.len() <= 10, "{} losers", recovery.losers.len());
+        assert!(
+            recovery.losers.len() <= 10,
+            "{} losers",
+            recovery.losers.len()
+        );
         assert!(
             !recovery.redone.is_empty(),
             "committed updates must be redone"

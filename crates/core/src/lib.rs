@@ -33,8 +33,8 @@ mod presets;
 mod runner;
 
 pub use config::SimConfig;
-pub use engine::{run_simulation, Engine};
-pub use metrics::{IoBreakdown, MetricsCollector, RunReport};
+pub use engine::{run_simulation, run_simulation_with_obs, Engine, ObsConfig};
+pub use metrics::{IoBreakdown, MetricsCollector, ResponseBreakdown, RunReport, SpanBreakdown};
 pub use presets::{
     buffering_study_base, clustering_study_base, figure_5_11_combos, workload_from_label,
 };

@@ -3,10 +3,9 @@
 use semcluster_buffer::BufferStats;
 use semcluster_sim::{Histogram, OnlineStats, SimDuration};
 use semcluster_wal::LogStats;
-use serde::Serialize;
 
 /// Physical-I/O breakdown by cause.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IoBreakdown {
     /// Demand page reads (buffer misses on the critical path).
     pub data_reads: u64,
@@ -35,6 +34,108 @@ impl IoBreakdown {
     }
 }
 
+/// Per-transaction response-time attribution in integer simulated
+/// microseconds.
+///
+/// The engine serialises every transaction's operations along a single
+/// critical-path clock, so each microsecond of response time is charged
+/// to exactly one component and the components sum *exactly* to the
+/// response time (`total_us()` — checked by a `debug_assert` in the
+/// engine and by the observability integration tests).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanBreakdown {
+    /// CPU service time (object accesses, clustering decisions, splits).
+    pub cpu_us: u64,
+    /// Demand page reads waited on (buffer misses).
+    pub data_read_us: u64,
+    /// Dirty-victim write-backs waited on during eviction or split.
+    pub dirty_flush_us: u64,
+    /// Candidate-page reads charged to the clustering search.
+    pub cluster_search_us: u64,
+    /// Log-buffer flushes and the commit force.
+    pub log_us: u64,
+    /// Time parked waiting for a write token.
+    pub lock_wait_us: u64,
+}
+
+impl SpanBreakdown {
+    /// Sum of all components — equals the transaction's response time.
+    pub fn total_us(&self) -> u64 {
+        let SpanBreakdown {
+            cpu_us,
+            data_read_us,
+            dirty_flush_us,
+            cluster_search_us,
+            log_us,
+            lock_wait_us,
+        } = *self;
+        cpu_us + data_read_us + dirty_flush_us + cluster_search_us + log_us + lock_wait_us
+    }
+
+    /// Accumulate another breakdown into this one.
+    pub fn add(&mut self, other: &SpanBreakdown) {
+        self.cpu_us += other.cpu_us;
+        self.data_read_us += other.data_read_us;
+        self.dirty_flush_us += other.dirty_flush_us;
+        self.cluster_search_us += other.cluster_search_us;
+        self.log_us += other.log_us;
+        self.lock_wait_us += other.lock_wait_us;
+    }
+}
+
+/// Mean per-transaction response composition in seconds.
+///
+/// Derived from the exact [`SpanBreakdown`] totals over the measured
+/// interval; `think_s` is the configured think time, reported alongside
+/// for the paper's closed-network cycle picture but *not* part of the
+/// response time.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ResponseBreakdown {
+    /// Mean CPU component per transaction.
+    pub cpu_s: f64,
+    /// Mean demand-read component per transaction.
+    pub data_read_s: f64,
+    /// Mean dirty-flush component per transaction.
+    pub dirty_flush_s: f64,
+    /// Mean cluster-search component per transaction.
+    pub cluster_search_s: f64,
+    /// Mean log component per transaction.
+    pub log_s: f64,
+    /// Mean lock-wait component per transaction.
+    pub lock_wait_s: f64,
+    /// Configured think time (informational; not part of response).
+    pub think_s: f64,
+}
+
+impl ResponseBreakdown {
+    /// Mean per-transaction breakdown from exact measured totals.
+    pub fn from_totals(span: &SpanBreakdown, txns: u64) -> Self {
+        if txns == 0 {
+            return ResponseBreakdown::default();
+        }
+        let per = |us: u64| us as f64 / 1_000_000.0 / txns as f64;
+        ResponseBreakdown {
+            cpu_s: per(span.cpu_us),
+            data_read_s: per(span.data_read_us),
+            dirty_flush_s: per(span.dirty_flush_us),
+            cluster_search_s: per(span.cluster_search_us),
+            log_s: per(span.log_us),
+            lock_wait_s: per(span.lock_wait_us),
+            think_s: 0.0,
+        }
+    }
+
+    /// Sum of the response components (excludes `think_s`).
+    pub fn response_total_s(&self) -> f64 {
+        self.cpu_s
+            + self.data_read_s
+            + self.dirty_flush_s
+            + self.cluster_search_s
+            + self.log_s
+            + self.lock_wait_s
+    }
+}
+
 /// Collects per-transaction observations during the measured interval.
 #[derive(Debug, Clone)]
 pub struct MetricsCollector {
@@ -60,6 +161,10 @@ pub struct MetricsCollector {
     pub lock_waits: u64,
     /// Total time transactions spent waiting for locks.
     pub lock_wait_time: SimDuration,
+    /// Exact response-time attribution summed over measured transactions.
+    pub span_totals: SpanBreakdown,
+    /// Total response time in integer microseconds (= `span_totals.total_us()`).
+    pub response_us_total: u64,
 }
 
 impl Default for MetricsCollector {
@@ -76,13 +181,15 @@ impl Default for MetricsCollector {
             objects_deleted: 0,
             lock_waits: 0,
             lock_wait_time: SimDuration::ZERO,
+            span_totals: SpanBreakdown::default(),
+            response_us_total: 0,
         }
     }
 }
 
 impl MetricsCollector {
     /// Record a completed transaction.
-    pub fn record_txn(&mut self, response: SimDuration, is_read: bool) {
+    pub fn record_txn(&mut self, response: SimDuration, is_read: bool, span: SpanBreakdown) {
         self.response.push_duration(response);
         self.response_hist.record(response.as_secs_f64());
         if is_read {
@@ -90,11 +197,13 @@ impl MetricsCollector {
         } else {
             self.write_response.push_duration(response);
         }
+        self.span_totals.add(&span);
+        self.response_us_total += response.as_micros();
     }
 }
 
 /// Immutable summary of one finished run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Human-readable description of the configuration.
     pub config_label: String,
@@ -119,12 +228,10 @@ pub struct RunReport {
     /// Physical-I/O breakdown.
     pub io: IoBreakdown,
     /// Buffer-pool counters.
-    #[serde(skip)]
     pub buffer: BufferStats,
     /// Buffer hit ratio over the measured interval.
     pub hit_ratio: f64,
     /// Log-manager counters.
-    #[serde(skip)]
     pub log: LogStats,
     /// Physical log I/Os over the measured interval.
     pub log_ios: u64,
@@ -136,6 +243,12 @@ pub struct RunReport {
     pub objects_created: u64,
     /// Objects deleted during the measured interval.
     pub objects_deleted: u64,
+    /// Exact response-time attribution totals (integer microseconds).
+    pub span_totals: SpanBreakdown,
+    /// Total measured response time in integer microseconds.
+    pub response_us_total: u64,
+    /// Mean per-transaction response composition in seconds.
+    pub breakdown: ResponseBreakdown,
     /// Transactions that waited for locks.
     pub lock_waits: u64,
     /// Mean lock wait per waiting transaction, in seconds.
@@ -192,6 +305,12 @@ impl RunReport {
             recluster_moves: metrics.recluster_moves,
             objects_created: metrics.objects_created,
             objects_deleted: metrics.objects_deleted,
+            span_totals: metrics.span_totals,
+            response_us_total: metrics.response_us_total,
+            breakdown: ResponseBreakdown::from_totals(
+                &metrics.span_totals,
+                metrics.response.count(),
+            ),
             lock_waits: metrics.lock_waits,
             mean_lock_wait_s: if metrics.lock_waits == 0 {
                 0.0
@@ -225,18 +344,51 @@ mod tests {
     #[test]
     fn collector_partitions_read_write() {
         let mut m = MetricsCollector::default();
-        m.record_txn(SimDuration::from_millis(100), true);
-        m.record_txn(SimDuration::from_millis(300), false);
+        m.record_txn(
+            SimDuration::from_millis(100),
+            true,
+            SpanBreakdown::default(),
+        );
+        m.record_txn(
+            SimDuration::from_millis(300),
+            false,
+            SpanBreakdown::default(),
+        );
         assert_eq!(m.response.count(), 2);
         assert_eq!(m.read_response.count(), 1);
         assert_eq!(m.write_response.count(), 1);
         assert!((m.response.mean() - 0.2).abs() < 1e-9);
+        assert_eq!(m.response_us_total, 400_000);
+    }
+
+    #[test]
+    fn span_breakdown_sums_and_accumulates() {
+        let a = SpanBreakdown {
+            cpu_us: 1,
+            data_read_us: 2,
+            dirty_flush_us: 3,
+            cluster_search_us: 4,
+            log_us: 5,
+            lock_wait_us: 6,
+        };
+        assert_eq!(a.total_us(), 21);
+        let mut b = a;
+        b.add(&a);
+        assert_eq!(b.total_us(), 42);
+        let rb = ResponseBreakdown::from_totals(&b, 2);
+        assert!((rb.response_total_s() - 21e-6).abs() < 1e-12);
+        assert!((rb.log_s - 5e-6).abs() < 1e-12);
     }
 
     #[test]
     fn report_assembles() {
         let mut m = MetricsCollector::default();
-        m.record_txn(SimDuration::from_millis(50), true);
+        let span = SpanBreakdown {
+            cpu_us: 20_000,
+            data_read_us: 30_000,
+            ..Default::default()
+        };
+        m.record_txn(SimDuration::from_millis(50), true, span);
         let r = RunReport::new(
             "test".into(),
             &m,
@@ -249,5 +401,8 @@ mod tests {
         assert_eq!(r.txns, 1);
         assert!((r.mean_response_s - 0.05).abs() < 1e-9);
         assert_eq!(r.measured_span_s, 100.0);
+        assert_eq!(r.response_us_total, 50_000);
+        assert!((r.breakdown.cpu_s - 0.02).abs() < 1e-12);
+        assert!((r.breakdown.data_read_s - 0.03).abs() < 1e-12);
     }
 }

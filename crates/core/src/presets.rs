@@ -38,7 +38,9 @@ pub fn workload_from_label(label: &str) -> Option<WorkloadSpec> {
     } else {
         return None;
     };
-    rest.parse::<f64>().ok().map(|rw| WorkloadSpec::new(density, rw))
+    rest.parse::<f64>()
+        .ok()
+        .map(|rw| WorkloadSpec::new(density, rw))
 }
 
 /// The six buffering combinations reported in Figure 5.11, as

@@ -27,9 +27,11 @@ pub fn run_replicated(cfg: &SimConfig, replications: u32) -> ReplicatedResult {
     let mut hit_ratio = OnlineStats::new();
     let mut reports = Vec::with_capacity(replications as usize);
     for r in 0..replications {
-        let run_cfg = cfg
-            .clone()
-            .with_seed(cfg.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(r as u64));
+        let run_cfg = cfg.clone().with_seed(
+            cfg.seed
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(r as u64),
+        );
         let report = run_simulation(run_cfg);
         response.push(report.mean_response_s);
         log_ios.push(report.log_ios as f64);

@@ -113,8 +113,8 @@ impl LockManager {
         let is_upgrade = entry.holders.contains_key(&txn);
         // FIFO fairness: a fresh request must also wait behind queued
         // waiters; upgrades only check the holders.
-        let must_wait = !entry.grantable(txn, effective)
-            || (!is_upgrade && !entry.queue.is_empty());
+        let must_wait =
+            !entry.grantable(txn, effective) || (!is_upgrade && !entry.queue.is_empty());
         if !must_wait {
             if is_upgrade {
                 self.stats.upgrades += 1;
@@ -206,7 +206,10 @@ impl LockManager {
                     .map(|&held| held.join(mode))
                     .unwrap_or(mode);
                 if !entry.grantable(txn, effective)
-                    || entry.queue.iter().any(|&(t, m)| t != txn && !m.compatible(effective))
+                    || entry
+                        .queue
+                        .iter()
+                        .any(|&(t, m)| t != txn && !m.compatible(effective))
                 {
                     return false;
                 }

@@ -1,0 +1,33 @@
+//! Deterministic observability for the semcluster engine.
+//!
+//! The paper's whole argument is an *attribution* argument — response
+//! time decomposed into candidate-search reads (§2.1a), log flushes
+//! (Fig 5.5), prefetch traffic (§5.2) and buffer misses (Fig 5.11). This
+//! crate provides the measurement substrate for that:
+//!
+//! * [`MetricsRegistry`] — named counters/gauges/histograms with
+//!   hierarchical dotted scopes (`buffer.hit`, `wal.flush.commit`,
+//!   `disk.3.busy_us`), snapshot/diff and JSON + ASCII-table export;
+//! * [`TraceSink`] + [`TraceEvent`] — typed events stamped in simulated
+//!   time, with a JSONL emitter ([`JsonlSink`]), a flight-recorder ring
+//!   ([`RingBufferSink`]) and a free [`NoopSink`] default.
+//!
+//! ## Determinism contract
+//!
+//! Everything here is a pure observer: no clocks, no RNG, no feedback
+//! into the simulation. Timestamps are integer simulated microseconds
+//! and all exports iterate sorted maps, so two runs of the same
+//! configuration and seed produce **byte-identical** traces and
+//! snapshots, and enabling any sink changes no simulation result.
+
+#![warn(missing_docs)]
+
+mod json;
+mod metrics;
+mod trace;
+
+pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use trace::{
+    shared, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink, SharedBuf,
+    SharedSink, TraceEvent, TraceSink,
+};

@@ -1,0 +1,402 @@
+//! The metrics registry: named counters, gauges and histograms with
+//! hierarchical dotted scopes (`buffer.hit`, `wal.flush.commit`,
+//! `disk.3.busy_us`), snapshot/diff support and JSON + ASCII-table
+//! export.
+//!
+//! Everything is integer-valued and stored in `BTreeMap`s, so snapshots
+//! are deterministic: same run → same snapshot, byte for byte.
+
+use crate::json::{push_json_str, ObjWriter};
+use std::collections::BTreeMap;
+
+/// Power-of-two-bucket histogram of `u64` observations. Bucket `i`
+/// counts values `v` with `2^(i-1) < v <= 2^i` (bucket 0 counts zeros
+/// and ones), which is plenty of resolution for latency-style data
+/// while staying integer-exact.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Histogram {
+    fn bucket_of(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).saturating_sub(1)
+    }
+
+    /// Record one observation.
+    pub fn observe(&mut self, v: u64) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.max = self.max.max(v);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all observations.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket holding the q-quantile observation
+    /// (a coarse but deterministic estimate).
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil() as u64;
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return 1u64 << i;
+            }
+        }
+        1u64 << (self.buckets.len().saturating_sub(1))
+    }
+
+    fn to_json(&self) -> String {
+        let mut s = String::new();
+        let mut w = ObjWriter::begin(&mut s);
+        w.u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("max", self.max);
+        let buckets = self
+            .buckets
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        w.raw("buckets_pow2", &format!("[{buckets}]"));
+        w.end();
+        s
+    }
+}
+
+/// Registry of named metrics. Dotted names form the hierarchy; the
+/// registry itself is flat (a scope is just a name prefix).
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increment counter `name` by one.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increment counter `name` by `n`. Creates the counter on first use.
+    pub fn add(&mut self, name: &str, n: u64) {
+        if let Some(c) = self.counters.get_mut(name) {
+            *c += n;
+        } else {
+            self.counters.insert(name.to_string(), n);
+        }
+    }
+
+    /// Current value of counter `name` (0 if never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Set gauge `name` to `v`.
+    pub fn set_gauge(&mut self, name: &str, v: i64) {
+        if let Some(g) = self.gauges.get_mut(name) {
+            *g = v;
+        } else {
+            self.gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Current value of gauge `name` (0 if never set).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Record `v` into histogram `name`. Creates it on first use.
+    pub fn observe(&mut self, name: &str, v: u64) {
+        if let Some(h) = self.histograms.get_mut(name) {
+            h.observe(v);
+        } else {
+            let mut h = Histogram::default();
+            h.observe(v);
+            self.histograms.insert(name.to_string(), h);
+        }
+    }
+
+    /// Histogram `name`, if any observation was recorded.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Clear every metric (used when the measured interval begins, so
+    /// counters reconcile with per-run report totals).
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+
+    /// Deterministic point-in-time copy of every metric.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            gauges: self.gauges.clone(),
+            histograms: self.histograms.clone(),
+        }
+    }
+}
+
+/// Immutable copy of a registry's state; supports diff and export.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Histograms by name.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl MetricsSnapshot {
+    /// Counter value (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value (0 if absent).
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Counter and gauge deltas since `earlier` (histograms are omitted
+    /// from diffs — they don't subtract meaningfully bucket-wise once
+    /// reset semantics differ). Counters absent earlier count from zero.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        for (k, &v) in &self.counters {
+            let delta = v.saturating_sub(earlier.counter(k));
+            if delta > 0 {
+                counters.insert(k.clone(), delta);
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, &v) in &self.gauges {
+            let delta = v - earlier.gauge(k);
+            if delta != 0 {
+                gauges.insert(k.clone(), delta);
+            }
+        }
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms: BTreeMap::new(),
+        }
+    }
+
+    /// Render as a deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
+    pub fn to_json(&self) -> String {
+        let mut counters = String::from("{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                counters.push(',');
+            }
+            push_json_str(&mut counters, k);
+            counters.push(':');
+            counters.push_str(&v.to_string());
+        }
+        counters.push('}');
+
+        let mut gauges = String::from("{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                gauges.push(',');
+            }
+            push_json_str(&mut gauges, k);
+            gauges.push(':');
+            gauges.push_str(&v.to_string());
+        }
+        gauges.push('}');
+
+        let mut hists = String::from("{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                hists.push(',');
+            }
+            push_json_str(&mut hists, k);
+            hists.push(':');
+            hists.push_str(&h.to_json());
+        }
+        hists.push('}');
+
+        let mut s = String::new();
+        let mut w = ObjWriter::begin(&mut s);
+        w.raw("counters", &counters)
+            .raw("gauges", &gauges)
+            .raw("histograms", &hists);
+        w.end();
+        s
+    }
+
+    /// Render as a boxed ASCII table, one row per metric, sorted by name.
+    pub fn to_ascii_table(&self) -> String {
+        let mut rows: Vec<(String, String, String)> = Vec::new();
+        for (k, v) in &self.counters {
+            rows.push((k.clone(), "counter".into(), v.to_string()));
+        }
+        for (k, v) in &self.gauges {
+            rows.push((k.clone(), "gauge".into(), v.to_string()));
+        }
+        for (k, h) in &self.histograms {
+            rows.push((
+                k.clone(),
+                "histogram".into(),
+                format!("n={} mean={:.1} max={}", h.count(), h.mean(), h.max()),
+            ));
+        }
+        rows.sort();
+        let name_w = rows.iter().map(|r| r.0.len()).max().unwrap_or(4).max(6);
+        let kind_w = 9;
+        let val_w = rows.iter().map(|r| r.2.len()).max().unwrap_or(5).max(5);
+        let sep = format!(
+            "+-{}-+-{}-+-{}-+",
+            "-".repeat(name_w),
+            "-".repeat(kind_w),
+            "-".repeat(val_w)
+        );
+        let mut out = String::new();
+        out.push_str(&sep);
+        out.push('\n');
+        out.push_str(&format!(
+            "| {:<name_w$} | {:<kind_w$} | {:>val_w$} |\n",
+            "metric", "kind", "value"
+        ));
+        out.push_str(&sep);
+        out.push('\n');
+        for (name, kind, value) in &rows {
+            out.push_str(&format!(
+                "| {name:<name_w$} | {kind:<kind_w$} | {value:>val_w$} |\n"
+            ));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let mut r = MetricsRegistry::new();
+        r.inc("buffer.hit");
+        r.add("buffer.hit", 2);
+        r.inc("buffer.miss");
+        r.set_gauge("disk.0.busy_us", 1234);
+        assert_eq!(r.counter("buffer.hit"), 3);
+        assert_eq!(r.counter("absent"), 0);
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("buffer.hit"), 3);
+        assert_eq!(snap.gauge("disk.0.busy_us"), 1234);
+    }
+
+    #[test]
+    fn diff_subtracts_counters() {
+        let mut r = MetricsRegistry::new();
+        r.add("a", 5);
+        let early = r.snapshot();
+        r.add("a", 3);
+        r.inc("b");
+        let late = r.snapshot();
+        let d = late.diff(&early);
+        assert_eq!(d.counter("a"), 3);
+        assert_eq!(d.counter("b"), 1);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 900, 1100] {
+            h.observe(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 2006);
+        assert_eq!(h.max(), 1100);
+        assert!(h.quantile_bound(0.5) <= 4);
+        assert!(h.quantile_bound(1.0) >= 1024);
+    }
+
+    #[test]
+    fn snapshot_json_is_deterministic_and_sorted() {
+        let mut r = MetricsRegistry::new();
+        r.inc("z.last");
+        r.inc("a.first");
+        r.observe("lat", 7);
+        let a = r.snapshot().to_json();
+        let b = r.snapshot().to_json();
+        assert_eq!(a, b);
+        let za = a.find("z.last").unwrap();
+        let aa = a.find("a.first").unwrap();
+        assert!(aa < za, "keys must be sorted");
+        assert!(a.starts_with("{\"counters\":{"));
+    }
+
+    #[test]
+    fn ascii_table_renders_all_kinds() {
+        let mut r = MetricsRegistry::new();
+        r.inc("c");
+        r.set_gauge("g", -4);
+        r.observe("h", 10);
+        let t = r.snapshot().to_ascii_table();
+        assert!(t.contains("| c"));
+        assert!(t.contains("gauge"));
+        assert!(t.contains("histogram"));
+        assert!(t.lines().all(|l| l.starts_with('|') || l.starts_with('+')));
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut r = MetricsRegistry::new();
+        r.inc("x");
+        r.set_gauge("y", 1);
+        r.observe("z", 1);
+        r.reset();
+        let s = r.snapshot();
+        assert!(s.counters.is_empty() && s.gauges.is_empty() && s.histograms.is_empty());
+    }
+}

@@ -1,0 +1,605 @@
+//! Typed trace events and sinks.
+//!
+//! Every event is stamped in **simulated time** (integer microseconds),
+//! so a trace is a pure function of the configuration and seed: two
+//! same-seed runs emit byte-identical JSONL. Sinks must not perturb the
+//! simulation — they observe completed scheduling decisions and never
+//! feed anything back.
+
+use crate::json::ObjWriter;
+use semcluster_sim::SimTime;
+use semcluster_storage::PageId;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::io::Write;
+use std::rc::Rc;
+
+/// Why a physical page read was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReadCause {
+    /// Demand fault on the transaction's critical path.
+    Demand,
+    /// Candidate-page read during a clustering placement search.
+    ClusterSearch,
+}
+
+impl ReadCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            ReadCause::Demand => "demand",
+            ReadCause::ClusterSearch => "cluster_search",
+        }
+    }
+}
+
+/// Why a physical page write was issued.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlushCause {
+    /// Dirty victim written back at eviction.
+    Evict,
+    /// Freshly split page forced to disk.
+    Split,
+    /// Dirty victim displaced by an asynchronous prefetch.
+    Prefetch,
+}
+
+impl FlushCause {
+    fn as_str(self) -> &'static str {
+        match self {
+            FlushCause::Evict => "evict",
+            FlushCause::Split => "split",
+            FlushCause::Prefetch => "prefetch",
+        }
+    }
+}
+
+/// Which logging action forced a physical log I/O.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogFlushKind {
+    /// First-touch before-image of an updated page.
+    BeforeImage,
+    /// The circular log buffer wrapped (filled completely).
+    Full,
+    /// Commit forced the buffered tail.
+    Commit,
+}
+
+impl LogFlushKind {
+    fn as_str(self) -> &'static str {
+        match self {
+            LogFlushKind::BeforeImage => "before_image",
+            LogFlushKind::Full => "full",
+            LogFlushKind::Commit => "commit",
+        }
+    }
+}
+
+/// One observable moment of the simulation. All `at` fields are
+/// simulated time; `done` fields are the completion times the FCFS
+/// servers computed for the corresponding physical I/O.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A transaction left its think phase and acquired its locks.
+    TxnBegin {
+        /// Start of execution.
+        at: SimTime,
+        /// Submitting user (workstation).
+        user: u32,
+        /// Global transaction sequence number.
+        txn: u64,
+        /// Whether every operation is a read.
+        is_read: bool,
+        /// Number of operations in the transaction.
+        ops: u32,
+    },
+    /// A transaction committed; its response time is fully attributed.
+    TxnCommit {
+        /// Commit completion time.
+        at: SimTime,
+        /// Submitting user.
+        user: u32,
+        /// Global transaction sequence number.
+        txn: u64,
+        /// End-to-end response in microseconds (includes lock wait).
+        response_us: u64,
+        /// CPU component (service + queueing beyond the I/O chain).
+        cpu_us: u64,
+        /// Demand page-read component.
+        data_read_us: u64,
+        /// Dirty-eviction write-back component.
+        dirty_flush_us: u64,
+        /// Clustering candidate-search read component.
+        cluster_search_us: u64,
+        /// Log-device component (before-images, wraps, commit force).
+        log_us: u64,
+        /// Time parked waiting for locks.
+        lock_wait_us: u64,
+    },
+    /// A logical page access missed and expanded into physical I/Os.
+    IoExpand {
+        /// When the access was issued.
+        at: SimTime,
+        /// The faulted page.
+        page: PageId,
+        /// Physical I/Os the miss expanded into (read + optional
+        /// write-back).
+        ios: u32,
+    },
+    /// Physical page read.
+    PageRead {
+        /// Issue time.
+        at: SimTime,
+        /// Page read.
+        page: PageId,
+        /// Disk that served it.
+        disk: u32,
+        /// Why it was read.
+        cause: ReadCause,
+        /// Completion time (after disk queueing + service).
+        done: SimTime,
+    },
+    /// Physical page write.
+    PageFlush {
+        /// Issue time.
+        at: SimTime,
+        /// Page written.
+        page: PageId,
+        /// Disk that served it.
+        disk: u32,
+        /// Why it was written.
+        cause: FlushCause,
+        /// Completion time.
+        done: SimTime,
+    },
+    /// A prefetch batch was issued for one object's related group.
+    PrefetchIssue {
+        /// Issue time.
+        at: SimTime,
+        /// Pages fetched asynchronously.
+        fetched: u32,
+        /// Dirty victims written back to make room.
+        write_backs: u32,
+    },
+    /// One asynchronous prefetch I/O (read or displaced write-back).
+    PrefetchIo {
+        /// Issue time.
+        at: SimTime,
+        /// Page involved.
+        page: PageId,
+        /// Disk that served it.
+        disk: u32,
+        /// True for a displaced dirty write-back, false for the fetch.
+        write_back: bool,
+        /// Completion time.
+        done: SimTime,
+    },
+    /// The cluster manager moved an object at update time.
+    ReclusterMove {
+        /// Decision time.
+        at: SimTime,
+        /// Object moved.
+        object: u32,
+        /// Source page.
+        from: PageId,
+        /// Destination page.
+        to: PageId,
+    },
+    /// A full preferred page was split.
+    Split {
+        /// Split time.
+        at: SimTime,
+        /// Overflowing page.
+        from: PageId,
+        /// Newly allocated page.
+        new: PageId,
+    },
+    /// A transaction could not acquire its pre-declared locks and parked.
+    LockWait {
+        /// Park time.
+        at: SimTime,
+        /// Parked user.
+        user: u32,
+    },
+    /// A parked transaction finally acquired its locks.
+    LockGrant {
+        /// Grant time.
+        at: SimTime,
+        /// Woken user.
+        user: u32,
+        /// How long it waited, in microseconds.
+        wait_us: u64,
+    },
+    /// A physical log I/O.
+    LogFlush {
+        /// Issue time.
+        at: SimTime,
+        /// What forced it.
+        kind: LogFlushKind,
+        /// Completion time on the log disk.
+        done: SimTime,
+    },
+}
+
+impl TraceEvent {
+    /// Event timestamp (simulated).
+    pub fn at(&self) -> SimTime {
+        match *self {
+            TraceEvent::TxnBegin { at, .. }
+            | TraceEvent::TxnCommit { at, .. }
+            | TraceEvent::IoExpand { at, .. }
+            | TraceEvent::PageRead { at, .. }
+            | TraceEvent::PageFlush { at, .. }
+            | TraceEvent::PrefetchIssue { at, .. }
+            | TraceEvent::PrefetchIo { at, .. }
+            | TraceEvent::ReclusterMove { at, .. }
+            | TraceEvent::Split { at, .. }
+            | TraceEvent::LockWait { at, .. }
+            | TraceEvent::LockGrant { at, .. }
+            | TraceEvent::LogFlush { at, .. } => at,
+        }
+    }
+
+    /// Machine name of the event type (the JSONL `ev` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::TxnBegin { .. } => "txn_begin",
+            TraceEvent::TxnCommit { .. } => "txn_commit",
+            TraceEvent::IoExpand { .. } => "io_expand",
+            TraceEvent::PageRead { .. } => "page_read",
+            TraceEvent::PageFlush { .. } => "page_flush",
+            TraceEvent::PrefetchIssue { .. } => "prefetch_issue",
+            TraceEvent::PrefetchIo { .. } => "prefetch_io",
+            TraceEvent::ReclusterMove { .. } => "recluster_move",
+            TraceEvent::Split { .. } => "split",
+            TraceEvent::LockWait { .. } => "lock_wait",
+            TraceEvent::LockGrant { .. } => "lock_grant",
+            TraceEvent::LogFlush { .. } => "log_flush",
+        }
+    }
+
+    /// Render as one deterministic JSON object (no trailing newline).
+    /// Field order is fixed: `t`, `ev`, then event-specific fields.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        let mut w = ObjWriter::begin(&mut s);
+        w.u64("t", self.at().as_micros()).str("ev", self.kind());
+        match *self {
+            TraceEvent::TxnBegin {
+                user,
+                txn,
+                is_read,
+                ops,
+                ..
+            } => {
+                w.u64("user", user as u64)
+                    .u64("txn", txn)
+                    .bool("read", is_read)
+                    .u64("ops", ops as u64);
+            }
+            TraceEvent::TxnCommit {
+                user,
+                txn,
+                response_us,
+                cpu_us,
+                data_read_us,
+                dirty_flush_us,
+                cluster_search_us,
+                log_us,
+                lock_wait_us,
+                ..
+            } => {
+                w.u64("user", user as u64)
+                    .u64("txn", txn)
+                    .u64("response_us", response_us)
+                    .u64("cpu_us", cpu_us)
+                    .u64("data_read_us", data_read_us)
+                    .u64("dirty_flush_us", dirty_flush_us)
+                    .u64("cluster_search_us", cluster_search_us)
+                    .u64("log_us", log_us)
+                    .u64("lock_wait_us", lock_wait_us);
+            }
+            TraceEvent::IoExpand { page, ios, .. } => {
+                w.u64("page", page.0 as u64).u64("ios", ios as u64);
+            }
+            TraceEvent::PageRead {
+                page,
+                disk,
+                cause,
+                done,
+                ..
+            } => {
+                w.u64("page", page.0 as u64)
+                    .u64("disk", disk as u64)
+                    .str("cause", cause.as_str())
+                    .u64("done", done.as_micros());
+            }
+            TraceEvent::PageFlush {
+                page,
+                disk,
+                cause,
+                done,
+                ..
+            } => {
+                w.u64("page", page.0 as u64)
+                    .u64("disk", disk as u64)
+                    .str("cause", cause.as_str())
+                    .u64("done", done.as_micros());
+            }
+            TraceEvent::PrefetchIssue {
+                fetched,
+                write_backs,
+                ..
+            } => {
+                w.u64("fetched", fetched as u64)
+                    .u64("write_backs", write_backs as u64);
+            }
+            TraceEvent::PrefetchIo {
+                page,
+                disk,
+                write_back,
+                done,
+                ..
+            } => {
+                w.u64("page", page.0 as u64)
+                    .u64("disk", disk as u64)
+                    .bool("write_back", write_back)
+                    .u64("done", done.as_micros());
+            }
+            TraceEvent::ReclusterMove {
+                object, from, to, ..
+            } => {
+                w.u64("object", object as u64)
+                    .u64("from", from.0 as u64)
+                    .u64("to", to.0 as u64);
+            }
+            TraceEvent::Split { from, new, .. } => {
+                w.u64("from", from.0 as u64).u64("new", new.0 as u64);
+            }
+            TraceEvent::LockWait { user, .. } => {
+                w.u64("user", user as u64);
+            }
+            TraceEvent::LockGrant { user, wait_us, .. } => {
+                w.u64("user", user as u64).u64("wait_us", wait_us);
+            }
+            TraceEvent::LogFlush { kind, done, .. } => {
+                w.str("kind", kind.as_str()).u64("done", done.as_micros());
+            }
+        }
+        w.end();
+        s
+    }
+}
+
+/// Receiver of trace events. Implementations must be observation-only:
+/// emitting an event must not influence the simulation in any way.
+pub trait TraceSink {
+    /// Whether events should be constructed and delivered at all. The
+    /// engine skips event construction when this is false, so the
+    /// default sink costs nothing on the hot path.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Deliver one event.
+    fn emit(&mut self, event: &TraceEvent);
+
+    /// Flush any buffered output (end of run).
+    fn flush(&mut self) {}
+}
+
+/// The default sink: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&mut self, _event: &TraceEvent) {}
+}
+
+/// Streams events as JSON Lines to any writer.
+pub struct JsonlSink<W: Write> {
+    writer: W,
+    events: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wrap `writer`; one JSON object per line.
+    pub fn new(writer: W) -> Self {
+        JsonlSink { writer, events: 0 }
+    }
+
+    /// Events written so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Unwrap the inner writer (flushing first).
+    pub fn into_inner(mut self) -> W {
+        let _ = self.writer.flush();
+        self.writer
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn emit(&mut self, event: &TraceEvent) {
+        let mut line = event.to_json();
+        line.push('\n');
+        self.writer
+            .write_all(line.as_bytes())
+            .expect("trace sink write failed");
+        self.events += 1;
+    }
+
+    fn flush(&mut self) {
+        self.writer.flush().expect("trace sink flush failed");
+    }
+}
+
+/// Keeps the last `capacity` events in memory — a flight recorder for
+/// tests and post-mortem inspection without unbounded growth.
+#[derive(Debug, Clone)]
+pub struct RingBufferSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    seen: u64,
+}
+
+impl RingBufferSink {
+    /// Ring holding at most `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "ring capacity must be positive");
+        RingBufferSink {
+            capacity,
+            events: VecDeque::with_capacity(capacity),
+            seen: 0,
+        }
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Retained event count (≤ capacity).
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever emitted (including evicted ones).
+    pub fn total_seen(&self) -> u64 {
+        self.seen
+    }
+}
+
+impl TraceSink for RingBufferSink {
+    fn emit(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event.clone());
+        self.seen += 1;
+    }
+}
+
+/// Shared handle to a sink, so a caller can hand a sink to the engine
+/// and still inspect it after the run.
+pub type SharedSink<T> = Rc<RefCell<T>>;
+
+/// Wrap a sink for shared ownership (see [`SharedSink`]).
+pub fn shared<T: TraceSink>(sink: T) -> SharedSink<T> {
+    Rc::new(RefCell::new(sink))
+}
+
+impl<T: TraceSink> TraceSink for SharedSink<T> {
+    fn enabled(&self) -> bool {
+        self.borrow().enabled()
+    }
+
+    fn emit(&mut self, event: &TraceEvent) {
+        self.borrow_mut().emit(event);
+    }
+
+    fn flush(&mut self) {
+        self.borrow_mut().flush();
+    }
+}
+
+/// A growable in-memory byte buffer with shared ownership, usable as the
+/// writer of a [`JsonlSink`] while the caller keeps a handle to read the
+/// bytes back after the run (byte-identity tests, CLI capture).
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuf(Rc<RefCell<Vec<u8>>>);
+
+impl SharedBuf {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the bytes written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.0.borrow().clone()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.borrow_mut().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(t: u64) -> TraceEvent {
+        TraceEvent::PageRead {
+            at: SimTime::from_micros(t),
+            page: PageId(7),
+            disk: 2,
+            cause: ReadCause::Demand,
+            done: SimTime::from_micros(t + 30),
+        }
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let j = ev(100).to_json();
+        assert_eq!(
+            j,
+            r#"{"t":100,"ev":"page_read","page":7,"disk":2,"cause":"demand","done":130}"#
+        );
+    }
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        sink.emit(&ev(1));
+        sink.emit(&ev(2));
+        sink.flush();
+        let text = String::from_utf8(buf.bytes()).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
+        assert_eq!(sink.events(), 2);
+    }
+
+    #[test]
+    fn ring_keeps_last_n() {
+        let mut ring = RingBufferSink::with_capacity(3);
+        for t in 0..10 {
+            ring.emit(&ev(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.total_seen(), 10);
+        let ts: Vec<u64> = ring.events().map(|e| e.at().as_micros()).collect();
+        assert_eq!(ts, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn noop_reports_disabled() {
+        assert!(!NoopSink.enabled());
+        assert!(RingBufferSink::with_capacity(1).enabled());
+    }
+
+    #[test]
+    fn shared_sink_observable_after_handoff() {
+        let ring = shared(RingBufferSink::with_capacity(8));
+        let mut handle: Box<dyn TraceSink> = Box::new(ring.clone());
+        handle.emit(&ev(5));
+        assert_eq!(ring.borrow().len(), 1);
+    }
+}

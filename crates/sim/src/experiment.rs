@@ -57,11 +57,7 @@ where
 /// Like [`replicate`] but the model returns several named quantities; each
 /// is folded separately. The set of names must be identical in every
 /// replication.
-pub fn replicate_multi<F>(
-    base_seed: u64,
-    replications: u32,
-    mut f: F,
-) -> Vec<(String, Estimate)>
+pub fn replicate_multi<F>(base_seed: u64, replications: u32, mut f: F) -> Vec<(String, Estimate)>
 where
     F: FnMut(SimRng) -> Vec<(String, f64)>,
 {
@@ -145,10 +141,7 @@ mod tests {
     #[test]
     fn multi_metrics_fold_independently() {
         let rows = replicate_multi(3, 4, |mut rng| {
-            vec![
-                ("const".to_string(), 7.0),
-                ("noise".to_string(), rng.f64()),
-            ]
+            vec![("const".to_string(), 7.0), ("noise".to_string(), rng.f64())]
         });
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].0, "const");

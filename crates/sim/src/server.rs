@@ -108,7 +108,9 @@ impl ServerBank {
     pub fn new(name: &str, n: usize) -> Self {
         assert!(n > 0, "a server bank needs at least one member");
         ServerBank {
-            servers: (0..n).map(|i| FcfsServer::new(format!("{name}[{i}]"))).collect(),
+            servers: (0..n)
+                .map(|i| FcfsServer::new(format!("{name}[{i}]")))
+                .collect(),
         }
     }
 
@@ -151,7 +153,11 @@ impl ServerBank {
 
     /// Mean utilisation across members over `[0, horizon]`.
     pub fn mean_utilization(&self, horizon: SimTime) -> f64 {
-        self.servers.iter().map(|s| s.utilization(horizon)).sum::<f64>() / self.servers.len() as f64
+        self.servers
+            .iter()
+            .map(|s| s.utilization(horizon))
+            .sum::<f64>()
+            / self.servers.len() as f64
     }
 
     /// Reset statistics on every member.

@@ -107,8 +107,8 @@ mod tests {
         fsm.note(p(1), 100); // class 6: [64,128)
         fsm.note(p(2), 1000); // class 9: [512,1024)
         fsm.note(p(3), 4000); // class 11
-        // Asking for 120 must skip p1 (same class as 120 → not
-        // guaranteed) and return a strictly-higher class page.
+                              // Asking for 120 must skip p1 (same class as 120 → not
+                              // guaranteed) and return a strictly-higher class page.
         let found = fsm.page_with_room(120).unwrap();
         assert!(found == p(2) || found == p(3));
         assert_eq!(fsm.page_with_room(2000), Some(p(3)));

@@ -98,12 +98,7 @@ impl StorageManager {
     }
 
     /// Place a new object on a specific page.
-    pub fn place(
-        &mut self,
-        object: ObjectId,
-        size: u32,
-        page: PageId,
-    ) -> Result<(), StorageError> {
+    pub fn place(&mut self, object: ObjectId, size: u32, page: PageId) -> Result<(), StorageError> {
         if let Some(existing) = self.page_of(object) {
             return Err(StorageError::AlreadyPlaced(object, existing));
         }
@@ -169,7 +164,9 @@ impl StorageManager {
 
     /// Remove an object entirely, returning the page it was on.
     pub fn remove(&mut self, object: ObjectId) -> Result<PageId, StorageError> {
-        let page = self.page_of(object).ok_or(StorageError::NotPlaced(object))?;
+        let page = self
+            .page_of(object)
+            .ok_or(StorageError::NotPlaced(object))?;
         self.pages[page.index()].remove(object)?;
         self.set_dir(object, None);
         Ok(page)
@@ -178,7 +175,9 @@ impl StorageManager {
     /// Move a placed object to another page. Returns the source page.
     /// Fails without state change if the destination cannot hold it.
     pub fn move_object(&mut self, object: ObjectId, to: PageId) -> Result<PageId, StorageError> {
-        let from = self.page_of(object).ok_or(StorageError::NotPlaced(object))?;
+        let from = self
+            .page_of(object)
+            .ok_or(StorageError::NotPlaced(object))?;
         if to.index() >= self.pages.len() {
             return Err(StorageError::UnknownPage(to));
         }
@@ -204,7 +203,9 @@ impl StorageManager {
     /// [`PageError::Full`] (wrapped) if its page cannot absorb the growth;
     /// the caller decides whether to move or split.
     pub fn resize(&mut self, object: ObjectId, new_size: u32) -> Result<(), StorageError> {
-        let page = self.page_of(object).ok_or(StorageError::NotPlaced(object))?;
+        let page = self
+            .page_of(object)
+            .ok_or(StorageError::NotPlaced(object))?;
         self.pages[page.index()].resize(object, new_size)?;
         Ok(())
     }

@@ -169,7 +169,9 @@ impl Database {
 
     /// Latest version number in use for `base`/`rep` (None if unused).
     pub fn latest_version(&self, base: &str, rep: &str) -> Option<u32> {
-        self.latest.get(&(base.to_string(), rep.to_string())).copied()
+        self.latest
+            .get(&(base.to_string(), rep.to_string()))
+            .copied()
     }
 
     /// Add a structural relationship.
@@ -181,12 +183,7 @@ impl Database {
     }
 
     /// Remove a structural relationship.
-    pub fn unrelate(
-        &mut self,
-        kind: RelKind,
-        from: ObjectId,
-        to: ObjectId,
-    ) -> Result<(), DbError> {
+    pub fn unrelate(&mut self, kind: RelKind, from: ObjectId, to: ObjectId) -> Result<(), DbError> {
         self.graph.remove_edge(kind, from, to)?;
         Ok(())
     }
@@ -202,9 +199,7 @@ impl Database {
 
     /// Iterate all live objects.
     pub fn objects(&self) -> impl Iterator<Item = &DesignObject> {
-        self.objects
-            .iter()
-            .filter(|o| self.live[o.id.index()])
+        self.objects.iter().filter(|o| self.live[o.id.index()])
     }
 
     /// Whether `id` refers to a live (non-deleted) object.

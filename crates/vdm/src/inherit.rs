@@ -115,7 +115,8 @@ pub fn derive_version(
         .latest_version(&parent_name.base, &parent_name.rep)
         .map(|v| v + 1)
         .unwrap_or(parent_name.version + 1);
-    let child_name = crate::name::ObjectName::new(parent_name.base.clone(), next, parent_name.rep.clone());
+    let child_name =
+        crate::name::ObjectName::new(parent_name.base.clone(), next, parent_name.rep.clone());
 
     let child = db.create_object(child_name, parent_ty, parent_body)?;
     db.relate(RelKind::VersionHistory, parent, child)?;

@@ -68,7 +68,12 @@ pub struct DesignObject {
 impl DesignObject {
     /// Total storage footprint: body plus every attribute slot.
     pub fn size_bytes(&self) -> u32 {
-        self.body_bytes + self.attrs.iter().map(AttrInstance::stored_bytes).sum::<u32>()
+        self.body_bytes
+            + self
+                .attrs
+                .iter()
+                .map(AttrInstance::stored_bytes)
+                .sum::<u32>()
     }
 
     /// Find an attribute slot by name.

@@ -160,9 +160,7 @@ impl TypeLattice {
 
     /// Look up a type definition.
     pub fn get(&self, id: TypeId) -> Result<&TypeDef, TypeError> {
-        self.types
-            .get(id.index())
-            .ok_or(TypeError::UnknownType(id))
+        self.types.get(id.index()).ok_or(TypeError::UnknownType(id))
     }
 
     /// Look up a type id by name.
@@ -331,7 +329,13 @@ mod tests {
     fn unknown_supertype_rejected() {
         let mut l = TypeLattice::new();
         let err = l
-            .define("y", vec![TypeId(9)], vec![], vec![], RelFrequencies::UNIFORM)
+            .define(
+                "y",
+                vec![TypeId(9)],
+                vec![],
+                vec![],
+                RelFrequencies::UNIFORM,
+            )
             .unwrap_err();
         assert_eq!(err, TypeError::UnknownSupertype(TypeId(9)));
     }

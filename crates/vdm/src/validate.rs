@@ -49,7 +49,10 @@ impl fmt::Display for Violation {
                 write!(f, "object {o} attribute {name:?} references missing {p}")
             }
             Violation::MissingInheritanceLink(p, c) => {
-                write!(f, "by-reference attribute {p}→{c} lacks an inheritance edge")
+                write!(
+                    f,
+                    "by-reference attribute {p}→{c} lacks an inheritance edge"
+                )
             }
         }
     }

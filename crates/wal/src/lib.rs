@@ -24,5 +24,5 @@
 mod log;
 mod recovery;
 
-pub use crate::log::{LogConfig, LogManager, LogStats, TxnToken};
+pub use crate::log::{LogConfig, LogManager, LogStats, TxnToken, UpdateLogIo};
 pub use crate::recovery::{recover, DurableLog, LogRecord, RecordKind, RecoveryOutcome};

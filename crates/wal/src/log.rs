@@ -68,6 +68,23 @@ impl LogStats {
     }
 }
 
+/// Physical log I/Os triggered by one [`LogManager::log_update`],
+/// broken down by kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UpdateLogIo {
+    /// Whether this update's page needed a first-touch before-image.
+    pub before_image: bool,
+    /// Circular-buffer wrap flushes (a huge record can wrap repeatedly).
+    pub wrap_flushes: u32,
+}
+
+impl UpdateLogIo {
+    /// Total physical I/Os.
+    pub fn total(&self) -> u32 {
+        self.wrap_flushes + self.before_image as u32
+    }
+}
+
 /// The log manager. One instance per simulated server.
 #[derive(Debug, Clone)]
 pub struct LogManager {
@@ -183,8 +200,23 @@ impl LogManager {
     /// # Panics
     /// Panics if `txn` is not open.
     pub fn log_update(&mut self, txn: TxnToken, page: PageId, object_bytes: u32) -> u32 {
+        self.log_update_detail(txn, page, object_bytes).total()
+    }
+
+    /// Like [`LogManager::log_update`], but reporting the physical I/Os
+    /// by kind, so callers can attribute before-images separately from
+    /// buffer-wrap flushes.
+    ///
+    /// # Panics
+    /// Panics if `txn` is not open.
+    pub fn log_update_detail(
+        &mut self,
+        txn: TxnToken,
+        page: PageId,
+        object_bytes: u32,
+    ) -> UpdateLogIo {
         let pages = self.open.get_mut(&txn).expect("transaction is open");
-        let mut ios = 0;
+        let mut io = UpdateLogIo::default();
         let record = self.cfg.record_header_bytes + object_bytes;
         self.stats.records += 1;
         self.stats.bytes += record as u64;
@@ -192,28 +224,20 @@ impl LogManager {
         // Before-image of the original page, once per transaction.
         if pages.insert(page) {
             self.stats.before_image_ios += 1;
-            ios += 1;
+            io.before_image = true;
         }
-        self.record(
-            txn,
-            RecordKind::Update {
-                page,
-                object_bytes,
-            },
-        );
+        self.record(txn, RecordKind::Update { page, object_bytes });
         // The circular buffer wraps: flush whole buffers as needed. A
         // single huge record can wrap more than once.
-        let mut wrapped = false;
         while self.buffered >= self.cfg.buffer_bytes {
             self.buffered -= self.cfg.buffer_bytes;
             self.stats.buffer_flushes += 1;
-            ios += 1;
-            wrapped = true;
+            io.wrap_flushes += 1;
         }
-        if wrapped {
+        if io.wrap_flushes > 0 {
             self.flush_tail();
         }
-        ios
+        io
     }
 
     /// Commit `txn`. Returns the physical I/Os triggered (the commit

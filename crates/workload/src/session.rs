@@ -57,9 +57,7 @@ pub struct Transaction {
 impl Transaction {
     /// Whether the transaction only reads.
     pub fn is_read(&self) -> bool {
-        self.ops
-            .iter()
-            .all(|op| matches!(op, TxnOp::Read { .. }))
+        self.ops.iter().all(|op| matches!(op, TxnOp::Read { .. }))
     }
 }
 
@@ -152,10 +150,7 @@ mod tests {
     #[test]
     fn session_counts() {
         let s = Session {
-            transactions: vec![
-                checkout(ObjectId(1), 1).remove(0),
-                checkin(ObjectId(1), 1),
-            ],
+            transactions: vec![checkout(ObjectId(1), 1).remove(0), checkin(ObjectId(1), 1)],
         };
         assert_eq!(s.reads(), 1);
         assert_eq!(s.writes(), 1);

@@ -168,7 +168,10 @@ mod tests {
 
     #[test]
     fn labels_match_paper() {
-        assert_eq!(WorkloadSpec::new(StructureDensity::Low3, 5.0).label(), "low3-5");
+        assert_eq!(
+            WorkloadSpec::new(StructureDensity::Low3, 5.0).label(),
+            "low3-5"
+        );
         assert_eq!(
             WorkloadSpec::new(StructureDensity::High10, 100.0).label(),
             "hi10-100"

@@ -230,7 +230,13 @@ mod tests {
         for s in analyze(&trace) {
             let profile = tools.iter().find(|t| t.name == s.tool).unwrap();
             let rel = (s.io_rate() - profile.io_rate_per_s).abs() / profile.io_rate_per_s;
-            assert!(rel < 0.1, "{}: {} vs {}", s.tool, s.io_rate(), profile.io_rate_per_s);
+            assert!(
+                rel < 0.1,
+                "{}: {} vs {}",
+                s.tool,
+                s.io_rate(),
+                profile.io_rate_per_s
+            );
         }
     }
 

@@ -90,9 +90,10 @@ fn main() {
             semcluster_clustering::PlacementTarget::Existing(p) => {
                 store.place(obj.id, size, p).unwrap()
             }
-            semcluster_clustering::PlacementTarget::Append => {
-                store.append_reserving(obj.id, size, reserve).map(|_| ()).unwrap()
-            }
+            semcluster_clustering::PlacementTarget::Append => store
+                .append_reserving(obj.id, size, reserve)
+                .map(|_| ())
+                .unwrap(),
         }
     }
     println!("placed on {} pages\n", store.page_count());
@@ -100,7 +101,11 @@ fn main() {
     let steps = 3000;
     println!("browsing {steps} composites with a 24-frame pool:");
     for (label, policy, prefetch) in [
-        ("LRU, no prefetch           ", ReplacementPolicy::Lru, PrefetchScope::None),
+        (
+            "LRU, no prefetch           ",
+            ReplacementPolicy::Lru,
+            PrefetchScope::None,
+        ),
         (
             "LRU, prefetch-within-DB    ",
             ReplacementPolicy::Lru,

@@ -59,7 +59,13 @@ fn main() {
         )
         .unwrap();
     let netlist = lattice
-        .define("netlist", vec![design_obj], vec![], vec![], RelFrequencies::UNIFORM)
+        .define(
+            "netlist",
+            vec![design_obj],
+            vec![],
+            vec![],
+            RelFrequencies::UNIFORM,
+        )
         .unwrap();
 
     // ---- 2. Populate: ALU[2].layout composed of CARRY[1].layout,
@@ -157,10 +163,7 @@ fn main() {
         );
         store.move_object(carry, plan.to).unwrap();
     }
-    println!(
-        "co-resident again: {}",
-        store.co_resident(alu2, carry)
-    );
+    println!("co-resident again: {}", store.co_resident(alu2, carry));
 
     // ---- 7. The database still satisfies referential integrity.
     let violations = validate(&db);

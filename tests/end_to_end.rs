@@ -57,8 +57,14 @@ fn within_buffer_degrades_toward_no_cluster_at_high_density() {
     // §5.1.1(c): clustering within the buffer pool degrades to the
     // No_Clustering case when structure density is high.
     let base = small().with_workload(StructureDensity::High10, 100.0);
-    let within = run_replicated(&base.clone().with_clustering(ClusteringPolicy::WithinBuffer), 2);
-    let none = run_replicated(&base.clone().with_clustering(ClusteringPolicy::NoCluster), 2);
+    let within = run_replicated(
+        &base.clone().with_clustering(ClusteringPolicy::WithinBuffer),
+        2,
+    );
+    let none = run_replicated(
+        &base.clone().with_clustering(ClusteringPolicy::NoCluster),
+        2,
+    );
     let unlimited = run_replicated(&base.with_clustering(ClusteringPolicy::NoLimit), 2);
     // Within-buffer sits far closer to no-clustering than to unlimited.
     let to_none = (within.response.mean - none.response.mean).abs();
@@ -78,7 +84,10 @@ fn io_limited_search_is_competitive_with_unbounded() {
     // no limit — "a low limit on I/O appears to be acceptable".
     let mut base = small();
     base.workload = WorkloadSpec::new(StructureDensity::Low3, 5.0);
-    let limited = run_replicated(&base.clone().with_clustering(ClusteringPolicy::IoLimit(2)), 2);
+    let limited = run_replicated(
+        &base.clone().with_clustering(ClusteringPolicy::IoLimit(2)),
+        2,
+    );
     let unlimited = run_replicated(&base.with_clustering(ClusteringPolicy::NoLimit), 2);
     assert!(
         limited.response.mean <= unlimited.response.mean * 1.10,
@@ -144,10 +153,14 @@ fn split_policy_choice_has_minor_effect() {
     let mut base = small();
     base.workload = WorkloadSpec::new(StructureDensity::Med5, 5.0);
     base.clustering = ClusteringPolicy::NoLimit;
-    let responses: Vec<f64> = [SplitPolicy::NoSplit, SplitPolicy::Linear, SplitPolicy::Optimal]
-        .into_iter()
-        .map(|p| run_replicated(&base.clone().with_split(p), 2).response.mean)
-        .collect();
+    let responses: Vec<f64> = [
+        SplitPolicy::NoSplit,
+        SplitPolicy::Linear,
+        SplitPolicy::Optimal,
+    ]
+    .into_iter()
+    .map(|p| run_replicated(&base.clone().with_split(p), 2).response.mean)
+    .collect();
     let max = responses.iter().cloned().fold(f64::MIN, f64::max);
     let min = responses.iter().cloned().fold(f64::MAX, f64::min);
     assert!(

@@ -1,0 +1,241 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the tiny API subset it actually uses: [`rngs::SmallRng`] seeded via
+//! [`SeedableRng::seed_from_u64`], and the [`Rng`] sampling methods
+//! `gen`, `gen_range` and `gen_bool`. The generator is xoshiro256++ with
+//! SplitMix64 state expansion — the same family the real `SmallRng` uses
+//! on 64-bit targets — so the statistical quality matches what the
+//! simulation kernel expects. Streams are *not* bit-compatible with the
+//! upstream crate, only deterministic per seed, which is all the
+//! workspace relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Uniform sampling interface (the subset of `rand::Rng` used here).
+pub trait Rng {
+    /// Next raw 64 bits of the stream.
+    fn next_u64(&mut self) -> u64;
+
+    /// Sample a value of `T` from its full range (floats: `[0, 1)`).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self.next_u64())
+    }
+
+    /// Sample uniformly from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(&mut |n| uniform_below(self, n))
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        f64::sample(self.next_u64()) < p
+    }
+}
+
+/// Types samplable from a raw 64-bit draw (stand-in for the `Standard`
+/// distribution).
+pub trait Standard {
+    /// Map 64 uniform bits onto the type's standard distribution.
+    fn sample(bits: u64) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(bits: u64) -> u64 {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    fn sample(bits: u64) -> u32 {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for f64 {
+    fn sample(bits: u64) -> f64 {
+        // 53 high bits → [0, 1) with full double precision.
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for bool {
+    fn sample(bits: u64) -> bool {
+        bits >> 63 == 1
+    }
+}
+
+/// Unbiased uniform draw below `n` (rejection sampling against the
+/// modulo-bias tail).
+fn uniform_below<R: Rng + ?Sized>(rng: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty sampling range");
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    // Reject draws in the biased tail [limit, 2^64).
+    let limit = u64::MAX - u64::MAX % n;
+    let mut x = rng.next_u64();
+    while x >= limit {
+        x = rng.next_u64();
+    }
+    x % n
+}
+
+/// Ranges a generator can sample from (stand-in for `SampleRange`).
+pub trait SampleRange<T> {
+    /// Draw one value; `below` maps `n` to a uniform draw in `[0, n)`.
+    fn sample(self, below: &mut dyn FnMut(u64) -> u64) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample(self, below: &mut dyn FnMut(u64) -> u64) -> $t {
+                assert!(self.start < self.end, "empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + below(span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample(self, below: &mut dyn FnMut(u64) -> u64) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range");
+                let span = (hi as u64) - (lo as u64);
+                if span == u64::MAX {
+                    return below(u64::MAX) as $t; // pragmatically full range
+                }
+                lo + below(span + 1) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(u64, u32, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample(self, below: &mut dyn FnMut(u64) -> u64) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        let unit = below(u64::MAX) as f64 / u64::MAX as f64;
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// xoshiro256++ with SplitMix64 seeding — small, fast, deterministic.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                    splitmix64(&mut sm),
+                ],
+            }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_repeat() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u64 = rng.gen_range(0..7u64);
+            assert!(x < 7);
+            let y: u32 = rng.gen_range(10u32..=20);
+            assert!((10..=20).contains(&y));
+            let z: usize = rng.gen_range(0..3usize);
+            assert!(z < 3);
+            let f: f64 = rng.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn f64_unit_interval_and_mean() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let n = 50_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.25)).count();
+        let frac = hits as f64 / 100_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}
