@@ -14,6 +14,34 @@ pub struct FactorialDesign {
     factors: Vec<String>,
 }
 
+/// Why a design could not be constructed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DesignError {
+    /// No factors were given.
+    NoFactors,
+    /// More than [`FactorialDesign::MAX_FACTORS`] factors: the full
+    /// `2^k` design would be too large to enumerate.
+    TooManyFactors {
+        /// Factors requested.
+        requested: usize,
+    },
+}
+
+impl std::fmt::Display for DesignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DesignError::NoFactors => write!(f, "need at least one factor"),
+            DesignError::TooManyFactors { requested } => write!(
+                f,
+                "2^{requested} design too large (max {} factors)",
+                FactorialDesign::MAX_FACTORS
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DesignError {}
+
 /// One estimated effect: a factor subset and its contrast.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Effect {
@@ -34,16 +62,32 @@ impl Effect {
 }
 
 impl FactorialDesign {
+    /// Most factors a full design will enumerate (`2^16` = 65536 runs).
+    pub const MAX_FACTORS: usize = 16;
+
+    /// Define a design over the named factors, rejecting empty or
+    /// oversized factor sets instead of panicking.
+    pub fn try_new<S: Into<String>>(factors: Vec<S>) -> Result<Self, DesignError> {
+        let factors: Vec<String> = factors.into_iter().map(Into::into).collect();
+        if factors.is_empty() {
+            return Err(DesignError::NoFactors);
+        }
+        if factors.len() > Self::MAX_FACTORS {
+            return Err(DesignError::TooManyFactors {
+                requested: factors.len(),
+            });
+        }
+        Ok(FactorialDesign { factors })
+    }
+
     /// Define a design over the named factors.
     ///
     /// # Panics
-    /// Panics on more than 16 factors (the full design would not fit in
-    /// memory) or on zero factors.
+    /// Panics on more than [`Self::MAX_FACTORS`] factors (the full
+    /// design would not fit in memory) or on zero factors; use
+    /// [`Self::try_new`] to handle those cases as values.
     pub fn new<S: Into<String>>(factors: Vec<S>) -> Self {
-        let factors: Vec<String> = factors.into_iter().map(Into::into).collect();
-        assert!(!factors.is_empty(), "need at least one factor");
-        assert!(factors.len() <= 16, "2^k design too large");
-        FactorialDesign { factors }
+        Self::try_new(factors).unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Factor names.
@@ -201,5 +245,47 @@ mod tests {
     #[should_panic(expected = "one response per run")]
     fn wrong_response_count_panics() {
         FactorialDesign::new(vec!["A"]).effects(&[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn try_new_boundaries() {
+        // Exactly MAX_FACTORS is accepted (2^16 runs enumerate fine).
+        let names: Vec<String> = (0..FactorialDesign::MAX_FACTORS)
+            .map(|i| format!("f{i}"))
+            .collect();
+        let design = FactorialDesign::try_new(names.clone()).unwrap();
+        assert_eq!(design.runs(), 1 << FactorialDesign::MAX_FACTORS);
+
+        // One more is rejected with the requested count, not a panic.
+        let mut over = names;
+        over.push("f16".into());
+        assert_eq!(
+            FactorialDesign::try_new(over).unwrap_err(),
+            DesignError::TooManyFactors { requested: 17 }
+        );
+
+        let empty: Vec<String> = Vec::new();
+        assert_eq!(
+            FactorialDesign::try_new(empty).unwrap_err(),
+            DesignError::NoFactors
+        );
+    }
+
+    #[test]
+    fn design_error_messages() {
+        assert_eq!(
+            DesignError::NoFactors.to_string(),
+            "need at least one factor"
+        );
+        let e = DesignError::TooManyFactors { requested: 20 };
+        assert!(e.to_string().contains("2^20"));
+        assert!(e.to_string().contains("max 16"));
+    }
+
+    #[test]
+    #[should_panic(expected = "design too large")]
+    fn new_panics_past_boundary() {
+        let names: Vec<String> = (0..17).map(|i| format!("f{i}")).collect();
+        FactorialDesign::new(names);
     }
 }

@@ -19,6 +19,6 @@ mod interaction;
 mod table;
 
 pub use breakeven::{find_break_even, BreakEven};
-pub use factorial::{Effect, FactorialDesign};
+pub use factorial::{DesignError, Effect, FactorialDesign};
 pub use interaction::{Corners, InteractionClass};
 pub use table::{fmt3, fmt_ratio, Table};

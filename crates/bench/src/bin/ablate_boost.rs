@@ -2,8 +2,9 @@
 //! (DESIGN.md §5). Too small degenerates to LRU; too large pins stale
 //! relationship neighbourhoods.
 
-use semcluster::{buffering_study_base, run_replicated};
+use semcluster::{buffering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_workload::{StructureDensity, WorkloadSpec};
@@ -11,14 +12,21 @@ use semcluster_workload::{StructureDensity, WorkloadSpec};
 fn main() {
     banner("Ablation", "context-sensitive boost magnitude (hi10-100)");
     let opts = FigureOpts::from_env();
+    let boosts = [1u64, 8, 32, 128, 512, 4096];
+    let jobs = boosts
+        .iter()
+        .map(|&boost| {
+            let mut cfg = opts.apply(buffering_study_base());
+            cfg.workload = WorkloadSpec::new(StructureDensity::High10, 100.0);
+            cfg.replacement = ReplacementPolicy::ContextSensitive;
+            cfg.prefetch = PrefetchScope::None;
+            cfg.context_boost_ticks = Some(boost);
+            SweepJob::new(format!("boost {boost}"), cfg, opts.reps)
+        })
+        .collect();
+    let results = run_jobs(&opts, jobs);
     let mut table = Table::new(vec!["boost (ticks)", "response (s)", "hit ratio"]);
-    for boost in [1u64, 8, 32, 128, 512, 4096] {
-        let mut cfg = opts.apply(buffering_study_base());
-        cfg.workload = WorkloadSpec::new(StructureDensity::High10, 100.0);
-        cfg.replacement = ReplacementPolicy::ContextSensitive;
-        cfg.prefetch = PrefetchScope::None;
-        cfg.context_boost_ticks = Some(boost);
-        let r = run_replicated(&cfg, opts.reps);
+    for (boost, r) in boosts.iter().zip(&results) {
         table.row(vec![
             boost.to_string(),
             format!("{:.3}±{:.3}", r.response.mean, r.response.ci95),

@@ -1,8 +1,9 @@
 //! Ablation: buffer pool size (Table 4.1 parameter L — the study the
 //! paper defers to \[CHAN89\]).
 
-use semcluster::{buffering_study_base, run_replicated};
+use semcluster::{buffering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_buffer::ReplacementPolicy;
 use semcluster_workload::{StructureDensity, WorkloadSpec};
@@ -13,6 +14,24 @@ fn main() {
         "buffer pool size under LRU vs context-sensitive (med5-100)",
     );
     let opts = FigureOpts::from_env();
+    let frame_levels = [25usize, 50, 100, 200, 400, 800];
+    let policies = [ReplacementPolicy::Lru, ReplacementPolicy::ContextSensitive];
+    // Row-major grid: one job per (frames, replacement) pair.
+    let mut jobs = Vec::new();
+    for &frames in &frame_levels {
+        for replacement in policies {
+            let mut cfg = opts.apply(buffering_study_base());
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 100.0);
+            cfg.replacement = replacement;
+            cfg.buffer_pages = frames;
+            jobs.push(SweepJob::new(
+                format!("{frames} frames / {replacement:?}"),
+                cfg,
+                opts.reps,
+            ));
+        }
+    }
+    let results = run_jobs(&opts, jobs);
     let mut table = Table::new(vec![
         "frames",
         "LRU resp (s)",
@@ -20,20 +39,14 @@ fn main() {
         "LRU hits",
         "Ctx hits",
     ]);
-    for frames in [25usize, 50, 100, 200, 400, 800] {
-        let mut cells = vec![frames.to_string()];
-        let mut hits = Vec::new();
-        for replacement in [ReplacementPolicy::Lru, ReplacementPolicy::ContextSensitive] {
-            let mut cfg = opts.apply(buffering_study_base());
-            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 100.0);
-            cfg.replacement = replacement;
-            cfg.buffer_pages = frames;
-            let r = run_replicated(&cfg, opts.reps);
-            cells.push(format!("{:.3}", r.response.mean));
-            hits.push(format!("{:.2}", r.hit_ratio.mean));
-        }
-        cells.extend(hits);
-        table.row(cells);
+    for (row, chunk) in results.chunks(policies.len()).enumerate() {
+        table.row(vec![
+            frame_levels[row].to_string(),
+            format!("{:.3}", chunk[0].response.mean),
+            format!("{:.3}", chunk[1].response.mean),
+            format!("{:.2}", chunk[0].hit_ratio.mean),
+            format!("{:.2}", chunk[1].hit_ratio.mean),
+        ]);
     }
     table.print();
 }

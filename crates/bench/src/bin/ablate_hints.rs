@@ -2,8 +2,9 @@
 //! hint matching the application's dominant access pattern should help
 //! placement; a wrong hint should hurt it.
 
-use semcluster::{clustering_study_base, run_replicated};
+use semcluster::{clustering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_buffer::AccessHint;
 use semcluster_clustering::{ClusteringPolicy, HintPolicy};
@@ -15,7 +16,6 @@ fn main() {
         "user-hint effectiveness (configuration-heavy workload)",
     );
     let opts = FigureOpts::from_env();
-    let mut table = Table::new(vec!["hint policy", "response (s)"]);
     let cases: [(&str, HintPolicy, AccessHint); 3] = [
         ("No_hint", HintPolicy::NoHints, AccessHint::None),
         (
@@ -29,13 +29,20 @@ fn main() {
             AccessHint::ByVersionHistory,
         ),
     ];
-    for (label, policy, hint) in cases {
-        let mut cfg = opts.apply(clustering_study_base());
-        cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 20.0);
-        cfg.clustering = ClusteringPolicy::NoLimit;
-        cfg.hints = policy;
-        cfg.session_hint = hint;
-        let result = run_replicated(&cfg, opts.reps);
+    let jobs = cases
+        .iter()
+        .map(|&(label, policy, hint)| {
+            let mut cfg = opts.apply(clustering_study_base());
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 20.0);
+            cfg.clustering = ClusteringPolicy::NoLimit;
+            cfg.hints = policy;
+            cfg.session_hint = hint;
+            SweepJob::new(label, cfg, opts.reps)
+        })
+        .collect();
+    let results = run_jobs(&opts, jobs);
+    let mut table = Table::new(vec!["hint policy", "response (s)"]);
+    for ((label, _, _), result) in cases.iter().zip(&results) {
         table.row(vec![
             label.to_string(),
             format!("{:.3}±{:.3}", result.response.mean, result.response.ci95),

@@ -1,8 +1,9 @@
 //! Ablation: sweep the candidate-search I/O limit from 0 to unbounded —
 //! the continuous version of Figures 5.2–5.4's discrete levels.
 
-use semcluster::{clustering_study_base, run_replicated};
+use semcluster::{clustering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_clustering::ClusteringPolicy;
 use semcluster_workload::{StructureDensity, WorkloadSpec};
@@ -13,7 +14,6 @@ fn main() {
         "candidate-search I/O limit sweep (med5, rw 5 and 100)",
     );
     let opts = FigureOpts::from_env();
-    let mut table = Table::new(vec!["I/O limit", "rw=5 resp (s)", "rw=100 resp (s)"]);
     let limits: [(String, ClusteringPolicy); 7] = [
         ("within-buffer (0)".into(), ClusteringPolicy::WithinBuffer),
         ("1".into(), ClusteringPolicy::IoLimit(1)),
@@ -23,18 +23,28 @@ fn main() {
         ("16".into(), ClusteringPolicy::IoLimit(16)),
         ("unbounded".into(), ClusteringPolicy::NoLimit),
     ];
-    for (label, policy) in limits {
-        let mut cells = vec![label];
-        for rw in [5.0, 100.0] {
+    let rws = [5.0, 100.0];
+    let mut jobs = Vec::new();
+    for (label, policy) in &limits {
+        for rw in rws {
             let mut cfg = opts.apply(clustering_study_base());
             cfg.workload = WorkloadSpec::new(StructureDensity::Med5, rw);
-            cfg.clustering = policy;
-            cells.push(format!(
-                "{:.3}",
-                run_replicated(&cfg, opts.reps).response.mean
+            cfg.clustering = *policy;
+            jobs.push(SweepJob::new(
+                format!("limit {label} rw={rw}"),
+                cfg,
+                opts.reps,
             ));
         }
-        table.row(cells);
+    }
+    let results = run_jobs(&opts, jobs);
+    let mut table = Table::new(vec!["I/O limit", "rw=5 resp (s)", "rw=100 resp (s)"]);
+    for ((label, _), chunk) in limits.iter().zip(results.chunks(rws.len())) {
+        table.row(vec![
+            label.clone(),
+            format!("{:.3}", chunk[0].response.mean),
+            format!("{:.3}", chunk[1].response.mean),
+        ]);
     }
     table.print();
     println!("\nexpected: a small limit captures nearly all of the benefit — the");

@@ -1,25 +1,33 @@
 //! Ablation: circular log-buffer size vs physical log I/O (the §4
 //! "circular in-memory log buffer" design point).
 
-use semcluster::{clustering_study_base, run_replicated};
+use semcluster::{clustering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_workload::{StructureDensity, WorkloadSpec};
 
 fn main() {
     banner("Ablation", "circular log-buffer size (med5-5)");
     let opts = FigureOpts::from_env();
+    let sizes = [1u32, 4, 16, 64, 256];
+    let jobs = sizes
+        .iter()
+        .map(|&kb| {
+            let mut cfg = opts.apply(clustering_study_base());
+            cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 5.0);
+            cfg.log.buffer_bytes = kb * 1024;
+            SweepJob::new(format!("log buffer {kb} KB"), cfg, opts.reps)
+        })
+        .collect();
+    let results = run_jobs(&opts, jobs);
     let mut table = Table::new(vec![
         "log buffer",
         "log I/Os",
         "buffer flushes",
         "response (s)",
     ]);
-    for kb in [1u32, 4, 16, 64, 256] {
-        let mut cfg = opts.apply(clustering_study_base());
-        cfg.workload = WorkloadSpec::new(StructureDensity::Med5, 5.0);
-        cfg.log.buffer_bytes = kb * 1024;
-        let r = run_replicated(&cfg, opts.reps);
+    for (kb, r) in sizes.iter().zip(&results) {
         let flushes: f64 = r
             .reports
             .iter()

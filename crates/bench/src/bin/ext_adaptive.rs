@@ -6,8 +6,9 @@
 //! This experiment runs that cycle and compares fixed policies with the
 //! run-time adaptive policy.
 
-use semcluster::{clustering_study_base, run_replicated};
+use semcluster::{clustering_study_base, SweepJob};
 use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
 use semcluster_bench::{banner, FigureOpts};
 use semcluster_clustering::ClusteringPolicy;
 use semcluster_workload::{PhaseSchedule, StructureDensity};
@@ -18,17 +19,24 @@ fn main() {
         "adaptive clustering across MOSAICO's phases (rw 0.52 → 170)",
     );
     let opts = FigureOpts::from_env();
-    let mut table = Table::new(vec!["policy", "response (s)", "search I/Os"]);
-    for policy in [
+    let policies = [
         ClusteringPolicy::NoCluster,
         ClusteringPolicy::IoLimit(2),
         ClusteringPolicy::NoLimit,
         ClusteringPolicy::Adaptive,
-    ] {
-        let mut cfg = opts.apply(clustering_study_base());
-        cfg.clustering = policy;
-        cfg.phases = Some(PhaseSchedule::mosaico(StructureDensity::Med5, 100));
-        let result = run_replicated(&cfg, opts.reps);
+    ];
+    let jobs = policies
+        .iter()
+        .map(|&policy| {
+            let mut cfg = opts.apply(clustering_study_base());
+            cfg.clustering = policy;
+            cfg.phases = Some(PhaseSchedule::mosaico(StructureDensity::Med5, 100));
+            SweepJob::new(policy.to_string(), cfg, opts.reps)
+        })
+        .collect();
+    let results = run_jobs(&opts, jobs);
+    let mut table = Table::new(vec!["policy", "response (s)", "search I/Os"]);
+    for (policy, result) in policies.iter().zip(&results) {
         let search: f64 = result
             .reports
             .iter()

@@ -1,9 +1,16 @@
 //! Regenerate every exhibit in sequence (Figures 3.2–6.2, Tables 4.1 and
-//! 5.1). Honours `SEMCLUSTER_FAST` / `SEMCLUSTER_REPS`. Each exhibit is
-//! also available as its own binary (`cargo run --release -p
-//! semcluster-bench --bin fig5_1` etc.).
+//! 5.1). Honours `SEMCLUSTER_FAST` / `SEMCLUSTER_REPS` /
+//! `SEMCLUSTER_JOBS`. Each exhibit is also available as its own binary
+//! (`cargo run --release -p semcluster-bench --bin fig5_1` etc.).
+//!
+//! `--jobs N` fans each exhibit's sweep out over N worker threads (the
+//! exhibits themselves still run in sequence, so stdout order is fixed);
+//! stdout is byte-identical at any thread count because every sweep
+//! assembles its results in submission order and all wall-clock facts go
+//! to stderr.
 
 use std::process::Command;
+use std::time::Instant;
 
 fn main() {
     let exhibits = [
@@ -13,15 +20,19 @@ fn main() {
     ];
     let me = std::env::current_exe().expect("own path");
     let dir = me.parent().expect("bin dir");
-    // `repro_all --verbose` propagates to the child exhibits via the
-    // environment, so every configuration prints its response breakdown.
+    // `repro_all --verbose` / `--jobs N` propagate to the child exhibits
+    // via the environment, so every configuration prints its response
+    // breakdown and every sweep uses the same worker count.
     let verbose = std::env::args().any(|a| a == "--verbose");
+    let jobs = semcluster_bench::jobs_from_env();
+    let started = Instant::now();
     for exhibit in exhibits {
         let path = dir.join(exhibit);
         let mut cmd = Command::new(&path);
         if verbose {
             cmd.env("SEMCLUSTER_VERBOSE", "1");
         }
+        cmd.env("SEMCLUSTER_JOBS", jobs.to_string());
         let status = cmd
             .status()
             .unwrap_or_else(|e| panic!("failed to launch {exhibit}: {e}"));
@@ -29,4 +40,15 @@ fn main() {
         println!();
     }
     println!("all exhibits regenerated.");
+    let jobs_desc = if jobs == 0 {
+        format!("{} (auto)", semcluster::default_parallelism())
+    } else {
+        jobs.to_string()
+    };
+    eprintln!(
+        "repro_all: {} exhibits in {:.1}s at --jobs {}",
+        exhibits.len(),
+        started.elapsed().as_secs_f64(),
+        jobs_desc,
+    );
 }

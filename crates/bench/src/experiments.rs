@@ -1,8 +1,14 @@
 //! Reusable sweep drivers behind the figure binaries.
+//!
+//! Every driver builds a flat list of [`SweepJob`]s and hands it to the
+//! deterministic parallel executor ([`SweepRunner`]); results come back
+//! in submission order, so tables and verbose breakdowns are
+//! byte-identical at any `--jobs` level.
 
 use crate::FigureOpts;
 use semcluster::{
-    buffering_study_base, clustering_study_base, figure_5_11_combos, run_replicated, SimConfig,
+    buffering_study_base, clustering_study_base, figure_5_11_combos, ReplicatedResult, SimConfig,
+    SweepJob, SweepOutcome, SweepRunner,
 };
 use semcluster_analysis::{find_break_even, BreakEven, Corners, FactorialDesign, Table};
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
@@ -49,16 +55,62 @@ impl Sweep {
     }
 }
 
-fn response_verbose(cfg: &SimConfig, reps: u32, verbose: bool) -> Estimate {
-    let result = run_replicated(cfg, reps);
-    if verbose {
-        crate::print_breakdown(&result.reports[0]);
-    }
-    result.response
+/// Run a batch of jobs on the shared executor without any output.
+pub fn run_sweep(opts: &FigureOpts, jobs: Vec<SweepJob>) -> SweepOutcome {
+    SweepRunner::new(opts.jobs).run(jobs)
 }
 
-fn response(cfg: &SimConfig, opts: &FigureOpts) -> Estimate {
-    response_verbose(cfg, opts.reps, opts.verbose)
+/// Unpack a sweep outcome: under `--verbose` print every run's breakdown
+/// (submission order — deterministic at any thread count), report the
+/// host-side summary (wall-clock, speedup) to stderr, and panic if any
+/// run failed.
+pub fn collect(opts: &FigureOpts, outcome: SweepOutcome) -> Vec<ReplicatedResult> {
+    if opts.verbose {
+        for (_, result) in outcome.ok_results() {
+            crate::print_breakdown(&result.reports[0]);
+        }
+    }
+    eprintln!("{}", outcome.summary.render());
+    match outcome.into_results() {
+        Ok(results) => results,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// Run a batch of jobs and collect the results (submission order).
+pub fn run_jobs(opts: &FigureOpts, jobs: Vec<SweepJob>) -> Vec<ReplicatedResult> {
+    collect(opts, run_sweep(opts, jobs))
+}
+
+/// Run a `rows × cols` grid of configurations (row-major submission) and
+/// fold each cell's replications with `cell`.
+pub fn run_grid(
+    opts: &FigureOpts,
+    rows: Vec<String>,
+    cols: Vec<String>,
+    build: impl Fn(usize, usize) -> SimConfig,
+    cell: impl Fn(&ReplicatedResult) -> Estimate,
+) -> Sweep {
+    let mut jobs = Vec::with_capacity(rows.len() * cols.len());
+    for (r, row) in rows.iter().enumerate() {
+        for (c, col) in cols.iter().enumerate() {
+            jobs.push(SweepJob::new(
+                format!("{row} / {col}"),
+                build(r, c),
+                opts.reps,
+            ));
+        }
+    }
+    let results = run_jobs(opts, jobs);
+    let cells = results
+        .chunks(cols.len())
+        .map(|row| row.iter().map(&cell).collect())
+        .collect();
+    Sweep { rows, cols, cells }
+}
+
+fn response_cell(result: &ReplicatedResult) -> Estimate {
+    result.response.clone()
 }
 
 /// The six workloads of Figures 5.1 / 5.9 / 5.11 (densities × rw 5, 100).
@@ -87,22 +139,18 @@ pub fn rw_workloads(density: StructureDensity) -> Vec<WorkloadSpec> {
 /// baseline (LRU, no prefetch, no splitting).
 pub fn clustering_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep {
     let policies = ClusteringPolicy::PAPER_LEVELS;
-    let mut cells = Vec::new();
-    for w in workloads {
-        let mut row = Vec::new();
-        for p in policies {
+    run_grid(
+        opts,
+        workloads.iter().map(|w| w.label()).collect(),
+        policies.iter().map(|p| p.to_string()).collect(),
+        |r, c| {
             let mut cfg = opts.apply(clustering_study_base());
-            cfg.workload = w.clone();
-            cfg.clustering = p;
-            row.push(response(&cfg, opts));
-        }
-        cells.push(row);
-    }
-    Sweep {
-        rows: workloads.iter().map(|w| w.label()).collect(),
-        cols: policies.iter().map(|p| p.to_string()).collect(),
-        cells,
-    }
+            cfg.workload = workloads[r].clone();
+            cfg.clustering = policies[c];
+            cfg
+        },
+        response_cell,
+    )
 }
 
 /// Page-splitting sweep (Figure 5.9): No/Linear/NP splitting under
@@ -113,46 +161,39 @@ pub fn split_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep {
         SplitPolicy::Linear,
         SplitPolicy::Optimal,
     ];
-    let mut cells = Vec::new();
-    for w in workloads {
-        let mut row = Vec::new();
-        for p in policies {
+    run_grid(
+        opts,
+        workloads.iter().map(|w| w.label()).collect(),
+        policies.iter().map(|p| p.to_string()).collect(),
+        |r, c| {
             let mut cfg = opts.apply(clustering_study_base());
-            cfg.workload = w.clone();
+            cfg.workload = workloads[r].clone();
             cfg.clustering = ClusteringPolicy::NoLimit;
-            cfg.split = p;
-            row.push(response(&cfg, opts));
-        }
-        cells.push(row);
-    }
-    Sweep {
-        rows: workloads.iter().map(|w| w.label()).collect(),
-        cols: policies.iter().map(|p| p.to_string()).collect(),
-        cells,
-    }
+            cfg.split = policies[c];
+            cfg
+        },
+        response_cell,
+    )
 }
 
 /// Buffering-effect sweep (Figure 5.11): the six reported replacement ×
 /// prefetch combinations under the §5.2 clustering baseline.
 pub fn buffering_effect(opts: &FigureOpts, workloads: &[WorkloadSpec]) -> Sweep {
     let combos = figure_5_11_combos();
-    let mut cells = Vec::new();
-    for w in workloads {
-        let mut row = Vec::new();
-        for (_, replacement, prefetch) in combos {
+    run_grid(
+        opts,
+        workloads.iter().map(|w| w.label()).collect(),
+        combos.iter().map(|(l, _, _)| l.to_string()).collect(),
+        |r, c| {
+            let (_, replacement, prefetch) = combos[c];
             let mut cfg = opts.apply(buffering_study_base());
-            cfg.workload = w.clone();
+            cfg.workload = workloads[r].clone();
             cfg.replacement = replacement;
             cfg.prefetch = prefetch;
-            row.push(response(&cfg, opts));
-        }
-        cells.push(row);
-    }
-    Sweep {
-        rows: workloads.iter().map(|w| w.label()).collect(),
-        cols: combos.iter().map(|(l, _, _)| l.to_string()).collect(),
-        cells,
-    }
+            cfg
+        },
+        response_cell,
+    )
 }
 
 /// Prefetch sweep under one replacement policy (Figures 5.12–5.14).
@@ -166,23 +207,19 @@ pub fn prefetch_effect(
         PrefetchScope::WithinBuffer,
         PrefetchScope::WithinDatabase,
     ];
-    let mut cells = Vec::new();
-    for w in workloads {
-        let mut row = Vec::new();
-        for s in scopes {
+    run_grid(
+        opts,
+        workloads.iter().map(|w| w.label()).collect(),
+        scopes.iter().map(|s| s.to_string()).collect(),
+        |r, c| {
             let mut cfg = opts.apply(buffering_study_base());
-            cfg.workload = w.clone();
+            cfg.workload = workloads[r].clone();
             cfg.replacement = replacement;
-            cfg.prefetch = s;
-            row.push(response(&cfg, opts));
-        }
-        cells.push(row);
-    }
-    Sweep {
-        rows: workloads.iter().map(|w| w.label()).collect(),
-        cols: scopes.iter().map(|s| s.to_string()).collect(),
-        cells,
-    }
+            cfg.prefetch = scopes[c];
+            cfg
+        },
+        response_cell,
+    )
 }
 
 /// Transaction-logging I/O comparison (Figure 5.5): physical log I/Os
@@ -192,37 +229,34 @@ pub fn prefetch_effect(
 /// write-transaction count.)
 pub fn log_io_effect(opts: &FigureOpts) -> Sweep {
     let policies = [ClusteringPolicy::NoCluster, ClusteringPolicy::NoLimit];
-    let mut cells = Vec::new();
     let workloads = density_workloads(5.0);
-    for w in &workloads {
-        let mut row = Vec::new();
-        for p in policies {
+    run_grid(
+        opts,
+        workloads.iter().map(|w| w.label()).collect(),
+        policies.iter().map(|p| p.to_string()).collect(),
+        |r, c| {
             let mut cfg = opts.apply(clustering_study_base());
-            cfg.workload = w.clone();
-            cfg.clustering = p;
-            let result = run_replicated(&cfg, opts.reps);
+            cfg.workload = workloads[r].clone();
+            cfg.clustering = policies[c];
+            cfg
+        },
+        |result| {
             let mut stats = OnlineStats::new();
             for report in &result.reports {
                 stats.push(report.log_ios as f64 / report.log.commits.max(1) as f64);
             }
-            row.push(Estimate {
-                mean: stats.mean(),
-                ci95: stats.ci95_half_width(),
-                replications: stats.count(),
-            });
-        }
-        cells.push(row);
-    }
-    Sweep {
-        rows: workloads.iter().map(|w| w.label()).collect(),
-        cols: policies.iter().map(|p| p.to_string()).collect(),
-        cells,
-    }
+            Estimate::from_stats(&stats)
+        },
+    )
 }
 
 /// Break-even read/write ratio (Table 5.1): where `No_Cluster` and
 /// clustering-without-limit response times cross for one density.
+///
+/// The bisection is inherently sequential, but each probe's two
+/// configurations (clustered, plain) run as one two-job parallel sweep.
 pub fn break_even_for(opts: &FigureOpts, density: StructureDensity) -> BreakEven {
+    let runner = SweepRunner::new(opts.jobs);
     let diff = |rw: f64| {
         let mut clustered = opts.apply(clustering_study_base());
         clustered.workload = WorkloadSpec::new(density, rw);
@@ -230,7 +264,14 @@ pub fn break_even_for(opts: &FigureOpts, density: StructureDensity) -> BreakEven
         let mut plain = opts.apply(clustering_study_base());
         plain.workload = WorkloadSpec::new(density, rw);
         plain.clustering = ClusteringPolicy::NoCluster;
-        response(&clustered, opts).mean - response(&plain, opts).mean
+        let results = runner
+            .run(vec![
+                SweepJob::of(clustered, opts.reps),
+                SweepJob::of(plain, opts.reps),
+            ])
+            .into_results()
+            .expect("break-even probes must succeed");
+        results[0].response.mean - results[1].response.mean
     };
     find_break_even(diff, 1.0, 10.0, 7, 4)
 }
@@ -298,17 +339,25 @@ pub fn factorial_config(opts: &FigureOpts, levels: &[bool]) -> SimConfig {
 /// (mask) order.
 pub fn factorial_responses(opts: &FigureOpts) -> Vec<f64> {
     let design = factorial_design();
-    let mut out = Vec::with_capacity(design.runs());
-    for run in 0..design.runs() {
-        let cfg = factorial_config(opts, &design.levels(run));
-        out.push(response_verbose(&cfg, 1, opts.verbose).mean);
-    }
-    out
+    let jobs: Vec<SweepJob> = (0..design.runs())
+        .map(|run| {
+            SweepJob::new(
+                format!("factorial run {run:03}"),
+                factorial_config(opts, &design.levels(run)),
+                1,
+            )
+        })
+        .collect();
+    run_jobs(opts, jobs)
+        .iter()
+        .map(|r| r.response.mean)
+        .collect()
 }
 
-/// Like [`factorial_responses`] but cached on disk (under `target/`) so
-/// Figures 6.1 and 6.2 share one 2^8 sweep. The cache key includes every
-/// option that changes the responses.
+/// Like [`factorial_responses`] but cached on disk (under the temp dir)
+/// so Figures 6.1 and 6.2 share one 2^8 sweep. The cache key includes
+/// every option that changes the responses (thread count does not — the
+/// sweep is deterministic).
 pub fn factorial_responses_cached(opts: &FigureOpts) -> Vec<f64> {
     let key = format!(
         "factorial_{}_{}_{}_{}_{}.cache",
@@ -422,6 +471,7 @@ mod tests {
             warmup_txns: 50,
             seed: 1,
             verbose: false,
+            jobs: 2,
         }
     }
 
@@ -434,6 +484,31 @@ mod tests {
         assert!(sweep.get("low3-5", "No_Cluster").unwrap().mean > 0.0);
         assert!(sweep.get("nope", "No_Cluster").is_none());
         sweep.print("response (s)");
+    }
+
+    #[test]
+    fn grid_is_thread_count_invariant() {
+        let workloads = [WorkloadSpec::new(StructureDensity::Low3, 5.0)];
+        let serial = clustering_effect(
+            &FigureOpts {
+                jobs: 1,
+                ..tiny_opts()
+            },
+            &workloads,
+        );
+        let parallel = clustering_effect(
+            &FigureOpts {
+                jobs: 4,
+                ..tiny_opts()
+            },
+            &workloads,
+        );
+        assert_eq!(serial.rows, parallel.rows);
+        assert_eq!(serial.cols, parallel.cols);
+        for (a, b) in serial.cells[0].iter().zip(&parallel.cells[0]) {
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(a.ci95.to_bits(), b.ci95.to_bits());
+        }
     }
 
     #[test]

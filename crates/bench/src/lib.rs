@@ -6,14 +6,22 @@
 //! `repro_all`); the shared sweep logic lives here so binaries, the
 //! all-in-one runner and the benches stay in sync.
 //!
+//! Every sweep runs on the deterministic parallel executor
+//! ([`semcluster::SweepRunner`]): independent configurations fan out
+//! across `--jobs N` worker threads and are assembled in submission
+//! order, so stdout is byte-identical at any thread count. Only the
+//! sweep summary (wall-clock, speedup) goes to stderr.
+//!
 //! Environment knobs (all optional):
 //!
 //! * `SEMCLUSTER_REPS` — replications per configuration (default 3).
 //! * `SEMCLUSTER_FAST` — set to any value for a quick smoke pass
 //!   (smaller database, fewer transactions, 1 replication).
+//! * `SEMCLUSTER_JOBS` (or `--jobs N`) — worker threads per sweep
+//!   (default: the host's available parallelism).
 //! * `SEMCLUSTER_VERBOSE` (or `--verbose`) — print the response-time
 //!   breakdown (cpu / reads / flushes / search / log / lock wait) for
-//!   every configuration as it runs.
+//!   every configuration, in submission order.
 
 #![warn(missing_docs)]
 
@@ -36,10 +44,13 @@ pub struct FigureOpts {
     pub seed: u64,
     /// Print the per-component response breakdown of every run.
     pub verbose: bool,
+    /// Sweep worker threads (0 = available parallelism).
+    pub jobs: usize,
 }
 
 impl FigureOpts {
-    /// Resolve options from the environment (and a `--verbose` flag).
+    /// Resolve options from the environment (and `--verbose` /
+    /// `--jobs N` flags).
     pub fn from_env() -> Self {
         let fast = std::env::var_os("SEMCLUSTER_FAST").is_some();
         let verbose = std::env::var_os("SEMCLUSTER_VERBOSE").is_some()
@@ -48,6 +59,7 @@ impl FigureOpts {
             .ok()
             .and_then(|v| v.parse().ok())
             .unwrap_or(if fast { 1 } else { 3 });
+        let jobs = jobs_from_env();
         if fast {
             FigureOpts {
                 reps,
@@ -56,6 +68,7 @@ impl FigureOpts {
                 warmup_txns: 150,
                 seed: 42,
                 verbose,
+                jobs,
             }
         } else {
             FigureOpts {
@@ -65,6 +78,7 @@ impl FigureOpts {
                 warmup_txns: 400,
                 seed: 42,
                 verbose,
+                jobs,
             }
         }
     }
@@ -81,6 +95,25 @@ impl FigureOpts {
         }
         cfg
     }
+}
+
+/// Worker-thread count from `--jobs N` (argv) or `SEMCLUSTER_JOBS` (env);
+/// 0 (= available parallelism) when neither is given.
+pub fn jobs_from_env() -> usize {
+    let mut argv = std::env::args();
+    while let Some(arg) = argv.next() {
+        if arg == "--jobs" {
+            if let Some(n) = argv.next().and_then(|v| v.parse().ok()) {
+                return n;
+            }
+        } else if let Some(n) = arg.strip_prefix("--jobs=").and_then(|v| v.parse().ok()) {
+            return n;
+        }
+    }
+    std::env::var("SEMCLUSTER_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 /// Print the standard exhibit banner.

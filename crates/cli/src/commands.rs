@@ -2,8 +2,8 @@
 
 use crate::args::Args;
 use semcluster::{
-    run_replicated, run_simulation, run_simulation_with_obs, workload_from_label, ObsConfig,
-    RunReport, SimConfig,
+    replication_config, run_simulation, run_simulation_with_obs, workload_from_label, ObsConfig,
+    ReplicatedResult, RunReport, SimConfig, SweepJob, SweepRunner,
 };
 use semcluster_analysis::Table;
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
@@ -25,12 +25,14 @@ USAGE:
                          [--replacement lru|random|ctx]
                          [--prefetch none|buffer|db]
                          [--split none|linear|np]
-                         [--buffer-pages N] [--reps N] [--seed N] [--json]
+                         [--buffer-pages N] [--reps N] [--jobs N]
+                         [--seed N] [--json]
                          [--trace out.jsonl] [--metrics json|table]
   semclusterctl explain  [same config flags as simulate] [--json]
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
+  semclusterctl golden   [--bless] [--path goldens/smoke.json] [--jobs N]
   semclusterctl help
 
   simulate --trace streams every engine event (txn begin/commit, page
@@ -40,6 +42,12 @@ USAGE:
   snapshot for the measured interval. explain attributes mean response
   time into CPU / demand-read / dirty-flush / cluster-search / log /
   lock-wait components.
+
+  simulate --jobs N runs the replications on N worker threads (0 or
+  omitted = all cores); output is byte-identical at any thread count.
+  golden runs the fixed smoke sweep and byte-compares it against the
+  committed golden file (exit 1 on drift); golden --bless regenerates
+  the file after an intentional behaviour change.
 ";
 
 /// Parse the clustering policy flag.
@@ -150,6 +158,36 @@ pub fn report_to_json(report: &RunReport) -> String {
     )
 }
 
+/// Run `reps` replications of `cfg` on `jobs` worker threads (0 = all
+/// cores) and fold them as [`run_replicated`] would. Each replication
+/// becomes one single-replication sweep job under the shared seed
+/// schedule ([`replication_config`]), so the fold sees exactly the
+/// report sequence of a serial run — the thread count never shows in
+/// the output.
+///
+/// [`run_replicated`]: semcluster::run_replicated
+fn run_replications_parallel(
+    cfg: &SimConfig,
+    reps: u32,
+    jobs: usize,
+) -> Result<ReplicatedResult, String> {
+    if reps == 0 {
+        return Err("--reps: need at least one replication".into());
+    }
+    let sweep_jobs = (0..reps)
+        .map(|r| SweepJob::new(format!("rep{r}"), replication_config(cfg, r), 1))
+        .collect();
+    let results = SweepRunner::new(jobs)
+        .run(sweep_jobs)
+        .into_results()
+        .map_err(|e| e.to_string())?;
+    let reports = results
+        .into_iter()
+        .flat_map(|r| r.reports.into_iter())
+        .collect();
+    Ok(ReplicatedResult::from_reports(reports))
+}
+
 /// `simulate` subcommand.
 pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let cfg = config_from_args(args)?;
@@ -157,7 +195,8 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
         return simulate_instrumented(args, cfg);
     }
     let reps: u32 = args.get_parsed("reps", 1)?;
-    let result = run_replicated(&cfg, reps);
+    let jobs: usize = args.get_parsed("jobs", 0)?;
+    let result = run_replications_parallel(&cfg, reps, jobs)?;
     if args.flag("json") {
         let mut out = String::from("[");
         for (i, report) in result.reports.iter().enumerate() {
@@ -462,6 +501,147 @@ pub fn cmd_reorg(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// Default location of the committed golden file, relative to the
+/// repository root (where CI invokes the CLI).
+pub const GOLDEN_PATH: &str = "goldens/smoke.json";
+
+/// The fixed smoke sweep behind `golden`: small, fast configurations
+/// chosen to cross the clustering / splitting / replacement / prefetch
+/// axes, with hard-coded seeds so the output is a pure function of the
+/// engine. Changing this list invalidates the committed golden file —
+/// re-bless after any intentional change.
+pub fn golden_jobs() -> Vec<SweepJob> {
+    let tiny = |label: &str, seed: u64| SimConfig {
+        workload: workload_from_label(label).expect("known workload label"),
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed,
+        ..SimConfig::default()
+    };
+    let mut jobs = Vec::new();
+    let mut add = |name: &str, cfg: SimConfig| jobs.push(SweepJob::new(name.to_string(), cfg, 2));
+    add(
+        "baseline",
+        SimConfig {
+            clustering: ClusteringPolicy::NoCluster,
+            split: SplitPolicy::NoSplit,
+            ..tiny("med5-10", 1100)
+        },
+    );
+    add(
+        "clustered",
+        SimConfig {
+            clustering: ClusteringPolicy::NoLimit,
+            split: SplitPolicy::Linear,
+            ..tiny("med5-10", 1200)
+        },
+    );
+    add(
+        "ctx-buffered",
+        SimConfig {
+            clustering: ClusteringPolicy::NoLimit,
+            replacement: ReplacementPolicy::ContextSensitive,
+            prefetch: PrefetchScope::WithinBuffer,
+            ..tiny("med5-10", 1300)
+        },
+    );
+    add(
+        "adaptive-prefetch",
+        SimConfig {
+            clustering: ClusteringPolicy::Adaptive,
+            prefetch: PrefetchScope::WithinDatabase,
+            split: SplitPolicy::Optimal,
+            ..tiny("low3-5", 1400)
+        },
+    );
+    add(
+        "io-limited",
+        SimConfig {
+            clustering: ClusteringPolicy::IoLimit(2),
+            ..tiny("low3-5", 1500)
+        },
+    );
+    add(
+        "write-heavy-random",
+        SimConfig {
+            replacement: ReplacementPolicy::Random,
+            ..tiny("hi10-100", 1600)
+        },
+    );
+    jobs
+}
+
+/// Render the smoke sweep deterministically: one JSON line per
+/// replication report (tagged with job label and replication index, in
+/// submission order) and a final line with the merged metrics-registry
+/// snapshot. Byte-identical at any `--jobs` count.
+fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<String, String> {
+    let outcome = SweepRunner::new(threads).run(jobs);
+    let mut out = String::new();
+    for item in &outcome.items {
+        let result = item
+            .result
+            .as_ref()
+            .map_err(|e| format!("golden sweep: {e}"))?;
+        for (rep, report) in result.reports.iter().enumerate() {
+            out.push_str(&format!(
+                "{{\"job\":{:?},\"rep\":{},\"report\":{}}}\n",
+                item.label,
+                rep,
+                report_to_json(report)
+            ));
+        }
+    }
+    out.push_str(&format!("{{\"metrics\":{}}}\n", outcome.metrics.to_json()));
+    Ok(out)
+}
+
+/// `golden` subcommand: run the fixed smoke sweep and byte-compare it
+/// against the committed golden file (`--bless` rewrites the file
+/// instead). Any drift — an engine change, a nondeterminism bug, a
+/// thread-count dependence — fails the comparison.
+pub fn cmd_golden(args: &Args) -> Result<String, String> {
+    let path = args.get("path").unwrap_or(GOLDEN_PATH);
+    let jobs: usize = args.get_parsed("jobs", 0)?;
+    let current = golden_render(golden_jobs(), jobs)?;
+    let runs = current.lines().count() - 1;
+    if args.flag("bless") {
+        if let Some(dir) = std::path::Path::new(path).parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| format!("golden: cannot create {}: {e}", dir.display()))?;
+            }
+        }
+        std::fs::write(path, &current).map_err(|e| format!("golden: cannot write {path}: {e}"))?;
+        return Ok(format!("golden blessed: {path} ({runs} reports)\n"));
+    }
+    let expected = std::fs::read_to_string(path).map_err(|e| {
+        format!("golden: cannot read {path}: {e}\nrun `semclusterctl golden --bless` to create it")
+    })?;
+    if current == expected {
+        return Ok(format!("golden OK: {path} ({runs} reports)\n"));
+    }
+    let mismatch = current
+        .lines()
+        .zip(expected.lines())
+        .position(|(a, b)| a != b)
+        .map(|i| format!("first difference at line {}", i + 1))
+        .unwrap_or_else(|| {
+            format!(
+                "line count differs ({} current vs {} expected)",
+                current.lines().count(),
+                expected.lines().count()
+            )
+        });
+    Err(format!(
+        "golden MISMATCH: {path}: {mismatch}\n\
+         engine output drifted from the committed golden run; if the\n\
+         change is intentional, re-bless with `semclusterctl golden --bless`"
+    ))
+}
+
 /// Dispatch a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_deref() {
@@ -470,6 +650,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("trace") => cmd_trace(args),
         Some("inspect") => cmd_inspect(args),
         Some("reorg") => cmd_reorg(args),
+        Some("golden") => cmd_golden(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }
@@ -605,6 +786,59 @@ mod tests {
         .unwrap();
         assert!(out.contains("\"data_read_s\""));
         assert!(out.contains("\"think_s\""));
+    }
+
+    #[test]
+    fn simulate_jobs_is_thread_count_invariant() {
+        let run = |jobs: u32| {
+            dispatch(&parse(&format!(
+                "simulate --preset low3-5 --txns 60 --buffer-pages 16 \
+                 --json --reps 3 --jobs {jobs}"
+            )))
+            .unwrap()
+        };
+        let serial = run(1);
+        assert_eq!(serial, run(3), "--jobs must not change the output");
+        // Three replications, each a distinct seed → distinct reports.
+        assert_eq!(serial.matches("\"mean_response_s\"").count(), 3);
+    }
+
+    #[test]
+    fn simulate_rejects_zero_reps() {
+        let err = dispatch(&parse("simulate --preset low3-5 --reps 0")).unwrap_err();
+        assert!(err.contains("at least one replication"));
+    }
+
+    #[test]
+    fn golden_bless_check_and_drift() {
+        let dir = std::env::temp_dir().join("semcluster-golden-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke.json");
+        let path = path.to_str().unwrap();
+
+        // Checking against a missing file explains how to create it.
+        let _ = std::fs::remove_file(path);
+        let err = dispatch(&parse(&format!("golden --path {path}"))).unwrap_err();
+        assert!(err.contains("--bless"));
+
+        let out = dispatch(&parse(&format!("golden --bless --path {path} --jobs 2"))).unwrap();
+        assert!(out.contains("golden blessed"));
+        let blessed = std::fs::read_to_string(path).unwrap();
+        assert!(blessed.lines().count() > 6);
+        assert!(blessed.contains("\"job\":\"baseline\""));
+        assert!(blessed.contains("\"job\":\"write-heavy-random\""));
+        assert!(blessed.lines().last().unwrap().starts_with("{\"metrics\":"));
+
+        // A re-run at a different thread count byte-matches.
+        let out = dispatch(&parse(&format!("golden --path {path} --jobs 1"))).unwrap();
+        assert!(out.contains("golden OK"));
+
+        // Any byte drift fails the check with a pointer to the line.
+        std::fs::write(path, blessed.replacen("\"rep\":0", "\"rep\":9", 1)).unwrap();
+        let err = dispatch(&parse(&format!("golden --path {path}"))).unwrap_err();
+        assert!(err.contains("golden MISMATCH"));
+        assert!(err.contains("first difference at line 1"));
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

@@ -31,6 +31,7 @@ mod engine;
 mod metrics;
 mod presets;
 mod runner;
+mod sweep;
 
 pub use config::SimConfig;
 pub use engine::{run_simulation, run_simulation_with_obs, Engine, ObsConfig};
@@ -38,4 +39,8 @@ pub use metrics::{IoBreakdown, MetricsCollector, ResponseBreakdown, RunReport, S
 pub use presets::{
     buffering_study_base, clustering_study_base, figure_5_11_combos, workload_from_label,
 };
-pub use runner::{run_replicated, ReplicatedResult};
+pub use runner::{replication_config, run_replicated, run_replicated_with_obs, ReplicatedResult};
+pub use sweep::{
+    default_parallelism, SinkFactory, SweepError, SweepItem, SweepJob, SweepOutcome, SweepRunner,
+    SweepSummary,
+};

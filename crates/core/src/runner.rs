@@ -1,8 +1,9 @@
 //! Replicated experiment running.
 
 use crate::config::SimConfig;
-use crate::engine::run_simulation;
+use crate::engine::{run_simulation_with_obs, ObsConfig};
 use crate::metrics::RunReport;
+use semcluster_obs::{MetricsSnapshot, TraceSink};
 use semcluster_sim::{Estimate, OnlineStats};
 
 /// Mean response time with a confidence interval, plus the per-replication
@@ -19,34 +20,72 @@ pub struct ReplicatedResult {
     pub reports: Vec<RunReport>,
 }
 
+impl ReplicatedResult {
+    /// Fold per-replication reports (in replication order) into the
+    /// summary estimates. The fold is a plain left-to-right pass, so the
+    /// result depends only on the report sequence — never on how the
+    /// replications were scheduled.
+    pub fn from_reports(reports: Vec<RunReport>) -> ReplicatedResult {
+        assert!(!reports.is_empty(), "need at least one replication");
+        let mut response = OnlineStats::new();
+        let mut log_ios = OnlineStats::new();
+        let mut hit_ratio = OnlineStats::new();
+        for report in &reports {
+            response.push(report.mean_response_s);
+            log_ios.push(report.log_ios as f64);
+            hit_ratio.push(report.hit_ratio);
+        }
+        ReplicatedResult {
+            response: Estimate::from_stats(&response),
+            log_ios: Estimate::from_stats(&log_ios),
+            hit_ratio: Estimate::from_stats(&hit_ratio),
+            reports,
+        }
+    }
+}
+
+/// The configuration of replication `r` of `cfg`: the same parameters
+/// under a seed derived from the master seed. This mapping is the single
+/// definition of "replication seed" — the serial runner, the parallel
+/// sweep executor and the CLI all share it, which is what makes their
+/// outputs interchangeable.
+///
+/// Replication 0 *is* the master configuration
+/// (`replication_config(cfg, 0) == cfg`), so fanning the replications
+/// out as independent single-replication sweep jobs produces exactly
+/// the reports a serial [`run_replicated`] call would.
+pub fn replication_config(cfg: &SimConfig, r: u32) -> SimConfig {
+    cfg.clone().with_seed(
+        cfg.seed
+            .wrapping_add((r as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+    )
+}
+
 /// Run `cfg` `replications` times with derived seeds and fold the results.
 pub fn run_replicated(cfg: &SimConfig, replications: u32) -> ReplicatedResult {
+    run_replicated_with_obs(cfg, replications, &mut |_| None).0
+}
+
+/// Like [`run_replicated`], but each replication runs with an isolated
+/// metrics registry whose final snapshots are merged (in replication
+/// order) into one [`MetricsSnapshot`]; `sink_for` may attach a fresh
+/// trace sink per replication (`None` = no tracing).
+pub fn run_replicated_with_obs(
+    cfg: &SimConfig,
+    replications: u32,
+    sink_for: &mut dyn FnMut(u32) -> Option<Box<dyn TraceSink>>,
+) -> (ReplicatedResult, MetricsSnapshot) {
     assert!(replications > 0, "need at least one replication");
-    let mut response = OnlineStats::new();
-    let mut log_ios = OnlineStats::new();
-    let mut hit_ratio = OnlineStats::new();
     let mut reports = Vec::with_capacity(replications as usize);
+    let mut merged = MetricsSnapshot::default();
     for r in 0..replications {
-        let run_cfg = cfg.clone().with_seed(
-            cfg.seed
-                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
-                .wrapping_add(r as u64),
-        );
-        let report = run_simulation(run_cfg);
-        response.push(report.mean_response_s);
-        log_ios.push(report.log_ios as f64);
-        hit_ratio.push(report.hit_ratio);
+        let obs = match sink_for(r) {
+            Some(sink) => ObsConfig::with_sink(sink),
+            None => ObsConfig::default(),
+        };
+        let (report, snapshot) = run_simulation_with_obs(replication_config(cfg, r), obs);
+        merged.merge(&snapshot);
         reports.push(report);
     }
-    let estimate = |s: &OnlineStats| Estimate {
-        mean: s.mean(),
-        ci95: s.ci95_half_width(),
-        replications: s.count(),
-    };
-    ReplicatedResult {
-        response: estimate(&response),
-        log_ios: estimate(&log_ios),
-        hit_ratio: estimate(&hit_ratio),
-        reports,
-    }
+    (ReplicatedResult::from_reports(reports), merged)
 }

@@ -29,5 +29,5 @@ mod trace;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use trace::{
     shared, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink, SharedBuf,
-    SharedSink, TraceEvent, TraceSink,
+    SharedSink, SyncBuf, TraceEvent, TraceSink,
 };

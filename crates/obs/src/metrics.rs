@@ -62,6 +62,22 @@ impl Histogram {
         }
     }
 
+    /// Merge another histogram into this one. Buckets are power-of-two
+    /// aligned by construction, so the merge is exact: the result equals
+    /// the histogram of the concatenated observation streams regardless
+    /// of how the observations were partitioned.
+    pub fn merge(&mut self, other: &Histogram) {
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &c) in other.buckets.iter().enumerate() {
+            self.buckets[i] += c;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
     /// Upper bound of the bucket holding the q-quantile observation
     /// (a coarse but deterministic estimate).
     pub fn quantile_bound(&self, q: f64) -> u64 {
@@ -226,6 +242,33 @@ impl MetricsSnapshot {
         }
     }
 
+    /// Merge another snapshot into this one: counters and gauges add,
+    /// histograms merge bucket-wise. Because every container is a
+    /// `BTreeMap` and addition is commutative and associative, folding
+    /// any permutation of per-run snapshots yields the same bytes —
+    /// the property the parallel sweep executor relies on when it joins
+    /// per-run registries in submission order.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (k, &v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, &v) in &other.gauges {
+            *self.gauges.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            self.histograms.entry(k.clone()).or_default().merge(h);
+        }
+    }
+
+    /// Fold an iterator of snapshots into one merged snapshot.
+    pub fn merged<'a, I: IntoIterator<Item = &'a MetricsSnapshot>>(snaps: I) -> MetricsSnapshot {
+        let mut out = MetricsSnapshot::default();
+        for s in snaps {
+            out.merge(s);
+        }
+        out
+    }
+
     /// Render as a deterministic JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{...}}`.
     pub fn to_json(&self) -> String {
@@ -387,6 +430,54 @@ mod tests {
         assert!(t.contains("gauge"));
         assert!(t.contains("histogram"));
         assert!(t.lines().all(|l| l.starts_with('|') || l.starts_with('+')));
+    }
+
+    #[test]
+    fn histogram_merge_equals_concatenated_stream() {
+        let all = [0u64, 1, 2, 3, 900, 1100, 5, 64, 65];
+        let mut whole = Histogram::default();
+        for &v in &all {
+            whole.observe(v);
+        }
+        for split in 0..all.len() {
+            let (a, b) = all.split_at(split);
+            let mut left = Histogram::default();
+            let mut right = Histogram::default();
+            for &v in a {
+                left.observe(v);
+            }
+            for &v in b {
+                right.observe(v);
+            }
+            left.merge(&right);
+            assert_eq!(left, whole, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn snapshot_merge_is_order_independent() {
+        let mut r1 = MetricsRegistry::new();
+        r1.add("io.read", 5);
+        r1.set_gauge("disk.busy_us", 100);
+        r1.observe("lat", 7);
+        let mut r2 = MetricsRegistry::new();
+        r2.add("io.read", 2);
+        r2.add("io.write", 1);
+        r2.set_gauge("disk.busy_us", 30);
+        r2.observe("lat", 900);
+        let (a, b) = (r1.snapshot(), r2.snapshot());
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.to_json(), ba.to_json());
+        assert_eq!(ab.counter("io.read"), 7);
+        assert_eq!(ab.counter("io.write"), 1);
+        assert_eq!(ab.gauge("disk.busy_us"), 130);
+        assert_eq!(ab.histograms["lat"].count(), 2);
+        let folded = MetricsSnapshot::merged([&a, &b]);
+        assert_eq!(folded, ab);
     }
 
     #[test]

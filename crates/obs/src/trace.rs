@@ -541,6 +541,36 @@ impl Write for SharedBuf {
     }
 }
 
+/// The cross-thread counterpart of [`SharedBuf`]: a growable in-memory
+/// byte buffer with shared ownership that is `Send + Sync`, so a sink
+/// created on one thread (e.g. by a sweep executor's sink factory) can
+/// be read back from another after the run completes.
+#[derive(Debug, Clone, Default)]
+pub struct SyncBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+impl SyncBuf {
+    /// New empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copy of the bytes written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.0.lock().expect("buffer lock").clone()
+    }
+}
+
+impl Write for SyncBuf {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().expect("buffer lock").extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,5 +631,21 @@ mod tests {
         let mut handle: Box<dyn TraceSink> = Box::new(ring.clone());
         handle.emit(&ev(5));
         assert_eq!(ring.borrow().len(), 1);
+    }
+
+    #[test]
+    fn sync_buf_readable_across_threads() {
+        let buf = SyncBuf::new();
+        let writer = buf.clone();
+        std::thread::spawn(move || {
+            let mut sink = JsonlSink::new(writer);
+            sink.emit(&ev(3));
+            sink.flush();
+        })
+        .join()
+        .unwrap();
+        let text = String::from_utf8(buf.bytes()).unwrap();
+        assert_eq!(text.lines().count(), 1);
+        assert!(text.contains("\"ev\":"));
     }
 }

@@ -16,6 +16,15 @@ pub struct Estimate {
 }
 
 impl Estimate {
+    /// Summarise an accumulator: mean, 95 % CI half-width, count.
+    pub fn from_stats(stats: &OnlineStats) -> Estimate {
+        Estimate {
+            mean: stats.mean(),
+            ci95: stats.ci95_half_width(),
+            replications: stats.count(),
+        }
+    }
+
     /// Whether the interval `self.mean ± self.ci95` overlaps `other`'s.
     pub fn overlaps(&self, other: &Estimate) -> bool {
         (self.mean - other.mean).abs() <= self.ci95 + other.ci95
@@ -47,11 +56,7 @@ where
         let child = master.fork();
         stats.push(f(child));
     }
-    Estimate {
-        mean: stats.mean(),
-        ci95: stats.ci95_half_width(),
-        replications: stats.count(),
-    }
+    Estimate::from_stats(&stats)
 }
 
 /// Like [`replicate`] but the model returns several named quantities; each
@@ -85,16 +90,7 @@ where
     names
         .into_iter()
         .zip(stats)
-        .map(|(n, s)| {
-            (
-                n,
-                Estimate {
-                    mean: s.mean(),
-                    ci95: s.ci95_half_width(),
-                    replications: s.count(),
-                },
-            )
-        })
+        .map(|(n, s)| (n, Estimate::from_stats(&s)))
         .collect()
 }
 
