@@ -1,0 +1,64 @@
+//! Fault sweep: mean response time versus injected fault intensity,
+//! per clustering policy. Shows how the retry/backoff path and graceful
+//! clustering degradation absorb disk faults — clustered layouts keep
+//! their advantage under mild faults and converge toward the
+//! no-clustering baseline as degradation suspends the candidate search.
+
+use semcluster::{clustering_study_base, FaultConfig, SweepJob};
+use semcluster_analysis::Table;
+use semcluster_bench::experiments::run_jobs;
+use semcluster_bench::{banner, FigureOpts};
+use semcluster_clustering::ClusteringPolicy;
+
+fn main() {
+    banner(
+        "Fault sweep",
+        "response time vs fault preset, per clustering policy",
+    );
+    let opts = FigureOpts::from_env();
+    let presets = ["none", "smoke", "degraded", "stress"];
+    let policies: [(&str, ClusteringPolicy); 3] = [
+        ("no clustering", ClusteringPolicy::NoCluster),
+        ("unbounded", ClusteringPolicy::NoLimit),
+        ("adaptive", ClusteringPolicy::Adaptive),
+    ];
+    let mut jobs = Vec::new();
+    for (label, policy) in &policies {
+        for preset in presets {
+            let mut cfg = opts.apply(clustering_study_base());
+            cfg.clustering = *policy;
+            cfg.faults = FaultConfig::preset(preset).expect("preset names are the fixed set above");
+            jobs.push(SweepJob::new(
+                format!("{label} faults={preset}"),
+                cfg,
+                opts.reps,
+            ));
+        }
+    }
+    let results = run_jobs(&opts, jobs);
+    let mut table = Table::new(vec![
+        "clustering",
+        "none (s)",
+        "smoke (s)",
+        "degraded (s)",
+        "stress (s)",
+        "retries@stress",
+        "aborts@stress",
+    ]);
+    for ((label, _), chunk) in policies.iter().zip(results.chunks(presets.len())) {
+        let stress = &chunk[presets.len() - 1].reports[0];
+        table.row(vec![
+            label.to_string(),
+            format!("{:.3}", chunk[0].response.mean),
+            format!("{:.3}", chunk[1].response.mean),
+            format!("{:.3}", chunk[2].response.mean),
+            format!("{:.3}", chunk[3].response.mean),
+            stress.faults.retries.to_string(),
+            stress.faults.txn_aborts.to_string(),
+        ]);
+    }
+    table.print();
+    println!("\nexpected: responses rise with fault intensity; retry/backoff absorbs");
+    println!("transient errors, and under heavy faults degradation narrows the gap");
+    println!("between clustered and unclustered layouts (search is suspended).");
+}

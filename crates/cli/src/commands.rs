@@ -2,8 +2,9 @@
 
 use crate::args::Args;
 use semcluster::{
-    replication_config, run_simulation, run_simulation_with_obs, workload_from_label, ObsConfig,
-    ReplicatedResult, RunReport, SimConfig, SweepJob, SweepRunner,
+    replication_config, run_crash_matrix, run_simulation, run_simulation_with_obs,
+    workload_from_label, CrashMatrixConfig, FaultConfig, ObsConfig, ReplicatedResult, RunReport,
+    SimConfig, SweepJob, SweepRunner,
 };
 use semcluster_analysis::Table;
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
@@ -27,12 +28,16 @@ USAGE:
                          [--split none|linear|np]
                          [--buffer-pages N] [--reps N] [--jobs N]
                          [--seed N] [--json]
+                         [--faults none|smoke|degraded|stress]
                          [--trace out.jsonl] [--metrics json|table]
   semclusterctl explain  [same config flags as simulate] [--json]
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
-  semclusterctl golden   [--bless] [--path goldens/smoke.json] [--jobs N]
+  semclusterctl golden   [--bless] [--suite smoke|faults] [--path FILE]
+                         [--jobs N]
+  semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
+                         [--jobs N] [--json]
   semclusterctl help
 
   simulate --trace streams every engine event (txn begin/commit, page
@@ -45,9 +50,19 @@ USAGE:
 
   simulate --jobs N runs the replications on N worker threads (0 or
   omitted = all cores); output is byte-identical at any thread count.
-  golden runs the fixed smoke sweep and byte-compares it against the
-  committed golden file (exit 1 on drift); golden --bless regenerates
-  the file after an intentional behaviour change.
+  simulate --faults injects deterministic disk/log faults from a named
+  preset: transient read/write errors with retry + backoff, latency
+  spikes, hot disks, and log stalls; same seed → same faults at any
+  thread count.
+  golden runs a fixed sweep and byte-compares it against the committed
+  golden file (exit 1 on drift, with a unified diff of the first
+  mismatch); golden --bless regenerates the file after an intentional
+  behaviour change. --suite faults runs the fault-injection sweep
+  against goldens/faults_smoke.json instead of the fault-free smoke
+  sweep.
+  crash-matrix crashes a small workload at every commit boundary plus
+  sampled intra-transaction and torn-log points, replays recovery at
+  each, and verifies ACID invariants (exit 1 on any violation).
 ";
 
 /// Parse the clustering policy flag.
@@ -119,6 +134,14 @@ pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
     if let Some(v) = args.get("split") {
         cfg.split = parse_split(v)?;
     }
+    if let Some(v) = args.get("faults") {
+        cfg.faults = FaultConfig::preset(v).ok_or_else(|| {
+            format!(
+                "unknown fault preset {v:?} (expected one of {})",
+                FaultConfig::PRESETS.join(", ")
+            )
+        })?;
+    }
     cfg.buffer_pages = args.get_parsed("buffer-pages", cfg.buffer_pages)?;
     cfg.seed = args.get_parsed("seed", cfg.seed)?;
     cfg.measured_txns = args.get_parsed("txns", cfg.measured_txns)?;
@@ -126,9 +149,13 @@ pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
 }
 
 /// Render a run report as a minimal JSON object (no external
-/// dependencies; fields are all numeric or simple strings).
+/// dependencies; fields are all numeric or simple strings). Fault
+/// counters are appended **only** when the run had fault injection
+/// enabled, so fault-free output — including the committed smoke
+/// golden — is byte-identical to what it was before the fault layer
+/// existed.
 pub fn report_to_json(report: &RunReport) -> String {
-    format!(
+    let mut out = format!(
         concat!(
             "{{\"config\":{config:?},\"txns\":{txns},\"reads\":{reads},",
             "\"writes\":{writes},\"mean_response_s\":{mean:.6},",
@@ -136,7 +163,7 @@ pub fn report_to_json(report: &RunReport) -> String {
             "\"hit_ratio\":{hit:.4},\"data_reads\":{dr},\"log_ios\":{li},",
             "\"cluster_search_ios\":{cs},\"prefetch_ios\":{pf},",
             "\"splits\":{sp},\"recluster_moves\":{rm},\"lock_waits\":{lw},",
-            "\"disk_utilization\":{du:.4},\"cpu_utilization\":{cu:.4}}}"
+            "\"disk_utilization\":{du:.4},\"cpu_utilization\":{cu:.4}"
         ),
         config = report.config_label,
         txns = report.txns,
@@ -155,7 +182,29 @@ pub fn report_to_json(report: &RunReport) -> String {
         lw = report.lock_waits,
         du = report.disk_utilization,
         cu = report.cpu_utilization,
-    )
+    );
+    if report.faults_enabled {
+        let f = &report.faults;
+        out.push_str(&format!(
+            concat!(
+                ",\"faults\":{{\"read_errors\":{re},\"write_errors\":{we},",
+                "\"retries\":{rt},\"spikes\":{sk},\"log_stalls\":{ls},",
+                "\"stall_us\":{su},\"txn_aborts\":{ab},",
+                "\"degrade_enters\":{de},\"degrade_exits\":{dx}}}"
+            ),
+            re = f.read_errors,
+            we = f.write_errors,
+            rt = f.retries,
+            sk = f.spikes,
+            ls = f.log_stalls,
+            su = f.stall_us,
+            ab = f.txn_aborts,
+            de = f.degrade_enters,
+            dx = f.degrade_exits,
+        ));
+    }
+    out.push('}');
+    out
 }
 
 /// Run `reps` replications of `cfg` on `jobs` worker threads (0 = all
@@ -505,6 +554,10 @@ pub fn cmd_reorg(args: &Args) -> Result<String, String> {
 /// repository root (where CI invokes the CLI).
 pub const GOLDEN_PATH: &str = "goldens/smoke.json";
 
+/// Committed golden of the fault-injection sweep (`golden --suite
+/// faults`).
+pub const FAULTS_GOLDEN_PATH: &str = "goldens/faults_smoke.json";
+
 /// The fixed smoke sweep behind `golden`: small, fast configurations
 /// chosen to cross the clustering / splitting / replacement / prefetch
 /// axes, with hard-coded seeds so the output is a pure function of the
@@ -573,6 +626,51 @@ pub fn golden_jobs() -> Vec<SweepJob> {
     jobs
 }
 
+/// The fixed fault-injection sweep behind `golden --suite faults`: the
+/// same tiny scale as [`golden_jobs`], but each configuration runs
+/// under a named fault preset so retries, spikes, log stalls, hot
+/// disks and graceful degradation all leave deterministic fingerprints
+/// in the golden. Re-bless after any intentional engine or fault-plan
+/// change.
+pub fn faults_golden_jobs() -> Vec<SweepJob> {
+    let tiny = |label: &str, seed: u64, preset: &str| SimConfig {
+        workload: workload_from_label(label).expect("known workload label"),
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed,
+        faults: FaultConfig::preset(preset).expect("known fault preset"),
+        ..SimConfig::default()
+    };
+    let mut jobs = Vec::new();
+    let mut add = |name: &str, cfg: SimConfig| jobs.push(SweepJob::new(name.to_string(), cfg, 2));
+    add(
+        "faults-smoke",
+        SimConfig {
+            clustering: ClusteringPolicy::NoLimit,
+            split: SplitPolicy::Linear,
+            ..tiny("med5-10", 2100, "smoke")
+        },
+    );
+    add(
+        "faults-degraded",
+        SimConfig {
+            clustering: ClusteringPolicy::NoLimit,
+            prefetch: PrefetchScope::WithinDatabase,
+            ..tiny("med5-10", 2200, "degraded")
+        },
+    );
+    add(
+        "faults-stress",
+        SimConfig {
+            clustering: ClusteringPolicy::Adaptive,
+            ..tiny("hi10-100", 2300, "stress")
+        },
+    );
+    jobs
+}
+
 /// Render the smoke sweep deterministically: one JSON line per
 /// replication report (tagged with job label and replication index, in
 /// submission order) and a final line with the merged metrics-registry
@@ -598,14 +696,72 @@ fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<String, String> 
     Ok(out)
 }
 
-/// `golden` subcommand: run the fixed smoke sweep and byte-compare it
-/// against the committed golden file (`--bless` rewrites the file
-/// instead). Any drift — an engine change, a nondeterminism bug, a
-/// thread-count dependence — fails the comparison.
+/// A unified diff of the region around the first mismatching line:
+/// two lines of context, `-` for the expected (committed) side, `+`
+/// for the current run, long lines truncated. Gives drift reports an
+/// actionable excerpt instead of a bare line number.
+fn golden_diff(current: &str, expected: &str) -> String {
+    let cur: Vec<&str> = current.lines().collect();
+    let exp: Vec<&str> = expected.lines().collect();
+    let n = cur.len().max(exp.len());
+    let Some(first) = (0..n).find(|&i| cur.get(i) != exp.get(i)) else {
+        return "files differ only in trailing bytes".to_string();
+    };
+    let clip = |s: &str| -> String {
+        if s.len() <= 160 {
+            return s.to_string();
+        }
+        let mut end = 160;
+        while !s.is_char_boundary(end) {
+            end -= 1;
+        }
+        format!("{}…", &s[..end])
+    };
+    let start = first.saturating_sub(2);
+    let end = (first + 3).min(n);
+    let mut out = format!(
+        "first difference at line {} ({} expected lines, {} current)\n\
+         --- expected\n+++ current\n@@ lines {}-{} @@\n",
+        first + 1,
+        exp.len(),
+        cur.len(),
+        start + 1,
+        end
+    );
+    for i in start..end {
+        match (exp.get(i), cur.get(i)) {
+            (Some(e), Some(c)) if e == c => {
+                out.push_str(&format!(" {}\n", clip(e)));
+            }
+            (e, c) => {
+                if let Some(e) = e {
+                    out.push_str(&format!("-{}\n", clip(e)));
+                }
+                if let Some(c) = c {
+                    out.push_str(&format!("+{}\n", clip(c)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `golden` subcommand: run a fixed sweep (`--suite smoke` is the
+/// fault-free default; `--suite faults` runs the fault-injection
+/// sweep) and byte-compare it against the committed golden file
+/// (`--bless` rewrites the file instead). Any drift — an engine
+/// change, a nondeterminism bug, a thread-count dependence — fails
+/// the comparison with a unified diff of the first mismatch.
 pub fn cmd_golden(args: &Args) -> Result<String, String> {
-    let path = args.get("path").unwrap_or(GOLDEN_PATH);
+    let suite = args.get("suite").unwrap_or("smoke");
+    let (jobs_fn, default_path): (fn() -> Vec<SweepJob>, &str) = match suite {
+        "smoke" => (golden_jobs, GOLDEN_PATH),
+        "faults" => (faults_golden_jobs, FAULTS_GOLDEN_PATH),
+        other => return Err(format!("--suite: expected smoke or faults, got {other:?}")),
+    };
+    let path = args.get("path").unwrap_or(default_path);
     let jobs: usize = args.get_parsed("jobs", 0)?;
-    let current = golden_render(golden_jobs(), jobs)?;
+    let current = golden_render(jobs_fn(), jobs)?;
     let runs = current.lines().count() - 1;
     if args.flag("bless") {
         if let Some(dir) = std::path::Path::new(path).parent() {
@@ -623,23 +779,45 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
     if current == expected {
         return Ok(format!("golden OK: {path} ({runs} reports)\n"));
     }
-    let mismatch = current
-        .lines()
-        .zip(expected.lines())
-        .position(|(a, b)| a != b)
-        .map(|i| format!("first difference at line {}", i + 1))
-        .unwrap_or_else(|| {
-            format!(
-                "line count differs ({} current vs {} expected)",
-                current.lines().count(),
-                expected.lines().count()
-            )
-        });
     Err(format!(
-        "golden MISMATCH: {path}: {mismatch}\n\
+        "golden MISMATCH: {path}: {diff}\
          engine output drifted from the committed golden run; if the\n\
-         change is intentional, re-bless with `semclusterctl golden --bless`"
+         change is intentional, re-bless with `semclusterctl golden --bless`",
+        diff = golden_diff(&current, &expected)
     ))
+}
+
+/// `crash-matrix` subcommand: run the exhaustive crash-recovery matrix
+/// and fail (exit 1) on any ACID violation.
+pub fn cmd_crash_matrix(args: &Args) -> Result<String, String> {
+    let preset = args.get("preset").unwrap_or("smoke");
+    let mut mc = match preset {
+        "smoke" => CrashMatrixConfig::smoke(),
+        "deep" => CrashMatrixConfig::deep(),
+        other => return Err(format!("--preset: expected smoke or deep, got {other:?}")),
+    };
+    mc.event_samples = args.get_parsed("samples", mc.event_samples)?;
+    mc.jobs = args.get_parsed("jobs", mc.jobs)?;
+    mc.cfg.seed = args.get_parsed("seed", mc.cfg.seed)?;
+    let report = run_crash_matrix(&mc);
+    if report.violation_count() > 0 {
+        return Err(report.render());
+    }
+    if args.flag("json") {
+        return Ok(format!(
+            concat!(
+                "{{\"points\":{points},\"commits\":{commits},",
+                "\"events\":{events},\"log_flushes\":{flushes},",
+                "\"violations\":{violations}}}\n"
+            ),
+            points = report.points.len(),
+            commits = report.total_commits,
+            events = report.total_events,
+            flushes = report.total_flushes,
+            violations = report.violation_count(),
+        ));
+    }
+    Ok(report.render())
 }
 
 /// Dispatch a parsed command line.
@@ -651,6 +829,7 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
         Some("inspect") => cmd_inspect(args),
         Some("reorg") => cmd_reorg(args),
         Some("golden") => cmd_golden(args),
+        Some("crash-matrix") => cmd_crash_matrix(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
     }

@@ -15,6 +15,7 @@
 
 use semcluster_buffer::{AccessHint, PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::{ClusteringPolicy, HintPolicy, SplitPolicy};
+use semcluster_faults::FaultConfig;
 use semcluster_sim::SimDuration;
 use semcluster_storage::DiskParams;
 use semcluster_vdm::CopyVsRefModel;
@@ -89,6 +90,9 @@ pub struct SimConfig {
     /// Probability that a session operation targets the session's working
     /// set rather than a uniformly random object.
     pub working_set_bias: f64,
+    /// Fault-injection configuration. The default is inert: no faults,
+    /// and the engine's output is byte-identical to a fault-free build.
+    pub faults: FaultConfig,
     /// Master seed; every stochastic choice in the run derives from it.
     pub seed: u64,
 }
@@ -122,6 +126,7 @@ impl Default for SimConfig {
             warmup_txns: 400,
             measured_txns: 2000,
             working_set_bias: 0.7,
+            faults: FaultConfig::default(),
             seed: 42,
         }
     }
@@ -214,6 +219,12 @@ impl SimConfig {
     /// Set buffer pool size.
     pub fn with_buffer_pages(mut self, frames: usize) -> Self {
         self.buffer_pages = frames;
+        self
+    }
+
+    /// Set the fault-injection configuration.
+    pub fn with_faults(mut self, faults: FaultConfig) -> Self {
+        self.faults = faults;
         self
     }
 }

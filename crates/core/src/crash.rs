@@ -1,0 +1,445 @@
+//! Crash points, ACID verification, and the crash-recovery matrix
+//! (DESIGN.md §11).
+//!
+//! [`Engine::run_and_crash_at`](crate::Engine::run_and_crash_at) stops a
+//! run at an arbitrary [`CrashPoint`] and returns a [`CrashOutcome`]:
+//! the durable log, the recovery replay, and — crucially — the engine's
+//! *ground truth* about what clients observed before the crash
+//! (acknowledged commits, in-flight transactions, aborts).
+//! [`CrashOutcome::verify_acid`] checks the recovery against that ground
+//! truth, and [`run_crash_matrix`] sweeps a workload across every commit
+//! boundary plus sampled intra-transaction and mid-flush points,
+//! verifying each one.
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::metrics::RunReport;
+use semcluster_faults::CrashPoint;
+use semcluster_wal::{DurableLog, RecordKind, RecoveryOutcome, TxnToken};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Everything a crashed run leaves behind: the simulation's report up to
+/// the crash, the durable log, the recovery replay over it, and the
+/// engine-side ground truth the replay must be consistent with.
+#[derive(Debug)]
+pub struct CrashOutcome {
+    /// Where the run crashed.
+    pub point: CrashPoint,
+    /// Run report covering everything up to the crash.
+    pub report: RunReport,
+    /// The log records that survived (possibly with a torn tail).
+    pub durable: DurableLog,
+    /// The analysis/redo/undo replay over `durable`.
+    pub recovery: RecoveryOutcome,
+    /// Transactions whose commit was *acknowledged* to the client
+    /// (the TxnDone event ran) before the crash. Durability must hold
+    /// for exactly these.
+    pub acked: Vec<TxnToken>,
+    /// Transactions still in flight at the crash. They may legally end
+    /// up as winners (commit durable, acknowledgement lost) or losers.
+    pub in_flight: Vec<TxnToken>,
+    /// Transactions the engine aborted (retry exhaustion, placement
+    /// failure) before the crash. Their effects must never be redone.
+    pub aborted: Vec<TxnToken>,
+    /// Simulation events processed before the crash.
+    pub events_seen: u64,
+    /// Commit records written before the crash.
+    pub commits_seen: u64,
+    /// Physical log-device flushes issued before the crash.
+    pub log_flushes_seen: u64,
+}
+
+impl CrashOutcome {
+    /// Check the recovery replay against the engine's ground truth.
+    /// Returns one human-readable line per violated invariant; an empty
+    /// vector means the crash was ACID-clean:
+    ///
+    /// * **Durability** — every acknowledged commit has a durable commit
+    ///   record, is never rolled back as a loser, and (if it logged any
+    ///   updates) is redone as a winner.
+    /// * **Atomicity** — engine-aborted transactions are never redone;
+    ///   loser effects are undone completely, in reverse LSN order.
+    /// * **Replay fidelity** — the redo list is exactly the durable
+    ///   winner updates in LSN order, and the undo list exactly the
+    ///   durable loser updates reversed.
+    pub fn verify_acid(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let trusted = self.durable.trusted();
+        let mut committed: HashSet<TxnToken> = HashSet::new();
+        let mut updated: HashSet<TxnToken> = HashSet::new();
+        for rec in trusted {
+            match rec.kind {
+                RecordKind::Commit => {
+                    committed.insert(rec.txn);
+                }
+                RecordKind::Update { .. } => {
+                    updated.insert(rec.txn);
+                }
+                RecordKind::Abort => {}
+            }
+        }
+        let winners: HashSet<TxnToken> = self.recovery.winners.iter().copied().collect();
+        let losers: HashSet<TxnToken> = self.recovery.losers.iter().copied().collect();
+
+        // Durability of acknowledged commits.
+        for t in &self.acked {
+            if !committed.contains(t) {
+                violations.push(format!(
+                    "durability: acked {t:?} has no durable commit record"
+                ));
+            }
+            if losers.contains(t) {
+                violations.push(format!(
+                    "durability: acked {t:?} was rolled back as a loser"
+                ));
+            }
+            if updated.contains(t) && !winners.contains(t) {
+                violations.push(format!(
+                    "durability: acked {t:?} logged updates but recovery did not redo them"
+                ));
+            }
+        }
+
+        // Atomicity of engine-side aborts.
+        for t in &self.aborted {
+            if winners.contains(t) {
+                violations.push(format!(
+                    "atomicity: engine-aborted {t:?} was redone as a winner"
+                ));
+            }
+        }
+
+        // Replay fidelity: redo is exactly the winner updates in LSN
+        // order; undo exactly the loser updates reversed.
+        let expected_redo: Vec<(TxnToken, semcluster_storage::PageId)> = trusted
+            .iter()
+            .filter_map(|r| match r.kind {
+                RecordKind::Update { page, .. } if winners.contains(&r.txn) => Some((r.txn, page)),
+                _ => None,
+            })
+            .collect();
+        if expected_redo != self.recovery.redone {
+            violations.push(format!(
+                "replay: redo list diverges from durable winner updates \
+                 (expected {}, got {})",
+                expected_redo.len(),
+                self.recovery.redone.len()
+            ));
+        }
+        let mut expected_undo: Vec<(TxnToken, semcluster_storage::PageId)> = trusted
+            .iter()
+            .filter_map(|r| match r.kind {
+                RecordKind::Update { page, .. } if losers.contains(&r.txn) => Some((r.txn, page)),
+                _ => None,
+            })
+            .collect();
+        expected_undo.reverse();
+        if expected_undo != self.recovery.undone {
+            violations.push(format!(
+                "replay: undo list diverges from reversed durable loser updates \
+                 (expected {}, got {})",
+                expected_undo.len(),
+                self.recovery.undone.len()
+            ));
+        }
+        violations
+    }
+}
+
+/// Configuration of one crash-matrix sweep.
+#[derive(Debug, Clone)]
+pub struct CrashMatrixConfig {
+    /// The workload to crash. `retain_log` is forced on.
+    pub cfg: SimConfig,
+    /// Intra-transaction crash points sampled evenly across the run's
+    /// event count (on top of every commit boundary).
+    pub event_samples: usize,
+    /// Mid-flush (torn log record) points sampled evenly across the
+    /// run's physical log flushes.
+    pub mid_flush_samples: usize,
+    /// Worker threads (`0` = host parallelism).
+    pub jobs: usize,
+}
+
+impl CrashMatrixConfig {
+    /// The smoke matrix: a small workload (1 MB database, 16 buffers,
+    /// 80 transactions) crashed at every commit plus 50 event samples
+    /// and 10 mid-flush samples. Runs in seconds; used by CI.
+    pub fn smoke() -> Self {
+        CrashMatrixConfig {
+            cfg: SimConfig {
+                database_bytes: 1024 * 1024,
+                buffer_pages: 16,
+                warmup_txns: 20,
+                measured_txns: 60,
+                retain_log: true,
+                seed: 4242,
+                ..SimConfig::default()
+            },
+            event_samples: 50,
+            mid_flush_samples: 10,
+            jobs: 0,
+        }
+    }
+
+    /// The deep matrix: a larger workload and denser sampling for
+    /// overnight confidence runs.
+    pub fn deep() -> Self {
+        CrashMatrixConfig {
+            cfg: SimConfig {
+                database_bytes: 4 * 1024 * 1024,
+                buffer_pages: 32,
+                warmup_txns: 50,
+                measured_txns: 250,
+                retain_log: true,
+                seed: 4242,
+                ..SimConfig::default()
+            },
+            event_samples: 200,
+            mid_flush_samples: 40,
+            jobs: 0,
+        }
+    }
+}
+
+/// Result of crashing at one point of the matrix.
+#[derive(Debug, Clone)]
+pub struct CrashPointResult {
+    /// The crash point exercised.
+    pub point: CrashPoint,
+    /// Commits acknowledged before the crash.
+    pub acked: usize,
+    /// Winners recovery identified.
+    pub winners: usize,
+    /// Losers recovery rolled back.
+    pub losers: usize,
+    /// Torn records truncated before analysis.
+    pub truncated: u32,
+    /// ACID violations ([`CrashOutcome::verify_acid`]); empty = clean.
+    pub violations: Vec<String>,
+}
+
+/// The whole matrix: probe-run totals plus one result per crash point,
+/// in deterministic point order.
+#[derive(Debug)]
+pub struct CrashMatrixReport {
+    /// Commits the uncrashed probe run performed.
+    pub total_commits: u64,
+    /// Events the uncrashed probe run processed.
+    pub total_events: u64,
+    /// Physical log flushes the uncrashed probe run issued.
+    pub total_flushes: u64,
+    /// Per-point results, in the order the points were generated
+    /// (commits, then event samples, then mid-flush samples).
+    pub points: Vec<CrashPointResult>,
+}
+
+impl CrashMatrixReport {
+    /// Total ACID violations across every point.
+    pub fn violation_count(&self) -> usize {
+        self.points.iter().map(|p| p.violations.len()).sum()
+    }
+
+    /// Deterministic human-readable summary (one line per violating
+    /// point, plus a footer). Safe for goldens: contains no host facts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "crash matrix: {} points over {} commits / {} events / {} log flushes\n",
+            self.points.len(),
+            self.total_commits,
+            self.total_events,
+            self.total_flushes
+        ));
+        for p in &self.points {
+            if !p.violations.is_empty() {
+                out.push_str(&format!("  FAIL {}:\n", p.point.label()));
+                for v in &p.violations {
+                    out.push_str(&format!("    - {v}\n"));
+                }
+            }
+        }
+        out.push_str(&format!(
+            "{} violations across {} points\n",
+            self.violation_count(),
+            self.points.len()
+        ));
+        out
+    }
+}
+
+/// Evenly sample `n` values from `1..=max` (deduplicated, ascending).
+fn sample_points(max: u64, n: usize) -> Vec<u64> {
+    if max == 0 || n == 0 {
+        return Vec::new();
+    }
+    let n = (n as u64).min(max);
+    let mut out = Vec::with_capacity(n as usize);
+    for i in 0..n {
+        // i/(n-1) across [1, max]; integer arithmetic keeps it exact.
+        let v = if n == 1 {
+            max
+        } else {
+            1 + (i * (max - 1)) / (n - 1)
+        };
+        if out.last() != Some(&v) {
+            out.push(v);
+        }
+    }
+    out
+}
+
+/// Run the exhaustive crash-recovery matrix: probe the workload once to
+/// learn its commit/event/flush totals, then crash it at every commit
+/// boundary, at `event_samples` intra-transaction points, and at
+/// `mid_flush_samples` torn-log points, verifying ACID invariants at
+/// each. The point list and every result are deterministic; worker
+/// count only affects wall-clock.
+pub fn run_crash_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
+    let mut cfg = config.cfg.clone();
+    cfg.retain_log = true;
+
+    // Probe: run to completion to learn the crash-point space.
+    let probe = Engine::new(cfg.clone()).run_and_crash_at(CrashPoint::End);
+    let (total_commits, total_events, total_flushes) = (
+        probe.commits_seen,
+        probe.events_seen,
+        probe.log_flushes_seen,
+    );
+
+    let mut points: Vec<CrashPoint> = Vec::new();
+    for k in 1..=total_commits {
+        points.push(CrashPoint::Commit(k));
+    }
+    for k in sample_points(total_events, config.event_samples) {
+        points.push(CrashPoint::Event(k));
+    }
+    for k in sample_points(total_flushes, config.mid_flush_samples) {
+        points.push(CrashPoint::MidFlush(k));
+    }
+
+    let n = points.len();
+    let threads = if config.jobs == 0 {
+        crate::sweep::default_parallelism()
+    } else {
+        config.jobs
+    }
+    .clamp(1, n.max(1));
+
+    let run_point = |point: CrashPoint| -> CrashPointResult {
+        let outcome = Engine::new(cfg.clone()).run_and_crash_at(point);
+        let violations = outcome.verify_acid();
+        CrashPointResult {
+            point,
+            acked: outcome.acked.len(),
+            winners: outcome.recovery.winners.len(),
+            losers: outcome.recovery.losers.len(),
+            truncated: outcome.recovery.truncated,
+            violations,
+        }
+    };
+
+    let mut slots: Vec<Option<CrashPointResult>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    if threads == 1 {
+        for (i, &point) in points.iter().enumerate() {
+            slots[i] = Some(run_point(point));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let out: Vec<Mutex<&mut Option<CrashPointResult>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = run_point(points[i]);
+                    **out[i].lock().expect("matrix result slot poisoned") = Some(item);
+                });
+            }
+        });
+    }
+
+    CrashMatrixReport {
+        total_commits,
+        total_events,
+        total_flushes,
+        points: slots
+            .into_iter()
+            .map(|s| s.expect("every matrix slot filled by a worker"))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_points_are_ascending_and_bounded() {
+        assert_eq!(sample_points(0, 10), Vec::<u64>::new());
+        assert_eq!(sample_points(5, 0), Vec::<u64>::new());
+        assert_eq!(sample_points(1, 3), vec![1]);
+        let s = sample_points(100, 7);
+        assert_eq!(s.first(), Some(&1));
+        assert_eq!(s.last(), Some(&100));
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        // More samples than range: every point once.
+        assert_eq!(sample_points(4, 50), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn crash_at_first_commit_is_acid_clean() {
+        let cfg = SimConfig {
+            database_bytes: 512 * 1024,
+            buffer_pages: 8,
+            warmup_txns: 5,
+            measured_txns: 20,
+            retain_log: true,
+            ..SimConfig::default()
+        };
+        let outcome = Engine::new(cfg).run_and_crash_at(CrashPoint::Commit(1));
+        assert_eq!(outcome.commits_seen, 1, "stopped at the first commit");
+        let violations = outcome.verify_acid();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn mid_flush_crash_truncates_and_stays_clean() {
+        let cfg = SimConfig {
+            database_bytes: 512 * 1024,
+            buffer_pages: 8,
+            warmup_txns: 5,
+            measured_txns: 20,
+            retain_log: true,
+            ..SimConfig::default()
+        };
+        let outcome = Engine::new(cfg).run_and_crash_at(CrashPoint::MidFlush(3));
+        let violations = outcome.verify_acid();
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn tiny_matrix_is_violation_free_and_thread_invariant() {
+        let mut mc = CrashMatrixConfig::smoke();
+        mc.cfg.database_bytes = 512 * 1024;
+        mc.cfg.buffer_pages = 8;
+        mc.cfg.warmup_txns = 3;
+        mc.cfg.measured_txns = 8;
+        mc.event_samples = 6;
+        mc.mid_flush_samples = 3;
+        mc.jobs = 1;
+        let serial = run_crash_matrix(&mc);
+        assert_eq!(serial.violation_count(), 0, "{}", serial.render());
+        assert!(serial.total_commits > 0);
+        assert!(serial.points.len() as u64 >= serial.total_commits);
+        mc.jobs = 4;
+        let parallel = run_crash_matrix(&mc);
+        assert_eq!(serial.render(), parallel.render());
+    }
+}

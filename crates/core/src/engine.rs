@@ -28,6 +28,8 @@
 //!   servers.
 
 use crate::config::SimConfig;
+use crate::crash::CrashOutcome;
+use crate::error::EngineError;
 use crate::metrics::{MetricsCollector, RunReport, SpanBreakdown};
 use semcluster_buffer::{
     apply_prefetch, prefetch_group, Access, AccessHint, BufferPool, PrefetchScope,
@@ -37,10 +39,11 @@ use semcluster_clustering::{
     consider_split, execute_placement, execute_split, plan_placement, plan_recluster,
     ClusteringPolicy, PlacementTarget, SplitPolicy, WeightModel,
 };
+use semcluster_faults::{CrashPoint, FaultState, IoError, IoOp};
 use semcluster_lock::{LockManager, LockMode};
 use semcluster_obs::{
-    FlushCause, LogFlushKind, MetricsRegistry, MetricsSnapshot, NoopSink, ReadCause, TraceEvent,
-    TraceSink,
+    FaultOp, FlushCause, LogFlushKind, MetricsRegistry, MetricsSnapshot, NoopSink, ReadCause,
+    TraceEvent, TraceSink,
 };
 use semcluster_sim::{EventQueue, FcfsServer, ServerBank, SimDuration, SimRng, SimTime};
 use semcluster_storage::{DiskLayout, PageId, StorageManager};
@@ -62,6 +65,15 @@ const WORKING_SET_CAP: usize = 64;
 /// Transactions remembered when estimating the run-time read/write ratio
 /// for the adaptive clustering policy.
 const RW_WINDOW: usize = 100;
+
+/// Map the fault layer's I/O kind onto the trace vocabulary.
+fn fault_op(op: IoOp) -> FaultOp {
+    match op {
+        IoOp::Read => FaultOp::Read,
+        IoOp::Write => FaultOp::Write,
+        IoOp::Log => FaultOp::Log,
+    }
+}
 
 #[derive(Debug, Clone, Copy)]
 #[allow(clippy::enum_variant_names)]
@@ -163,6 +175,28 @@ pub struct Engine {
     /// Scratch attribution for the operation currently executing; drained
     /// into the owning transaction's span after each operation.
     cur_span: SpanBreakdown,
+    /// Deterministic fault-injection state (inert unless configured).
+    faults: FaultState,
+    /// Where a crash-and-recover run pulls the plug.
+    crash_point: CrashPoint,
+    /// Set when the crash point fires; the drive loop stops at the next
+    /// event boundary.
+    crash_pending: bool,
+    /// Simulation events processed (crash-point `event:K` counter).
+    events_seen: u64,
+    /// Write-transaction commits logged (crash-point `commit:K` counter).
+    commits_seen: u64,
+    /// Physical log I/Os issued (crash-point `midflush:K` counter).
+    log_flushes_seen: u64,
+    /// Tokens whose commit was acknowledged to the user (TxnDone) —
+    /// ground truth for crash-matrix verification. Only tracked with
+    /// `retain_log`.
+    acked_commits: Vec<semcluster_wal::TxnToken>,
+    /// Tokens aborted after retry exhaustion (ground truth; only
+    /// tracked with `retain_log`).
+    aborted_tokens: Vec<semcluster_wal::TxnToken>,
+    /// First few abort reasons, for the run report.
+    abort_reasons: Vec<String>,
 }
 
 impl Engine {
@@ -209,6 +243,7 @@ impl Engine {
             })
             .collect();
         let disk_service = SimDuration::from_micros(cfg.disk.service_us());
+        let faults = FaultState::new(cfg.seed, cfg.faults.clone());
         let mut engine = Engine {
             cfg,
             db,
@@ -236,6 +271,15 @@ impl Engine {
             trace: obs.sink,
             txn_seq: 0,
             cur_span: SpanBreakdown::default(),
+            faults,
+            crash_point: CrashPoint::End,
+            crash_pending: false,
+            events_seen: 0,
+            commits_seen: 0,
+            log_flushes_seen: 0,
+            acked_commits: Vec::new(),
+            aborted_tokens: Vec::new(),
+            abort_reasons: Vec::new(),
         };
         for u in 0..engine.cfg.users {
             engine.start_session(u);
@@ -359,7 +403,10 @@ impl Engine {
                 if self.set.insert(page) {
                     self.queue.push_back(page);
                     if self.queue.len() > self.cap {
-                        let old = self.queue.pop_front().expect("non-empty");
+                        let old = self
+                            .queue
+                            .pop_front()
+                            .expect("recency queue is non-empty when over capacity");
                         self.set.remove(&old);
                     }
                 }
@@ -379,10 +426,12 @@ impl Engine {
             ClusteringPolicy::NoCluster => {
                 // Arrival-order append over the interleaved history.
                 for id in Self::history_order(db, rng, 16) {
-                    let obj = db.get(id).expect("in range");
+                    let obj = db
+                        .get(id)
+                        .expect("seeded object ids are dense in 0..object_count");
                     store
                         .append(obj.id, obj.size_bytes())
-                        .expect("append cannot fail");
+                        .expect("append always finds or opens a page (object larger than a page would be a workload bug)");
                 }
             }
             ClusteringPolicy::WithinBuffer => {
@@ -394,7 +443,10 @@ impl Engine {
                     queue: VecDeque::new(),
                 };
                 for id in Self::history_order(db, rng, 16) {
-                    let size = db.get(id).expect("in range").size_bytes();
+                    let size = db
+                        .get(id)
+                        .expect("seeded object ids are dense in 0..object_count")
+                        .size_bytes();
                     let plan = plan_placement(
                         db,
                         &store,
@@ -406,12 +458,12 @@ impl Engine {
                     );
                     let landed = match plan.target {
                         PlacementTarget::Existing(page) => {
-                            store.place(id, size, page).expect("plan checked fit");
+                            store.place(id, size, page).expect("placement plan verified the page had room when it was drawn");
                             page
                         }
                         PlacementTarget::Append => store
                             .append_reserving(id, size, reserve)
-                            .expect("append cannot fail"),
+                            .expect("append always finds or opens a page (object larger than a page would be a workload bug)"),
                     };
                     window.touch(landed);
                 }
@@ -424,7 +476,10 @@ impl Engine {
                 // structure order with full visibility.
                 for obj_id in 0..db.object_count() {
                     let id = ObjectId(obj_id as u32);
-                    let size = db.get(id).expect("in range").size_bytes();
+                    let size = db
+                        .get(id)
+                        .expect("seeded object ids are dense in 0..object_count")
+                        .size_bytes();
                     let plan = plan_placement(
                         db,
                         &store,
@@ -436,12 +491,12 @@ impl Engine {
                     );
                     let landed = match plan.target {
                         PlacementTarget::Existing(page) => {
-                            store.place(id, size, page).expect("plan checked fit");
+                            store.place(id, size, page).expect("placement plan verified the page had room when it was drawn");
                             page
                         }
                         PlacementTarget::Append => store
                             .append_reserving(id, size, reserve)
-                            .expect("append cannot fail"),
+                            .expect("append always finds or opens a page (object larger than a page would be a workload bug)"),
                     };
                     let _ = landed;
                 }
@@ -497,16 +552,56 @@ impl Engine {
     /// report plus the recovery outcome — winners are exactly the
     /// committed transactions, losers are in-flight ones whose records
     /// spilled before the crash.
-    pub fn run_and_crash(mut self) -> (RunReport, semcluster_wal::RecoveryOutcome) {
+    ///
+    /// This is the legacy single-point form; see
+    /// [`Engine::run_and_crash_at`] for arbitrary crash points.
+    pub fn run_and_crash(self) -> (RunReport, semcluster_wal::RecoveryOutcome) {
+        let outcome = self.run_and_crash_at(CrashPoint::End);
+        (outcome.report, outcome.recovery)
+    }
+
+    /// Run until `point` fires (or to completion for
+    /// [`CrashPoint::End`]), crash there, replay recovery over the
+    /// durable log, and return the full [`CrashOutcome`] — including
+    /// the engine's ground truth (acknowledged commits, in-flight and
+    /// aborted transactions) so ACID invariants can be checked against
+    /// what the clients actually observed. Requires `cfg.retain_log`.
+    ///
+    /// A [`CrashPoint::MidFlush`] crash tears the log record that was
+    /// being written; recovery truncates it (commit is only
+    /// acknowledged after its force completes, so a torn record never
+    /// belongs to an acknowledged transaction).
+    pub fn run_and_crash_at(mut self, point: CrashPoint) -> CrashOutcome {
         assert!(
             self.cfg.retain_log,
             "run_and_crash requires cfg.retain_log = true"
         );
+        self.crash_point = point;
         self.drive();
         self.finalize_obs();
         let report = self.report();
-        let durable = self.log.crash();
-        (report, semcluster_wal::recover(&durable))
+        let in_flight: Vec<semcluster_wal::TxnToken> = self
+            .users
+            .iter()
+            .filter_map(|u| u.txn.as_ref().and_then(|t| t.token))
+            .collect();
+        let durable = match point {
+            CrashPoint::MidFlush(_) => self.log.crash_torn(),
+            _ => self.log.crash(),
+        };
+        let recovery = semcluster_wal::recover(&durable);
+        CrashOutcome {
+            point,
+            report,
+            durable,
+            recovery,
+            acked: self.acked_commits,
+            in_flight,
+            aborted: self.aborted_tokens,
+            events_seen: self.events_seen,
+            commits_seen: self.commits_seen,
+            log_flushes_seen: self.log_flushes_seen,
+        }
     }
 
     fn drive(&mut self) {
@@ -519,6 +614,15 @@ impl Engine {
                 Event::ThinkDone(u) => self.on_think_done(u, now),
                 Event::OpDone(u) => self.on_op_done(u, now),
                 Event::TxnDone(u) => self.on_txn_done(u, now),
+            }
+            self.events_seen += 1;
+            match self.crash_point {
+                CrashPoint::Event(k) if self.events_seen >= k => self.crash_pending = true,
+                CrashPoint::Lsn(k) if self.log.current_lsn() >= k => self.crash_pending = true,
+                _ => {}
+            }
+            if self.crash_pending {
+                break; // crash point fired: stop at this event boundary
             }
         }
     }
@@ -536,6 +640,9 @@ impl Engine {
             span,
         );
         report.breakdown.think_s = self.cfg.think_time.as_secs_f64();
+        report.faults_enabled = self.faults.enabled();
+        report.faults = self.faults.stats;
+        report.abort_reasons = self.abort_reasons.clone();
         report
     }
 
@@ -610,7 +717,9 @@ impl Engine {
     }
 
     fn on_op_done(&mut self, u: u32, now: SimTime) {
-        let txn = self.users[u as usize].txn.as_ref().expect("txn in flight");
+        let txn = self.users[u as usize].txn.as_ref().expect(
+            "user owns a transaction in flight (op/txn events only fire for active transactions)",
+        );
         if txn.next_op < txn.ops.len() {
             self.run_next_op(u, now);
         } else {
@@ -619,6 +728,12 @@ impl Engine {
             let mut done = now;
             if let Some(token) = token {
                 let ios = self.log.commit(token);
+                self.commits_seen += 1;
+                if let CrashPoint::Commit(k) = self.crash_point {
+                    if self.commits_seen == k {
+                        self.crash_pending = true;
+                    }
+                }
                 for _ in 0..ios {
                     done = self.submit_log_io(done, LogFlushKind::Commit);
                 }
@@ -628,7 +743,7 @@ impl Engine {
             self.users[u as usize]
                 .txn
                 .as_mut()
-                .expect("txn in flight")
+                .expect("user owns a transaction in flight (op/txn events only fire for active transactions)")
                 .span
                 .add(&commit_span);
             self.queue.schedule(done, Event::TxnDone(u));
@@ -636,7 +751,9 @@ impl Engine {
     }
 
     fn on_txn_done(&mut self, u: u32, now: SimTime) {
-        let txn = self.users[u as usize].txn.take().expect("txn in flight");
+        let txn = self.users[u as usize].txn.take().expect(
+            "user owns a transaction in flight (op/txn events only fire for active transactions)",
+        );
         let response = now.since(txn.started);
         // Every microsecond of response time is attributed to exactly one
         // component: the op chain only ever advances through the charge_*
@@ -662,6 +779,15 @@ impl Engine {
                 lock_wait_us: txn.span.lock_wait_us,
             });
         }
+        if self.cfg.retain_log {
+            // This is the moment the client sees the commit: durable by
+            // construction (the force completed before TxnDone was
+            // scheduled), so recovery must never lose it.
+            if let Some(token) = txn.token {
+                self.acked_commits.push(token);
+            }
+        }
+        self.observe_degradation(txn.span.cluster_search_us, now);
         if self.cfg.locking {
             self.locks.release_all(semcluster_lock::TxnId(u as u64));
             self.wake_parked(now);
@@ -726,6 +852,91 @@ impl Engine {
         self.disks.reset_stats();
         self.cpu.reset_stats();
         self.log_disk.reset_stats();
+        self.faults.reset_stats();
+        self.abort_reasons.clear();
+    }
+
+    /// Feed a finished transaction's cluster-search time into the
+    /// graceful-degradation window; record any mode transition.
+    fn observe_degradation(&mut self, search_us: u64, now: SimTime) {
+        if let Some(entered) = self.faults.observe_txn_search(search_us) {
+            self.registry.inc(if entered {
+                "fault.degrade.enter"
+            } else {
+                "fault.degrade.exit"
+            });
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::Degrade { at: now, entered });
+            }
+        }
+    }
+
+    /// Abort the transaction in flight for user `u` after a run-path
+    /// failure (retry exhaustion): write an abort record, release
+    /// locks, and send the user back to thinking. The simulation keeps
+    /// going — a fault aborts one transaction, not the run.
+    ///
+    /// Aborted transactions are *not* recorded in the response metrics
+    /// (reports describe committed work); their count and reasons are
+    /// reported separately via [`RunReport::faults`].
+    fn abort_txn(&mut self, u: u32, err: EngineError, now: SimTime) {
+        let txn = self.users[u as usize].txn.take().expect(
+            "user owns a transaction in flight (op/txn events only fire for active transactions)",
+        );
+        let response = now.since(txn.started);
+        // The failed op charged its waits (attempts + backoff) as they
+        // accrued, so attribution still sums exactly; only the CPU tail
+        // of the aborted op is abandoned.
+        debug_assert_eq!(
+            txn.span.total_us(),
+            response.as_micros(),
+            "abort-time span components must sum exactly to the elapsed response"
+        );
+        if let Some(token) = txn.token {
+            self.log.abort(token);
+            if self.cfg.retain_log {
+                self.aborted_tokens.push(token);
+            }
+        }
+        self.faults.stats.txn_aborts += 1;
+        self.registry.inc("fault.txn.abort");
+        if self.abort_reasons.len() < 8 {
+            self.abort_reasons.push(err.to_string());
+        }
+        if self.trace.enabled() {
+            if let EngineError::Io(e) = &err {
+                self.trace.emit(&TraceEvent::TxnAbort {
+                    at: now,
+                    user: u,
+                    txn: txn.id,
+                    op: fault_op(e.op),
+                    page: PageId(e.page),
+                    disk: e.disk,
+                });
+            }
+        }
+        self.observe_degradation(txn.span.cluster_search_us, now);
+        if self.cfg.locking {
+            self.locks.release_all(semcluster_lock::TxnId(u as u64));
+            self.wake_parked(now);
+        }
+        if self.recent_kinds.len() == RW_WINDOW {
+            self.recent_kinds.pop_front();
+        }
+        self.recent_kinds.push_back(txn.is_read);
+        // Counts toward run progress (the closed network must not wedge)
+        // but not toward the measured response statistics.
+        self.completed += 1;
+        if !self.measuring && self.completed >= self.cfg.warmup_txns {
+            self.begin_measurement(now);
+        }
+        let user = &mut self.users[u as usize];
+        user.session_left = user.session_left.saturating_sub(1);
+        if user.session_left == 0 {
+            self.start_session(u);
+        }
+        let think = self.rng.exp_duration(self.cfg.think_time);
+        self.queue.schedule(now + think, Event::ThinkDone(u));
     }
 
     // ------------------------------------------------- session & targets
@@ -834,39 +1045,60 @@ impl Engine {
     // ------------------------------------------------------ op execution
 
     fn run_next_op(&mut self, u: u32, now: SimTime) {
-        let txn = self.users[u as usize].txn.as_mut().expect("txn in flight");
+        let txn = self.users[u as usize].txn.as_mut().expect(
+            "user owns a transaction in flight (op/txn events only fire for active transactions)",
+        );
         let op = txn.ops[txn.next_op];
         txn.next_op += 1;
         let token = txn.token;
         let done = match op {
             Op::Read { kind, root } => self.exec_read(u, kind, root, now),
             Op::Create { anchor, mode } => {
-                let token = token.expect("write txn holds a log token");
+                let token = token
+                    .expect("write txn holds a log token (invariant: non-read txns begin one)");
                 self.exec_create(u, anchor, mode, token, now)
             }
             Op::Update { target } => {
-                let token = token.expect("write txn holds a log token");
+                let token = token
+                    .expect("write txn holds a log token (invariant: non-read txns begin one)");
                 self.exec_update(u, target, token, now)
             }
             Op::Delete { target } => {
-                let token = token.expect("write txn holds a log token");
+                let token = token
+                    .expect("write txn holds a log token (invariant: non-read txns begin one)");
                 self.exec_delete(target, token, now)
             }
         };
-        // Drain this operation's attribution into the owning transaction.
+        // Drain this operation's attribution into the owning transaction
+        // (on failure too — the waits up to the failure were real).
         let op_span = std::mem::take(&mut self.cur_span);
         self.users[u as usize]
             .txn
             .as_mut()
-            .expect("txn in flight")
+            .expect("user owns a transaction in flight (op/txn events only fire for active transactions)")
             .span
             .add(&op_span);
-        self.queue.schedule(done.max(now), Event::OpDone(u));
+        match done {
+            Ok(done) => self.queue.schedule(done.max(now), Event::OpDone(u)),
+            Err(err) => {
+                let at = match &err {
+                    EngineError::Io(e) => SimTime::from_micros(e.at_us),
+                    EngineError::Placement { .. } => now,
+                };
+                self.abort_txn(u, err, at.max(now));
+            }
+        }
     }
 
     /// The clustering policy in force right now (resolves `Adaptive`
     /// against the observed read/write ratio of the last transactions).
+    /// Under graceful degradation the candidate search is suspended:
+    /// placement falls back to plain append until the cluster-search
+    /// budget recovers.
     fn effective_clustering(&self) -> ClusteringPolicy {
+        if self.faults.degraded() {
+            return ClusteringPolicy::NoCluster;
+        }
         if self.cfg.clustering != ClusteringPolicy::Adaptive {
             return self.cfg.clustering;
         }
@@ -875,15 +1107,103 @@ impl Engine {
         self.cfg.clustering.resolve_adaptive(reads / writes)
     }
 
+    /// The prefetch scope in force right now: degradation narrows
+    /// database-wide prefetch to within-buffer (no extra disk traffic
+    /// while the disks are the problem).
+    fn effective_prefetch(&self) -> PrefetchScope {
+        if self.faults.degraded() && self.cfg.prefetch == PrefetchScope::WithinDatabase {
+            PrefetchScope::WithinBuffer
+        } else {
+            self.cfg.prefetch
+        }
+    }
+
+    /// Run one disk I/O with fault injection: degraded/spike service
+    /// multipliers per attempt, transient failures from the fault plan,
+    /// and bounded retry with deterministic backoff charged in
+    /// simulated time. Returns the completion time of the successful
+    /// attempt, or the [`IoError`] after the budget is exhausted. Every
+    /// failed attempt still occupies the disk for its full (possibly
+    /// spiked) service time. With an inert fault config this reduces
+    /// exactly to one `submit_to` call.
+    fn faulty_disk_io(
+        &mut self,
+        op: IoOp,
+        page: PageId,
+        d: usize,
+        mut t: SimTime,
+    ) -> Result<SimTime, IoError> {
+        let retry = self.faults.retry();
+        let max_attempts = retry.max_attempts.max(1);
+        let mut attempt = 1u32;
+        loop {
+            let mult = self.faults.service_mult(d as u32);
+            let done = self.disks.submit_to(d, t, self.disk_service.times(mult));
+            let failed = match op {
+                IoOp::Read => self.faults.read_fails(d as u32),
+                IoOp::Write => self.faults.write_fails(d as u32),
+                IoOp::Log => unreachable!("log I/O stalls, it does not fail"),
+            };
+            if !failed {
+                return Ok(done);
+            }
+            self.registry.inc(match op {
+                IoOp::Read => "fault.io.read_error",
+                IoOp::Write => "fault.io.write_error",
+                IoOp::Log => unreachable!(),
+            });
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IoFault {
+                    at: done,
+                    op: fault_op(op),
+                    page,
+                    disk: d as u32,
+                    attempt,
+                });
+            }
+            if attempt >= max_attempts {
+                return Err(IoError {
+                    op,
+                    page: page.0,
+                    disk: d as u32,
+                    attempts: attempt,
+                    at_us: done.as_micros(),
+                });
+            }
+            let backoff = retry.backoff_after(attempt);
+            t = done + SimDuration::from_micros(backoff);
+            attempt += 1;
+            self.faults.stats.retries += 1;
+            self.registry.inc("fault.io.retry");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::IoRetry {
+                    at: t,
+                    op: fault_op(op),
+                    page,
+                    disk: d as u32,
+                    attempt,
+                    backoff_us: backoff,
+                });
+            }
+        }
+    }
+
     /// Fault `page` through the pool, chaining any physical I/O after `t`.
     /// Returns the time the page is available. `cause` decides whether the
     /// read is a demand read or a clustering-search read — the two are
-    /// charged to different response components and counters.
-    fn charge_access(&mut self, page: PageId, t: SimTime, cause: ReadCause) -> SimTime {
+    /// charged to different response components and counters. Under fault
+    /// injection the read may retry with backoff (all of it charged to
+    /// the same component) or fail the owning transaction.
+    fn charge_access(
+        &mut self,
+        page: PageId,
+        t: SimTime,
+        cause: ReadCause,
+    ) -> Result<SimTime, EngineError> {
         match self.pool.access(page) {
             Access::Hit => {
                 self.registry.inc("buffer.hit");
-                t
+                Ok(t)
             }
             Access::Miss { evicted_dirty } => {
                 self.registry.inc("buffer.miss");
@@ -891,13 +1211,20 @@ impl Engine {
                 let mut ios = 1u32;
                 let mut t = t;
                 if let Some(victim) = evicted_dirty {
-                    t = self.charge_flush(victim, t, FlushCause::Evict);
+                    t = self.charge_flush(victim, t, FlushCause::Evict)?;
                     ios += 1;
                 }
                 let d = self.layout.disk_of(page) as usize;
                 let read_issued = t;
-                t = self.disks.submit_to(d, t, self.disk_service);
-                let wait = t.since(read_issued).as_micros();
+                let outcome = self.faulty_disk_io(IoOp::Read, page, d, t);
+                let end = match &outcome {
+                    Ok(done) => *done,
+                    Err(e) => SimTime::from_micros(e.at_us),
+                };
+                // The whole retry saga (attempts + backoff) is read wait,
+                // charged even when the I/O ultimately fails — the
+                // transaction really did spend that time.
+                let wait = end.since(read_issued).as_micros();
                 match cause {
                     ReadCause::Demand => {
                         self.metrics.io.data_reads += 1;
@@ -910,6 +1237,7 @@ impl Engine {
                         self.cur_span.cluster_search_us += wait;
                     }
                 }
+                let t = outcome?;
                 if self.trace.enabled() {
                     self.trace.emit(&TraceEvent::IoExpand {
                         at: issued,
@@ -924,16 +1252,26 @@ impl Engine {
                         done: t,
                     });
                 }
-                t
+                Ok(t)
             }
         }
     }
 
     /// Write a dirty page back on the transaction's critical path.
-    fn charge_flush(&mut self, page: PageId, t: SimTime, cause: FlushCause) -> SimTime {
+    fn charge_flush(
+        &mut self,
+        page: PageId,
+        t: SimTime,
+        cause: FlushCause,
+    ) -> Result<SimTime, EngineError> {
         let d = self.layout.disk_of(page) as usize;
-        let done = self.disks.submit_to(d, t, self.disk_service);
-        self.cur_span.dirty_flush_us += done.since(t).as_micros();
+        let outcome = self.faulty_disk_io(IoOp::Write, page, d, t);
+        let end = match &outcome {
+            Ok(done) => *done,
+            Err(e) => SimTime::from_micros(e.at_us),
+        };
+        self.cur_span.dirty_flush_us += end.since(t).as_micros();
+        let done = outcome?;
         match cause {
             FlushCause::Evict => {
                 self.metrics.io.dirty_writebacks += 1;
@@ -954,20 +1292,42 @@ impl Engine {
                 done,
             });
         }
-        done
+        Ok(done)
     }
 
     /// Admit a page the engine just created (no disk image yet).
-    fn charge_install(&mut self, page: PageId, mut t: SimTime) -> SimTime {
+    fn charge_install(&mut self, page: PageId, mut t: SimTime) -> Result<SimTime, EngineError> {
         if let Some(victim) = self.pool.install(page) {
-            t = self.charge_flush(victim, t, FlushCause::Evict);
+            t = self.charge_flush(victim, t, FlushCause::Evict)?;
         }
-        t
+        Ok(t)
     }
 
     /// One physical log-device I/O of the given kind, chained after `t`.
+    /// Log I/O never fails (the device is redundant in the model) but an
+    /// injected stall can delay it; the stall is charged to the log
+    /// component in simulated time.
     fn submit_log_io(&mut self, t: SimTime, kind: LogFlushKind) -> SimTime {
-        let done = self.log_disk.submit(t, self.disk_service);
+        self.log_flushes_seen += 1;
+        if let CrashPoint::MidFlush(k) = self.crash_point {
+            if self.log_flushes_seen == k {
+                self.crash_pending = true;
+            }
+        }
+        let stall = self.faults.log_stall_us();
+        let issue = if stall > 0 {
+            self.registry.inc("fault.log.stall");
+            if self.trace.enabled() {
+                self.trace.emit(&TraceEvent::LogStall {
+                    at: t,
+                    stall_us: stall,
+                });
+            }
+            t + SimDuration::from_micros(stall)
+        } else {
+            t
+        };
+        let done = self.log_disk.submit(issue, self.disk_service);
         self.metrics.io.log_ios += 1;
         self.registry.inc(match kind {
             LogFlushKind::BeforeImage => "wal.flush.before_image",
@@ -1015,8 +1375,11 @@ impl Engine {
     }
 
     /// Asynchronous prefetch for an access to `obj` arriving via `kind`.
+    /// Honours graceful degradation: while degraded, database-wide
+    /// prefetch narrows to within-buffer (see [`Self::effective_prefetch`]).
     fn do_prefetch(&mut self, obj: ObjectId, kind: QueryKind, t: SimTime) {
-        if self.cfg.prefetch == PrefetchScope::None {
+        let scope = self.effective_prefetch();
+        if scope == PrefetchScope::None {
             return;
         }
         let hint = match kind {
@@ -1033,7 +1396,7 @@ impl Engine {
         if group.is_empty() {
             return;
         }
-        let effect = apply_prefetch(&mut self.pool, &group, self.cfg.prefetch);
+        let effect = apply_prefetch(&mut self.pool, &group, scope);
         if !effect.fetched.is_empty() || !effect.write_backs.is_empty() {
             self.registry.inc("prefetch.issue");
             if self.trace.enabled() {
@@ -1045,10 +1408,13 @@ impl Engine {
             }
         }
         // Prefetch I/Os are issued asynchronously: they load the disks but
-        // do not extend this transaction's critical path.
+        // do not extend this transaction's critical path. They never fail
+        // or retry, but a persistently degraded disk still serves them
+        // slowly (static multiplier — no fault-plan draws).
         for &page in &effect.fetched {
             let d = self.layout.disk_of(page) as usize;
-            let done = self.disks.submit_to(d, t, self.disk_service);
+            let service = self.disk_service.times(self.faults.disk_mult(d as u32));
+            let done = self.disks.submit_to(d, t, service);
             self.metrics.io.prefetch_ios += 1;
             self.registry.inc("prefetch.io");
             if self.trace.enabled() {
@@ -1063,7 +1429,8 @@ impl Engine {
         }
         for &victim in &effect.write_backs {
             let d = self.layout.disk_of(victim) as usize;
-            let done = self.disks.submit_to(d, t, self.disk_service);
+            let service = self.disk_service.times(self.faults.disk_mult(d as u32));
+            let done = self.disks.submit_to(d, t, service);
             self.metrics.io.prefetch_ios += 1;
             self.registry.inc("prefetch.io");
             if self.trace.enabled() {
@@ -1078,7 +1445,13 @@ impl Engine {
         }
     }
 
-    fn exec_read(&mut self, u: u32, kind: QueryKind, root: ObjectId, now: SimTime) -> SimTime {
+    fn exec_read(
+        &mut self,
+        u: u32,
+        kind: QueryKind,
+        root: ObjectId,
+        now: SimTime,
+    ) -> Result<SimTime, EngineError> {
         let query = match kind {
             QueryKind::SimpleLookup => semcluster_vdm::ReadQuery::SimpleLookup,
             QueryKind::ComponentRetrieval => semcluster_vdm::ReadQuery::ComponentRetrieval,
@@ -1098,7 +1471,7 @@ impl Engine {
         let mut t = now;
         for (i, &obj) in objects.iter().enumerate() {
             if let Some(page) = self.store.page_of(obj) {
-                t = self.charge_access(page, t, ReadCause::Demand);
+                t = self.charge_access(page, t, ReadCause::Demand)?;
             }
             if i == 0 {
                 self.context_boost(obj);
@@ -1106,7 +1479,7 @@ impl Engine {
             }
         }
         self.remember(u, root);
-        self.finish_op(t, cpu_done)
+        Ok(self.finish_op(t, cpu_done))
     }
 
     /// Close an operation: any time the CPU keeps the transaction busy
@@ -1124,12 +1497,17 @@ impl Engine {
         mode: CreateMode,
         token: semcluster_wal::TxnToken,
         now: SimTime,
-    ) -> SimTime {
-        // 1. Logical creation.
+    ) -> Result<SimTime, EngineError> {
+        // 1. Logical creation. The anchor can legally have been deleted
+        // by an earlier transaction, so a missing anchor is a run
+        // condition (the create aborts), not an invariant violation.
         let id = match mode {
             CreateMode::NewComponent => {
                 let (rep, ty) = {
-                    let a = self.db.get(anchor).expect("anchor exists");
+                    let a = self.db.get(anchor).map_err(|_| EngineError::Placement {
+                        object: anchor.0,
+                        detail: "create anchor no longer exists",
+                    })?;
                     (a.name.rep.clone(), a.ty)
                 };
                 self.create_seq += 1;
@@ -1138,19 +1516,26 @@ impl Engine {
                 let id = self
                     .db
                     .create_object(name, ty, body)
-                    .expect("generated names are unique");
+                    .expect("generated names are unique (monotone create_seq)");
                 self.db
                     .relate(RelKind::Configuration, anchor, id)
-                    .expect("fresh edge");
+                    .expect("edge to a freshly created object cannot already exist");
                 id
             }
             CreateMode::NewVersion => {
                 let derived = derive_version(&mut self.db, anchor, &self.cfg.inherit_model)
-                    .expect("anchor exists");
+                    .map_err(|_| EngineError::Placement {
+                        object: anchor.0,
+                        detail: "version-derivation anchor no longer exists",
+                    })?;
                 derived.id
             }
         };
-        let size = self.db.get(id).expect("just created").size_bytes();
+        let size = self
+            .db
+            .get(id)
+            .expect("object created two statements ago is present")
+            .size_bytes();
 
         // 2. Placement search (candidate-page reads are charged).
         let plan = plan_placement(
@@ -1167,7 +1552,7 @@ impl Engine {
         // Candidate-page reads flow through the buffer manager; misses
         // they cause are search I/Os, not demand reads.
         for &page in &plan.examined {
-            t = self.charge_access(page, t, ReadCause::ClusterSearch);
+            t = self.charge_access(page, t, ReadCause::ClusterSearch)?;
         }
 
         // 3. Page-overflow handling.
@@ -1189,19 +1574,23 @@ impl Engine {
                 (id, size),
             ) {
                 Some(split_plan) => {
-                    let outcome =
-                        execute_split(&mut self.store, &split_plan).expect("plan is feasible");
+                    let outcome = execute_split(&mut self.store, &split_plan).map_err(|_| {
+                        EngineError::Placement {
+                            object: id.0,
+                            detail: "split plan no longer feasible against the store",
+                        }
+                    })?;
                     let split_cpu = self.cpu.submit(now, self.cfg.cpu_per_split);
                     let chained = t.max(split_cpu);
                     self.cur_span.cpu_us += chained.since(t).as_micros();
                     t = chained;
-                    t = self.charge_access(full, t, ReadCause::Demand);
-                    t = self.charge_install(outcome.new_page, t);
+                    t = self.charge_access(full, t, ReadCause::Demand)?;
+                    t = self.charge_install(outcome.new_page, t)?;
                     self.pool.mark_dirty(full);
                     self.pool.mark_dirty(outcome.new_page);
                     // One extra I/O to flush the new page, plus a log
                     // record for the split (§5.1.2).
-                    t = self.charge_flush(outcome.new_page, t, FlushCause::Split);
+                    t = self.charge_flush(outcome.new_page, t, FlushCause::Split)?;
                     t = self.charge_log(token, outcome.new_page, size, t);
                     self.metrics.splits += 1;
                     self.registry.inc("cluster.split");
@@ -1214,12 +1603,20 @@ impl Engine {
                     }
                     outcome.incoming_page
                 }
-                None => {
-                    execute_placement(&mut self.store, id, size, &plan).expect("append cannot fail")
-                }
+                None => execute_placement(&mut self.store, id, size, &plan).map_err(|_| {
+                    EngineError::Placement {
+                        object: id.0,
+                        detail: "append after declined split found no page",
+                    }
+                })?,
             }
         } else {
-            execute_placement(&mut self.store, id, size, &plan).expect("placement is feasible")
+            execute_placement(&mut self.store, id, size, &plan).map_err(|_| {
+                EngineError::Placement {
+                    object: id.0,
+                    detail: "planned target page could not take the object",
+                }
+            })?
         };
 
         // 4. Touch + dirty + log the landing page.
@@ -1229,9 +1626,9 @@ impl Engine {
             .map(|p| p.object_count() == 1)
             .unwrap_or(false);
         t = if fresh {
-            self.charge_install(landed, t)
+            self.charge_install(landed, t)?
         } else {
-            self.charge_access(landed, t, ReadCause::Demand)
+            self.charge_access(landed, t, ReadCause::Demand)?
         };
         self.pool.mark_dirty(landed);
         t = self.charge_log(token, landed, size, t);
@@ -1239,7 +1636,7 @@ impl Engine {
             self.metrics.objects_created += 1;
         }
         self.remember(u, id);
-        self.finish_op(t, cpu_done)
+        Ok(self.finish_op(t, cpu_done))
     }
 
     fn exec_update(
@@ -1248,13 +1645,13 @@ impl Engine {
         target: ObjectId,
         token: semcluster_wal::TxnToken,
         now: SimTime,
-    ) -> SimTime {
+    ) -> Result<SimTime, EngineError> {
         let cpu_done = self.cpu.submit(now, self.cfg.cpu_per_access);
         let mut t = now;
         let Some(page) = self.store.page_of(target) else {
-            return self.finish_op(now, cpu_done);
+            return Ok(self.finish_op(now, cpu_done));
         };
-        t = self.charge_access(page, t, ReadCause::Demand);
+        t = self.charge_access(page, t, ReadCause::Demand)?;
         self.pool.mark_dirty(page);
         let size = self
             .store
@@ -1265,8 +1662,9 @@ impl Engine {
         t = self.charge_log(token, page, size, t);
 
         // Run-time reclustering: the update is the moment the cluster
-        // manager re-evaluates the object's placement.
-        if self.cfg.clustering.clusters() {
+        // manager re-evaluates the object's placement. Suspended while
+        // degraded (effective policy is NoCluster, which never clusters).
+        if self.effective_clustering().clusters() {
             if let Some(plan) = plan_recluster(
                 &self.db,
                 &self.store,
@@ -1277,7 +1675,7 @@ impl Engine {
                 self.cfg.recluster_min_gain,
             ) {
                 for &p in &plan.examined {
-                    t = self.charge_access(p, t, ReadCause::ClusterSearch);
+                    t = self.charge_access(p, t, ReadCause::ClusterSearch)?;
                 }
                 if self.store.move_object(target, plan.to).is_ok() {
                     self.pool.mark_dirty(page);
@@ -1297,7 +1695,7 @@ impl Engine {
             }
         }
         self.remember(u, target);
-        self.finish_op(t, cpu_done)
+        Ok(self.finish_op(t, cpu_done))
     }
 
     /// §4.1 query type 7 also covers deletion: remove the object
@@ -1308,16 +1706,16 @@ impl Engine {
         target: ObjectId,
         token: semcluster_wal::TxnToken,
         now: SimTime,
-    ) -> SimTime {
+    ) -> Result<SimTime, EngineError> {
         let cpu_done = self.cpu.submit(now, self.cfg.cpu_per_access);
         if self.db.delete_object(target).is_err() {
             // Already gone, or protected by inheritors: a no-op read of
             // the catalog.
-            return self.finish_op(now, cpu_done);
+            return Ok(self.finish_op(now, cpu_done));
         }
         let mut t = now;
         if let Some(page) = self.store.page_of(target) {
-            t = self.charge_access(page, t, ReadCause::Demand);
+            t = self.charge_access(page, t, ReadCause::Demand)?;
             let size = self
                 .store
                 .objects_on(page)
@@ -1331,7 +1729,7 @@ impl Engine {
                 self.metrics.objects_deleted += 1;
             }
         }
-        self.finish_op(t, cpu_done)
+        Ok(self.finish_op(t, cpu_done))
     }
 }
 

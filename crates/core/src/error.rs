@@ -1,0 +1,72 @@
+//! Typed errors on the engine's run path.
+//!
+//! The seed engine treated every I/O as infallible; with fault
+//! injection a page read or write can exhaust its retry budget, and
+//! placement can (in principle) find no feasible page. These are run
+//! conditions, not programming errors, so they surface as
+//! [`EngineError`] — the owning transaction aborts and the run
+//! continues — while genuine invariant violations remain panics.
+
+use semcluster_faults::IoError;
+
+/// A recoverable failure on the run path. Aborts the owning
+/// transaction; the run itself continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// A physical page I/O exhausted its retry budget.
+    Io(IoError),
+    /// No feasible placement could be found for an object.
+    Placement {
+        /// Object being placed.
+        object: u32,
+        /// What went wrong.
+        detail: &'static str,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Io(e) => write!(f, "io: {e}"),
+            EngineError::Placement { object, detail } => {
+                write!(f, "placement of object {object} failed: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Io(e) => Some(e),
+            EngineError::Placement { .. } => None,
+        }
+    }
+}
+
+impl From<IoError> for EngineError {
+    fn from(e: IoError) -> Self {
+        EngineError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use semcluster_faults::IoOp;
+
+    #[test]
+    fn display_is_informative() {
+        let e = EngineError::Io(IoError {
+            op: IoOp::Read,
+            page: 12,
+            disk: 3,
+            attempts: 4,
+            at_us: 9000,
+        });
+        let s = e.to_string();
+        assert!(s.contains("page 12"), "{s}");
+        assert!(s.contains("disk 3"), "{s}");
+        assert!(s.contains("4 attempts"), "{s}");
+    }
+}

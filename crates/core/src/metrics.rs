@@ -1,6 +1,7 @@
 //! Output metrics of one simulation run.
 
 use semcluster_buffer::BufferStats;
+use semcluster_faults::FaultStats;
 use semcluster_sim::{Histogram, OnlineStats, SimDuration};
 use semcluster_wal::LogStats;
 
@@ -259,6 +260,14 @@ pub struct RunReport {
     pub cpu_utilization: f64,
     /// Simulated time the measurement covered, in seconds.
     pub measured_span_s: f64,
+    /// Whether fault injection was active for this run.
+    pub faults_enabled: bool,
+    /// Fault-injection counters over the measured interval (all zero
+    /// when injection is inert).
+    pub faults: FaultStats,
+    /// Display strings of the first few transaction-abort causes (retry
+    /// exhaustion, placement failure), capped so the report stays small.
+    pub abort_reasons: Vec<String>,
 }
 
 impl RunReport {
@@ -320,6 +329,9 @@ impl RunReport {
             disk_utilization,
             cpu_utilization,
             measured_span_s: measured_span.as_secs_f64(),
+            faults_enabled: false,
+            faults: FaultStats::default(),
+            abort_reasons: Vec::new(),
         }
     }
 }

@@ -258,18 +258,18 @@ impl SweepRunner {
                         }
                         let job = jobs[index]
                             .lock()
-                            .expect("job slot")
+                            .expect("job mutex poisoned: a worker panicked while taking a job")
                             .take()
-                            .expect("each job taken once");
+                            .expect("job index dispensed twice: the atomic cursor guarantees one owner per job");
                         let item = self.run_one(index, job);
-                        **out[index].lock().expect("result slot") = Some(item);
+                        **out[index].lock().expect("result mutex poisoned: a worker panicked while storing its item") = Some(item);
                     });
                 }
             });
         }
         let items: Vec<SweepItem> = slots
             .into_iter()
-            .map(|s| s.expect("every slot filled"))
+            .map(|s| s.expect("worker pool exited with an unfilled result slot; every index < n is claimed exactly once"))
             .collect();
         // Join: fold metrics and wall-clocks in submission order.
         let mut metrics = MetricsSnapshot::default();

@@ -28,6 +28,6 @@ mod trace;
 
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
 pub use trace::{
-    shared, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink, SharedBuf,
-    SharedSink, SyncBuf, TraceEvent, TraceSink,
+    shared, FaultOp, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink,
+    SharedBuf, SharedSink, SyncBuf, TraceEvent, TraceSink,
 };

@@ -74,6 +74,27 @@ impl LogFlushKind {
     }
 }
 
+/// Which kind of physical I/O a fault event concerns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOp {
+    /// A data-page read.
+    Read,
+    /// A data-page write.
+    Write,
+    /// A physical log I/O.
+    Log,
+}
+
+impl FaultOp {
+    fn as_str(self) -> &'static str {
+        match self {
+            FaultOp::Read => "read",
+            FaultOp::Write => "write",
+            FaultOp::Log => "log",
+        }
+    }
+}
+
 /// One observable moment of the simulation. All `at` fields are
 /// simulated time; `done` fields are the completion times the FCFS
 /// servers computed for the corresponding physical I/O.
@@ -218,6 +239,64 @@ pub enum TraceEvent {
         /// Completion time on the log disk.
         done: SimTime,
     },
+    /// An injected transient I/O fault (the attempt failed).
+    IoFault {
+        /// Time the failed attempt completed.
+        at: SimTime,
+        /// Read or write.
+        op: FaultOp,
+        /// Page involved.
+        page: PageId,
+        /// Disk that served the attempt.
+        disk: u32,
+        /// Attempt number (1-based).
+        attempt: u32,
+    },
+    /// A retry after an injected fault, with its deterministic backoff.
+    IoRetry {
+        /// Time the retry was scheduled (post-backoff).
+        at: SimTime,
+        /// Read or write.
+        op: FaultOp,
+        /// Page involved.
+        page: PageId,
+        /// Disk being retried.
+        disk: u32,
+        /// Attempt number about to run (2-based).
+        attempt: u32,
+        /// Backoff charged before this attempt, in simulated µs.
+        backoff_us: u64,
+    },
+    /// An injected log-device stall delayed a physical log I/O.
+    LogStall {
+        /// Time the stall began.
+        at: SimTime,
+        /// Stall length in simulated µs.
+        stall_us: u64,
+    },
+    /// A transaction aborted after exhausting its I/O retry budget.
+    TxnAbort {
+        /// Abort time.
+        at: SimTime,
+        /// Owning user (workstation).
+        user: u32,
+        /// Global transaction sequence number.
+        txn: u64,
+        /// The I/O kind that exhausted its retries.
+        op: FaultOp,
+        /// Page whose I/O failed.
+        page: PageId,
+        /// Disk that failed.
+        disk: u32,
+    },
+    /// The engine crossed a graceful-degradation boundary.
+    Degrade {
+        /// Transition time.
+        at: SimTime,
+        /// True entering degraded (append-placement) mode, false
+        /// recovering to normal clustering.
+        entered: bool,
+    },
 }
 
 impl TraceEvent {
@@ -235,7 +314,12 @@ impl TraceEvent {
             | TraceEvent::Split { at, .. }
             | TraceEvent::LockWait { at, .. }
             | TraceEvent::LockGrant { at, .. }
-            | TraceEvent::LogFlush { at, .. } => at,
+            | TraceEvent::LogFlush { at, .. }
+            | TraceEvent::IoFault { at, .. }
+            | TraceEvent::IoRetry { at, .. }
+            | TraceEvent::LogStall { at, .. }
+            | TraceEvent::TxnAbort { at, .. }
+            | TraceEvent::Degrade { at, .. } => at,
         }
     }
 
@@ -254,6 +338,11 @@ impl TraceEvent {
             TraceEvent::LockWait { .. } => "lock_wait",
             TraceEvent::LockGrant { .. } => "lock_grant",
             TraceEvent::LogFlush { .. } => "log_flush",
+            TraceEvent::IoFault { .. } => "io_fault",
+            TraceEvent::IoRetry { .. } => "io_retry",
+            TraceEvent::LogStall { .. } => "log_stall",
+            TraceEvent::TxnAbort { .. } => "txn_abort",
+            TraceEvent::Degrade { .. } => "degrade",
         }
     }
 
@@ -363,6 +452,52 @@ impl TraceEvent {
             }
             TraceEvent::LogFlush { kind, done, .. } => {
                 w.str("kind", kind.as_str()).u64("done", done.as_micros());
+            }
+            TraceEvent::IoFault {
+                op,
+                page,
+                disk,
+                attempt,
+                ..
+            } => {
+                w.str("op", op.as_str())
+                    .u64("page", page.0 as u64)
+                    .u64("disk", disk as u64)
+                    .u64("attempt", attempt as u64);
+            }
+            TraceEvent::IoRetry {
+                op,
+                page,
+                disk,
+                attempt,
+                backoff_us,
+                ..
+            } => {
+                w.str("op", op.as_str())
+                    .u64("page", page.0 as u64)
+                    .u64("disk", disk as u64)
+                    .u64("attempt", attempt as u64)
+                    .u64("backoff_us", backoff_us);
+            }
+            TraceEvent::LogStall { stall_us, .. } => {
+                w.u64("stall_us", stall_us);
+            }
+            TraceEvent::TxnAbort {
+                user,
+                txn,
+                op,
+                page,
+                disk,
+                ..
+            } => {
+                w.u64("user", user as u64)
+                    .u64("txn", txn)
+                    .str("op", op.as_str())
+                    .u64("page", page.0 as u64)
+                    .u64("disk", disk as u64);
+            }
+            TraceEvent::Degrade { entered, .. } => {
+                w.bool("entered", entered);
             }
         }
         w.end();

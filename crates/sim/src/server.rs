@@ -132,18 +132,35 @@ impl ServerBank {
             .enumerate()
             .min_by_key(|(_, s)| s.free_at())
             .map(|(i, _)| i)
-            .expect("bank is non-empty");
+            .expect("a server bank always has at least one member (asserted at construction)");
         self.servers[idx].submit(now, service)
     }
 
     /// Submit a job to a specific member (e.g. page → disk mapping).
+    ///
+    /// # Panics
+    /// If `member` is out of range — the caller's routing (e.g. a disk
+    /// layout) disagrees with the bank size, which is a configuration
+    /// invariant, not a run condition.
     pub fn submit_to(&mut self, member: usize, now: SimTime, service: SimDuration) -> SimTime {
-        self.servers[member].submit(now, service)
+        let n = self.servers.len();
+        self.servers
+            .get_mut(member)
+            .unwrap_or_else(|| {
+                panic!("server bank has {n} members but a job was routed to member {member}; the caller's routing table is out of sync with the bank size")
+            })
+            .submit(now, service)
     }
 
     /// Access a member for statistics.
+    ///
+    /// # Panics
+    /// If `i` is out of range (same invariant as [`ServerBank::submit_to`]).
     pub fn member(&self, i: usize) -> &FcfsServer {
-        &self.servers[i]
+        let n = self.servers.len();
+        self.servers
+            .get(i)
+            .unwrap_or_else(|| panic!("server bank has {n} members; member {i} does not exist"))
     }
 
     /// Total jobs across the bank.

@@ -153,10 +153,39 @@ impl LogManager {
                 r.tail.clear();
                 DurableLog {
                     records: std::mem::take(&mut r.durable),
+                    torn_tail: 0,
                 }
             }
             None => DurableLog::default(),
         }
+    }
+
+    /// Simulate a crash *during* a physical log flush: the tail was
+    /// being written when power cut, so its records reach the durable
+    /// image but the last one is torn (partially written) and must be
+    /// truncated by recovery. With an empty tail this degenerates to
+    /// [`LogManager::crash`].
+    pub fn crash_torn(&mut self) -> DurableLog {
+        self.buffered = 0;
+        self.open.clear();
+        match self.retain.as_mut() {
+            Some(r) => {
+                let torn = if r.tail.is_empty() { 0 } else { 1 };
+                let mut records = std::mem::take(&mut r.durable);
+                records.append(&mut r.tail);
+                DurableLog {
+                    records,
+                    torn_tail: torn,
+                }
+            }
+            None => DurableLog::default(),
+        }
+    }
+
+    /// Next log sequence number to be assigned (0 until the first
+    /// record; always 0 without retention).
+    pub fn current_lsn(&self) -> u64 {
+        self.retain.as_ref().map_or(0, |r| r.next_lsn)
     }
 
     /// Configuration in use.

@@ -43,6 +43,18 @@ pub struct LogRecord {
 pub struct DurableLog {
     /// Records in LSN order.
     pub records: Vec<LogRecord>,
+    /// Trailing records that were mid-write when the crash hit (torn):
+    /// their payload cannot be trusted and recovery must truncate them
+    /// before analysis. Produced by [`crate::LogManager::crash_torn`].
+    pub torn_tail: u32,
+}
+
+impl DurableLog {
+    /// The records recovery may trust: everything before the torn tail.
+    pub fn trusted(&self) -> &[LogRecord] {
+        let n = self.records.len().saturating_sub(self.torn_tail as usize);
+        &self.records[..n]
+    }
 }
 
 /// Result of recovery.
@@ -59,16 +71,22 @@ pub struct RecoveryOutcome {
     pub undone: Vec<(TxnToken, PageId)>,
     /// Pages touched by redo (must be re-read and patched).
     pub dirty_pages: Vec<PageId>,
+    /// Torn trailing records truncated before analysis.
+    pub truncated: u32,
 }
 
-/// Run the analysis / redo / undo passes over a durable log.
+/// Run the analysis / redo / undo passes over a durable log. A torn
+/// tail (see [`DurableLog::torn_tail`]) is truncated first: a record
+/// that was mid-write when the crash hit never takes effect, which is
+/// safe because commit is only acknowledged after its force completes.
 pub fn recover(log: &DurableLog) -> RecoveryOutcome {
+    let records = log.trusted();
     // Analysis: find terminal status per transaction.
     let mut committed: HashSet<TxnToken> = HashSet::new();
     let mut aborted: HashSet<TxnToken> = HashSet::new();
     let mut saw_update: Vec<TxnToken> = Vec::new();
     let mut seen: HashSet<TxnToken> = HashSet::new();
-    for rec in &log.records {
+    for rec in records {
         match rec.kind {
             RecordKind::Commit => {
                 committed.insert(rec.txn);
@@ -97,7 +115,7 @@ pub fn recover(log: &DurableLog) -> RecoveryOutcome {
     let mut redone = Vec::new();
     let mut dirty: Vec<PageId> = Vec::new();
     let mut dirty_set: HashMap<PageId, ()> = HashMap::new();
-    for rec in &log.records {
+    for rec in records {
         if let RecordKind::Update { page, .. } = rec.kind {
             if committed.contains(&rec.txn) {
                 redone.push((rec.txn, page));
@@ -108,7 +126,7 @@ pub fn recover(log: &DurableLog) -> RecoveryOutcome {
         }
     }
     let mut undone = Vec::new();
-    for rec in log.records.iter().rev() {
+    for rec in records.iter().rev() {
         if let RecordKind::Update { page, .. } = rec.kind {
             if losers.contains(&rec.txn) {
                 undone.push((rec.txn, page));
@@ -121,6 +139,7 @@ pub fn recover(log: &DurableLog) -> RecoveryOutcome {
         redone,
         undone,
         dirty_pages: dirty,
+        truncated: log.torn_tail.min(log.records.len() as u32),
     }
 }
 
@@ -225,6 +244,140 @@ mod tests {
         log.log_update(a, p(1), 100);
         log.commit(a);
         assert!(log.crash().records.is_empty());
+    }
+
+    #[test]
+    fn empty_log_recovers_to_nothing() {
+        let mut log = LogManager::with_retention(LogConfig::default());
+        let outcome = recover(&log.crash());
+        assert!(outcome.winners.is_empty());
+        assert!(outcome.losers.is_empty());
+        assert!(outcome.redone.is_empty());
+        assert!(outcome.undone.is_empty());
+        assert!(outcome.dirty_pages.is_empty());
+        assert_eq!(outcome.truncated, 0);
+        // And a torn crash of an empty log is equally empty.
+        let mut log = LogManager::with_retention(LogConfig::default());
+        let durable = log.crash_torn();
+        assert!(durable.records.is_empty());
+        assert_eq!(durable.torn_tail, 0);
+    }
+
+    #[test]
+    fn torn_last_record_is_truncated_before_analysis() {
+        // Commit a first txn (forced → durable, trusted), then leave a
+        // second txn's update in the tail and tear it mid-flush.
+        let mut log = LogManager::with_retention(LogConfig::default());
+        let a = log.begin();
+        log.log_update(a, p(1), 100);
+        log.commit(a);
+        let b = log.begin();
+        log.log_update(b, p(2), 100); // tail only
+        let durable = log.crash_torn();
+        assert_eq!(durable.torn_tail, 1);
+        assert_eq!(
+            durable.records.len(),
+            durable.trusted().len() + 1,
+            "exactly the torn record is untrusted"
+        );
+        let outcome = recover(&durable);
+        assert_eq!(outcome.truncated, 1);
+        assert_eq!(outcome.winners, vec![a], "a's force predates the tear");
+        assert!(
+            outcome.losers.is_empty(),
+            "b's only durable record is torn, so b has no trusted effects to undo"
+        );
+        assert!(outcome.undone.is_empty());
+    }
+
+    #[test]
+    fn torn_commit_record_loses_the_unforced_transaction() {
+        // force_on_commit=false leaves the commit record in the tail;
+        // a torn flush then tears that very record, so the txn must be
+        // treated as a loser for its durable updates.
+        let mut log = LogManager::with_retention(LogConfig {
+            buffer_bytes: 64,
+            record_header_bytes: 24,
+            force_on_commit: false,
+        });
+        let a = log.begin();
+        log.log_update(a, p(1), 100); // wraps → durable
+        log.commit(a); // commit record stays in the tail
+        let durable = log.crash_torn();
+        let outcome = recover(&durable);
+        assert_eq!(outcome.truncated, 1);
+        assert_eq!(outcome.winners, Vec::<TxnToken>::new());
+        assert_eq!(outcome.losers, vec![a]);
+        assert_eq!(outcome.undone, vec![(a, p(1))]);
+    }
+
+    #[test]
+    fn abort_after_update_ordering_is_respected() {
+        // Update → abort → (same txn id space) later winner: the abort
+        // record must suppress undo even though updates precede it.
+        let mut log = LogManager::with_retention(LogConfig {
+            buffer_bytes: 32,
+            record_header_bytes: 8,
+            force_on_commit: true,
+        });
+        let a = log.begin();
+        log.log_update(a, p(1), 40); // wraps → durable
+        log.log_update(a, p(2), 40); // wraps → durable
+        log.abort(a); // abort record appended after the updates
+        let b = log.begin();
+        log.log_update(b, p(3), 40);
+        log.commit(b); // forces everything, abort record included
+        let durable = log.crash();
+        // The abort's LSN is after every one of a's updates.
+        let abort_lsn = durable
+            .records
+            .iter()
+            .find(|r| r.kind == RecordKind::Abort)
+            .expect("abort record is durable")
+            .lsn;
+        for r in &durable.records {
+            if let RecordKind::Update { .. } = r.kind {
+                if r.txn == a {
+                    assert!(r.lsn < abort_lsn, "updates precede the abort");
+                }
+            }
+        }
+        let outcome = recover(&durable);
+        assert_eq!(outcome.winners, vec![b]);
+        assert!(outcome.losers.is_empty(), "aborted txn is not a loser");
+        assert!(outcome.undone.is_empty(), "abort already compensated");
+        assert_eq!(outcome.redone, vec![(b, p(3))]);
+    }
+
+    #[test]
+    fn loser_updates_on_winner_pages_are_undone_without_clobbering_redo() {
+        // Winner a and loser b both touch page 5: recovery must redo
+        // a's update and undo b's on the same page, with the page
+        // appearing in dirty_pages exactly once.
+        let mut log = LogManager::with_retention(LogConfig {
+            buffer_bytes: 16,
+            record_header_bytes: 8,
+            force_on_commit: true,
+        });
+        let a = log.begin();
+        let b = log.begin();
+        log.log_update(a, p(5), 20); // shared page, winner
+        log.log_update(b, p(5), 20); // shared page, loser
+        log.log_update(b, p(9), 20); // loser-only page
+        log.commit(a);
+        let outcome = recover(&log.crash());
+        assert_eq!(outcome.winners, vec![a]);
+        assert_eq!(outcome.losers, vec![b]);
+        assert_eq!(outcome.redone, vec![(a, p(5))]);
+        assert_eq!(
+            outcome.undone,
+            vec![(b, p(9)), (b, p(5))],
+            "undo in reverse LSN order covers the shared page"
+        );
+        assert_eq!(
+            outcome.dirty_pages.iter().filter(|&&pg| pg == p(5)).count(),
+            1
+        );
     }
 
     #[test]
