@@ -3,7 +3,9 @@
 //! regression guards on simulation throughput.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use semcluster::{run_simulation, run_simulation_with_obs, ObsConfig, SimConfig};
+use semcluster::{
+    run_simulation, run_simulation_observed, run_simulation_with_obs, ObsConfig, SimConfig,
+};
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::ClusteringPolicy;
 use semcluster_obs::{JsonlSink, SharedBuf};
@@ -73,6 +75,19 @@ fn bench_engine_tracing(c: &mut Criterion) {
                 ObsConfig::with_sink(Box::new(sink)),
             );
             black_box((report.mean_response_s, buf.bytes().len()))
+        })
+    });
+    group.bench_function("timeline_and_audit_on", |b| {
+        b.iter(|| {
+            let (report, obs) = run_simulation_observed(
+                tiny(ClusteringPolicy::NoLimit),
+                ObsConfig::default().timeline(1_000_000).audit(16),
+            );
+            black_box((
+                report.mean_response_s,
+                obs.timeline.map(|t| t.len()),
+                obs.audits.len(),
+            ))
         })
     });
     group.finish();

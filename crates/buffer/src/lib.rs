@@ -22,10 +22,12 @@
 
 #![warn(missing_docs)]
 
+mod locality;
 mod policy;
 mod pool;
 mod prefetch;
 
+pub use locality::resident_locality;
 pub use policy::{AccessHint, PrefetchScope, ReplacementPolicy};
 pub use pool::{Access, BufferPool, BufferStats};
 pub use prefetch::{apply_prefetch, prefetch_group, PrefetchEffect};

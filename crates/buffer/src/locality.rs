@@ -1,0 +1,58 @@
+//! Folding a per-page locality measure over the resident set.
+//!
+//! The buffer pool knows *which* pages are in memory; the clustering
+//! layer knows how to score one page's structural locality. This fold
+//! composes the two without coupling the crates: the caller supplies the
+//! per-page scorer, the pool supplies the resident set. The result is a
+//! `(satisfied, total)` co-reference pair over everything resident —
+//! the timeline sampler's clustering-locality signal.
+
+use crate::pool::BufferPool;
+use semcluster_storage::PageId;
+
+/// Sum `per_page(page) -> (on_page, total)` over every resident page.
+///
+/// Iterates frames in a fixed deterministic order, and the sums are
+/// commutative anyway, so the result is independent of residency
+/// history beyond the resident set itself.
+pub fn resident_locality<F: FnMut(PageId) -> (u64, u64)>(
+    pool: &BufferPool,
+    mut per_page: F,
+) -> (u64, u64) {
+    let mut on_page = 0u64;
+    let mut total = 0u64;
+    for &page in pool.resident_pages() {
+        let (on, all) = per_page(page);
+        on_page += on;
+        total += all;
+    }
+    (on_page, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::ReplacementPolicy;
+
+    #[test]
+    fn folds_over_resident_pages_only() {
+        let mut pool = BufferPool::new(2, ReplacementPolicy::Lru, 0);
+        pool.access(PageId(1));
+        pool.access(PageId(2));
+        pool.access(PageId(3)); // evicts p1
+        let mut seen = Vec::new();
+        let (on, total) = resident_locality(&pool, |p| {
+            seen.push(p);
+            (1, 2)
+        });
+        assert_eq!(seen.len(), 2);
+        assert!(!seen.contains(&PageId(1)));
+        assert_eq!((on, total), (2, 4));
+    }
+
+    #[test]
+    fn empty_pool_scores_zero() {
+        let pool = BufferPool::new(4, ReplacementPolicy::Lru, 0);
+        assert_eq!(resident_locality(&pool, |_| (1, 1)), (0, 0));
+    }
+}

@@ -2,16 +2,16 @@
 
 use crate::args::Args;
 use semcluster::{
-    replication_config, run_crash_matrix, run_simulation, run_simulation_with_obs,
+    replication_config, run_crash_matrix, run_simulation, run_simulation_observed,
     workload_from_label, CrashMatrixConfig, FaultConfig, ObsConfig, ReplicatedResult, RunReport,
-    SimConfig, SweepJob, SweepRunner,
+    SimConfig, SweepJob, SweepRunner, SweepSummary,
 };
 use semcluster_analysis::Table;
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::{
     broken_arc_weight, static_recluster, ClusteringPolicy, SplitPolicy, WeightModel,
 };
-use semcluster_obs::JsonlSink;
+use semcluster_obs::{ChromeTraceSink, JsonlSink, SplitVerdict};
 use semcluster_sim::SimRng;
 use semcluster_storage::StorageManager;
 use semcluster_vdm::{RelKind, SyntheticDbSpec};
@@ -29,13 +29,19 @@ USAGE:
                          [--buffer-pages N] [--reps N] [--jobs N]
                          [--seed N] [--json]
                          [--faults none|smoke|degraded|stress]
-                         [--trace out.jsonl] [--metrics json|table]
+                         [--trace out.jsonl] [--chrome-trace out.json]
+                         [--timeline out.json] [--timeline-interval-us N]
+                         [--metrics json|table]
   semclusterctl explain  [same config flags as simulate] [--json]
+  semclusterctl explain-placement [same config flags as simulate]
+                         [--last N] [--json]
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
-  semclusterctl golden   [--bless] [--suite smoke|faults] [--path FILE]
-                         [--jobs N]
+  semclusterctl golden   [--bless] [--suite smoke|faults|timeline]
+                         [--path FILE] [--jobs N]
+  semclusterctl bench-report [--out FILE] [--jobs N]
+  semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
   semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
                          [--jobs N] [--json]
   semclusterctl help
@@ -43,10 +49,18 @@ USAGE:
   simulate --trace streams every engine event (txn begin/commit, page
   reads/flushes, prefetch, log flushes, lock waits, splits) as JSON
   Lines stamped in simulated time; same seed → byte-identical trace.
+  simulate --chrome-trace writes the same events in Chrome Trace Event
+  format instead — open the file in chrome://tracing or Perfetto.
+  simulate --timeline samples buffer hit ratio, per-disk queue depth,
+  log-buffer occupancy, abort rate and the clustering-locality score at
+  a fixed simulated-time interval (default 1 s) into a JSON timeline.
   simulate --metrics prints the counter/gauge/histogram registry
   snapshot for the measured interval. explain attributes mean response
   time into CPU / demand-read / dirty-flush / cluster-search / log /
-  lock-wait components.
+  lock-wait components. explain-placement replays a run with placement
+  auditing on and prints the last N (re)cluster decisions: candidate
+  pages with per-candidate affinity/gain, the chosen vs landed page,
+  the split verdict and the I/Os the search charged.
 
   simulate --jobs N runs the replications on N worker threads (0 or
   omitted = all cores); output is byte-identical at any thread count.
@@ -59,7 +73,13 @@ USAGE:
   mismatch); golden --bless regenerates the file after an intentional
   behaviour change. --suite faults runs the fault-injection sweep
   against goldens/faults_smoke.json instead of the fault-free smoke
-  sweep.
+  sweep; --suite timeline runs the timeline-sampled sweep against
+  goldens/timeline_smoke.json.
+  bench-report runs the fixed smoke sweep and writes a schema-stable
+  BENCH_<n>.json perf snapshot (simulated-time stats only; wall clock
+  goes to stderr). obs diff compares two such snapshots run-by-run and
+  exits 1 if any run's mean response regressed beyond --threshold
+  (default 5 %).
   crash-matrix crashes a small workload at every commit boundary plus
   sampled intra-transaction and torn-log points, replays recovery at
   each, and verifies ACID invariants (exit 1 on any violation).
@@ -240,7 +260,11 @@ fn run_replications_parallel(
 /// `simulate` subcommand.
 pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let cfg = config_from_args(args)?;
-    if args.get("trace").is_some() || args.get("metrics").is_some() {
+    if args.get("trace").is_some()
+        || args.get("chrome-trace").is_some()
+        || args.get("timeline").is_some()
+        || args.get("metrics").is_some()
+    {
         return simulate_instrumented(args, cfg);
     }
     let reps: u32 = args.get_parsed("reps", 1)?;
@@ -303,19 +327,40 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     Ok(table.render())
 }
 
-/// One instrumented run: optional JSONL trace to a file, optional
-/// metrics-registry snapshot (JSON or ASCII table).
+/// One instrumented run: optional JSONL or Chrome trace to a file,
+/// optional sampled timeline, optional metrics-registry snapshot (JSON
+/// or ASCII table).
 fn simulate_instrumented(args: &Args, cfg: SimConfig) -> Result<String, String> {
     let trace_path = args.get("trace");
-    let obs = match trace_path {
-        Some(path) => {
-            let file = std::fs::File::create(path)
-                .map_err(|e| format!("--trace {path}: cannot create file: {e}"))?;
-            ObsConfig::with_sink(Box::new(JsonlSink::new(std::io::BufWriter::new(file))))
-        }
-        None => ObsConfig::default(),
+    let chrome_path = args.get("chrome-trace");
+    if trace_path.is_some() && chrome_path.is_some() {
+        return Err("--trace and --chrome-trace are mutually exclusive; pick one format".into());
+    }
+    let create = |flag: &str, path: &str| {
+        std::fs::File::create(path)
+            .map(std::io::BufWriter::new)
+            .map_err(|e| format!("--{flag} {path}: cannot create file: {e}"))
     };
-    let (report, snapshot) = run_simulation_with_obs(cfg, obs);
+    let mut obs = match (trace_path, chrome_path) {
+        (Some(path), None) => {
+            ObsConfig::with_sink(Box::new(JsonlSink::new(create("trace", path)?)))
+        }
+        (None, Some(path)) => ObsConfig::with_sink(Box::new(ChromeTraceSink::new(create(
+            "chrome-trace",
+            path,
+        )?))),
+        _ => ObsConfig::default(),
+    };
+    let timeline_path = args.get("timeline");
+    let interval_us: u64 = args.get_parsed("timeline-interval-us", 1_000_000)?;
+    if interval_us == 0 {
+        return Err("--timeline-interval-us: must be positive".into());
+    }
+    if timeline_path.is_some() {
+        obs = obs.timeline(interval_us);
+    }
+    let (report, observed) = run_simulation_observed(cfg, obs);
+    let snapshot = &observed.metrics;
     let mut out = String::new();
     match args.get("metrics") {
         Some("json") => {
@@ -337,9 +382,30 @@ fn simulate_instrumented(args: &Args, cfg: SimConfig) -> Result<String, String> 
             out.push('\n');
         }
     }
-    if let Some(path) = trace_path {
+    if let Some(path) = timeline_path {
+        let timeline = observed
+            .timeline
+            .as_ref()
+            .expect("timeline sampling was enabled above");
+        let mut body = timeline.to_json();
+        body.push('\n');
+        std::fs::write(path, body)
+            .map_err(|e| format!("--timeline {path}: cannot write file: {e}"))?;
         if args.get("metrics") != Some("json") {
+            out.push_str(&format!(
+                "timeline written to {path} ({} samples)\n",
+                timeline.len()
+            ));
+        }
+    }
+    if args.get("metrics") != Some("json") {
+        if let Some(path) = trace_path {
             out.push_str(&format!("trace written to {path}\n"));
+        }
+        if let Some(path) = chrome_path {
+            out.push_str(&format!(
+                "chrome trace written to {path} — open in chrome://tracing or https://ui.perfetto.dev\n"
+            ));
         }
     }
     Ok(out)
@@ -406,6 +472,73 @@ pub fn cmd_explain(args: &Args) -> Result<String, String> {
         "-".to_string(),
     ]);
     let mut out = format!("response-time attribution — {}\n", report.config_label);
+    out.push_str(&table.render());
+    Ok(out)
+}
+
+/// `explain-placement` subcommand: replay a run with placement auditing
+/// enabled and show the last N clustering decisions the engine made —
+/// which candidate pages the placement search examined, their
+/// affinity/gain scores, which page won, whether a split was weighed,
+/// and what the search cost in I/Os.
+pub fn cmd_explain_placement(args: &Args) -> Result<String, String> {
+    let cfg = config_from_args(args)?;
+    let last: usize = args.get_parsed("last", 12)?;
+    if last == 0 {
+        return Err("--last: need at least one record".into());
+    }
+    let (report, observed) = run_simulation_observed(cfg, ObsConfig::default().audit(last));
+    let audits = observed.audits;
+    if args.flag("json") {
+        let mut out = String::new();
+        for a in &audits {
+            out.push_str(&a.to_json());
+            out.push('\n');
+        }
+        return Ok(out);
+    }
+    if audits.is_empty() {
+        return Ok(format!(
+            "no placement decisions recorded — {} (is clustering `none`?)\n",
+            report.config_label
+        ));
+    }
+    let mut table = Table::new(vec![
+        "t (ms)",
+        "kind",
+        "object",
+        "cands",
+        "chosen→landed",
+        "score",
+        "split",
+        "ios",
+    ]);
+    for a in &audits {
+        let chosen = match a.chosen {
+            Some(p) => format!("{}→{}", p.0, a.landed.0),
+            None => format!("append→{}", a.landed.0),
+        };
+        let split = match a.split {
+            SplitVerdict::NotConsidered => "-".to_string(),
+            SplitVerdict::Declined => "declined".to_string(),
+            SplitVerdict::Executed { new_page } => format!("new p{}", new_page.0),
+        };
+        table.row(vec![
+            format!("{:.1}", a.at.as_micros() as f64 / 1e3),
+            a.kind.as_str().to_string(),
+            a.object.to_string(),
+            a.candidates.len().to_string(),
+            chosen,
+            format!("{:.3}", a.score_milli as f64 / 1e3),
+            split,
+            a.search_ios.to_string(),
+        ]);
+    }
+    let mut out = format!(
+        "last {} placement decisions — {}\n",
+        audits.len(),
+        report.config_label
+    );
     out.push_str(&table.render());
     Ok(out)
 }
@@ -674,8 +807,9 @@ pub fn faults_golden_jobs() -> Vec<SweepJob> {
 /// Render the smoke sweep deterministically: one JSON line per
 /// replication report (tagged with job label and replication index, in
 /// submission order) and a final line with the merged metrics-registry
-/// snapshot. Byte-identical at any `--jobs` count.
-fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<String, String> {
+/// snapshot. Byte-identical at any `--jobs` count; the returned
+/// [`SweepSummary`] is host wall-clock material (stderr only).
+fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<(String, SweepSummary), String> {
     let outcome = SweepRunner::new(threads).run(jobs);
     let mut out = String::new();
     for item in &outcome.items {
@@ -693,6 +827,94 @@ fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<String, String> 
         }
     }
     out.push_str(&format!("{{\"metrics\":{}}}\n", outcome.metrics.to_json()));
+    Ok((out, outcome.summary))
+}
+
+/// Committed golden of the timeline-sampled sweep (`golden --suite
+/// timeline`).
+pub const TIMELINE_GOLDEN_PATH: &str = "goldens/timeline_smoke.json";
+
+/// Timeline-sampling interval used by the timeline golden suite and by
+/// `simulate --timeline` when `--timeline-interval-us` is not given:
+/// one simulated second.
+pub const DEFAULT_TIMELINE_INTERVAL_US: u64 = 1_000_000;
+
+/// The fixed timeline sweep behind `golden --suite timeline`: three
+/// tiny configurations (unclustered baseline, fully clustered with
+/// context-sensitive buffering, and a fault-injected run) sampled every
+/// simulated second. Re-bless after any intentional engine or sampler
+/// change.
+pub fn timeline_golden_jobs() -> Vec<SweepJob> {
+    let tiny = |label: &str, seed: u64| SimConfig {
+        workload: workload_from_label(label).expect("known workload label"),
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed,
+        ..SimConfig::default()
+    };
+    vec![
+        SweepJob::new(
+            "tl-baseline",
+            SimConfig {
+                clustering: ClusteringPolicy::NoCluster,
+                split: SplitPolicy::NoSplit,
+                ..tiny("med5-10", 3100)
+            },
+            2,
+        ),
+        SweepJob::new(
+            "tl-clustered",
+            SimConfig {
+                clustering: ClusteringPolicy::NoLimit,
+                replacement: ReplacementPolicy::ContextSensitive,
+                prefetch: PrefetchScope::WithinBuffer,
+                split: SplitPolicy::Linear,
+                ..tiny("med5-10", 3200)
+            },
+            2,
+        ),
+        SweepJob::new(
+            "tl-faults",
+            SimConfig {
+                clustering: ClusteringPolicy::NoLimit,
+                faults: FaultConfig::preset("smoke").expect("known fault preset"),
+                ..tiny("hi10-100", 3300)
+            },
+            2,
+        ),
+    ]
+}
+
+/// Render the timeline sweep deterministically: one JSON line per job
+/// (its replications' timelines merged) and a final line with all jobs
+/// merged. Sample boundaries are interval multiples and the merge is
+/// order-independent, so the output is byte-identical at any `--jobs`
+/// count.
+fn timeline_golden_render(threads: usize) -> Result<String, String> {
+    let outcome = SweepRunner::new(threads)
+        .with_timeline(DEFAULT_TIMELINE_INTERVAL_US)
+        .run(timeline_golden_jobs());
+    let mut out = String::new();
+    for item in &outcome.items {
+        item.result
+            .as_ref()
+            .map_err(|e| format!("timeline sweep: {e}"))?;
+        let timeline = item
+            .timeline
+            .as_ref()
+            .ok_or_else(|| format!("timeline sweep: job {} produced no timeline", item.label))?;
+        out.push_str(&format!(
+            "{{\"job\":{:?},\"timeline\":{}}}\n",
+            item.label,
+            timeline.to_json()
+        ));
+    }
+    let merged = outcome
+        .timeline
+        .ok_or("timeline sweep: no merged timeline")?;
+    out.push_str(&format!("{{\"merged\":{}}}\n", merged.to_json()));
     Ok(out)
 }
 
@@ -754,14 +976,21 @@ fn golden_diff(current: &str, expected: &str) -> String {
 /// the comparison with a unified diff of the first mismatch.
 pub fn cmd_golden(args: &Args) -> Result<String, String> {
     let suite = args.get("suite").unwrap_or("smoke");
-    let (jobs_fn, default_path): (fn() -> Vec<SweepJob>, &str) = match suite {
-        "smoke" => (golden_jobs, GOLDEN_PATH),
-        "faults" => (faults_golden_jobs, FAULTS_GOLDEN_PATH),
-        other => return Err(format!("--suite: expected smoke or faults, got {other:?}")),
+    let jobs: usize = args.get_parsed("jobs", 0)?;
+    let (current, default_path) = match suite {
+        "smoke" => (golden_render(golden_jobs(), jobs)?.0, GOLDEN_PATH),
+        "faults" => (
+            golden_render(faults_golden_jobs(), jobs)?.0,
+            FAULTS_GOLDEN_PATH,
+        ),
+        "timeline" => (timeline_golden_render(jobs)?, TIMELINE_GOLDEN_PATH),
+        other => {
+            return Err(format!(
+                "--suite: expected smoke, faults or timeline, got {other:?}"
+            ))
+        }
     };
     let path = args.get("path").unwrap_or(default_path);
-    let jobs: usize = args.get_parsed("jobs", 0)?;
-    let current = golden_render(jobs_fn(), jobs)?;
     let runs = current.lines().count() - 1;
     if args.flag("bless") {
         if let Some(dir) = std::path::Path::new(path).parent() {
@@ -785,6 +1014,140 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
          change is intentional, re-bless with `semclusterctl golden --bless`",
         diff = golden_diff(&current, &expected)
     ))
+}
+
+/// First free `BENCH_<n>.json` path in `dir`, counting up from 1.
+fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
+    (1u64..)
+        .map(|n| dir.join(format!("BENCH_{n}.json")))
+        .find(|p| !p.exists())
+        .expect("some BENCH_<n>.json index below u64::MAX is free")
+}
+
+/// `bench-report` subcommand: run the fixed smoke sweep and write a
+/// schema-stable perf snapshot. The file holds only simulated-time
+/// statistics — byte-identical at any `--jobs` count — so two snapshots
+/// from different machines or thread counts are directly comparable
+/// with `obs diff`. Host wall-clock goes to stderr.
+pub fn cmd_bench_report(args: &Args) -> Result<String, String> {
+    let jobs: usize = args.get_parsed("jobs", 0)?;
+    let (body, summary) = golden_render(golden_jobs(), jobs)?;
+    let content = format!("{{\"bench_schema\":1,\"suite\":\"smoke\"}}\n{body}");
+    let path = match args.get("out") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => next_bench_path(std::path::Path::new(".")),
+    };
+    std::fs::write(&path, &content)
+        .map_err(|e| format!("bench-report: cannot write {}: {e}", path.display()))?;
+    eprintln!("{}", summary.render());
+    Ok(format!(
+        "bench report written to {} ({} reports)\n",
+        path.display(),
+        body.lines().count() - 1
+    ))
+}
+
+/// Extract a `"key":"value"` string field from a single JSON line.
+/// Good enough for the bench-report format, whose job labels never
+/// contain escaped quotes.
+fn json_str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\":\"");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    Some(rest[..rest.find('"')?].to_string())
+}
+
+/// Extract a `"key":<number>` field from a single JSON line.
+fn json_num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Load the per-replication mean response times out of a bench report:
+/// `(job label/rep index, mean_response_s)` in file order.
+fn load_bench(path: &str) -> Result<Vec<(String, f64)>, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("obs diff: cannot read {path}: {e}"))?;
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let (Some(job), Some(rep), Some(mean)) = (
+            json_str_field(line, "job"),
+            json_num_field(line, "rep"),
+            json_num_field(line, "mean_response_s"),
+        ) else {
+            continue; // header / metrics lines
+        };
+        rows.push((format!("{job}/rep{rep}"), mean));
+    }
+    if rows.is_empty() {
+        return Err(format!(
+            "obs diff: {path}: no report lines found (not a bench-report file?)"
+        ));
+    }
+    Ok(rows)
+}
+
+/// `obs` subcommand. `obs diff BASELINE.json CURRENT.json` compares two
+/// bench-report snapshots run-by-run and fails (exit 1) when any run's
+/// mean response time regressed beyond `--threshold` percent.
+pub fn cmd_obs(args: &Args) -> Result<String, String> {
+    match args.positional.first().map(String::as_str) {
+        Some("diff") => {}
+        other => {
+            return Err(format!(
+                "obs: expected `diff BASELINE CURRENT`, got {other:?}"
+            ))
+        }
+    }
+    let (Some(base_path), Some(cur_path)) = (args.positional.get(1), args.positional.get(2)) else {
+        return Err("obs diff: need two bench-report paths (baseline, then current)".into());
+    };
+    let threshold: f64 = args.get_parsed("threshold", 5.0)?;
+    let base = load_bench(base_path)?;
+    let cur: std::collections::BTreeMap<String, f64> = load_bench(cur_path)?.into_iter().collect();
+    let mut table = Table::new(vec!["run", "baseline (ms)", "current (ms)", "delta"]);
+    let mut compared = 0usize;
+    let mut regressions = 0usize;
+    for (key, was) in &base {
+        let Some(now) = cur.get(key) else { continue };
+        compared += 1;
+        let delta = if *was > 0.0 {
+            (now - was) / was * 100.0
+        } else {
+            0.0
+        };
+        let marker = if delta > threshold {
+            regressions += 1;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        table.row(vec![
+            key.clone(),
+            format!("{:.2}", was * 1e3),
+            format!("{:.2}", now * 1e3),
+            format!("{delta:+.1} %{marker}"),
+        ]);
+    }
+    if compared == 0 {
+        return Err("obs diff: the two reports share no runs".into());
+    }
+    let mut out = format!("perf diff {base_path} → {cur_path} (threshold {threshold:.1} %)\n");
+    out.push_str(&table.render());
+    if regressions > 0 {
+        return Err(format!(
+            "{out}{regressions} of {compared} runs regressed beyond +{threshold:.1} %"
+        ));
+    }
+    out.push_str(&format!(
+        "{compared} runs compared, none slower than +{threshold:.1} %\n"
+    ));
+    Ok(out)
 }
 
 /// `crash-matrix` subcommand: run the exhaustive crash-recovery matrix
@@ -825,10 +1188,13 @@ pub fn dispatch(args: &Args) -> Result<String, String> {
     match args.command.as_deref() {
         Some("simulate") => cmd_simulate(args),
         Some("explain") => cmd_explain(args),
+        Some("explain-placement") => cmd_explain_placement(args),
         Some("trace") => cmd_trace(args),
         Some("inspect") => cmd_inspect(args),
         Some("reorg") => cmd_reorg(args),
         Some("golden") => cmd_golden(args),
+        Some("bench-report") => cmd_bench_report(args),
+        Some("obs") => cmd_obs(args),
         Some("crash-matrix") => cmd_crash_matrix(args),
         Some("help") | None => Ok(USAGE.to_string()),
         Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
@@ -1017,6 +1383,176 @@ mod tests {
         let err = dispatch(&parse(&format!("golden --path {path}"))).unwrap_err();
         assert!(err.contains("golden MISMATCH"));
         assert!(err.contains("first difference at line 1"));
+        std::fs::remove_file(path).unwrap();
+    }
+
+    #[test]
+    fn simulate_chrome_trace_and_timeline() {
+        let dir = std::env::temp_dir().join("semcluster-cli-obs2-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let chrome = dir.join("trace.json");
+        let chrome = chrome.to_str().unwrap();
+        let timeline = dir.join("timeline.json");
+        let timeline = timeline.to_str().unwrap();
+
+        let out = dispatch(&parse(&format!(
+            "simulate --preset low3-5 --txns 60 --buffer-pages 16 \
+             --chrome-trace {chrome} --timeline {timeline}"
+        )))
+        .unwrap();
+        assert!(out.contains("timeline written to"));
+        assert!(out.contains("chrome trace written to"));
+
+        // The Chrome trace is one JSON array with process metadata and
+        // at least one transaction span.
+        let trace = std::fs::read_to_string(chrome).unwrap();
+        assert!(trace.starts_with("[\n"));
+        assert!(trace.ends_with("]\n"));
+        assert!(trace.contains("\"process_name\""));
+        assert!(trace.contains("\"ph\":\"B\""));
+        assert!(trace.contains("\"ph\":\"X\""));
+
+        // The timeline holds interval-aligned samples with the locality
+        // and queue-depth fields.
+        let tl = std::fs::read_to_string(timeline).unwrap();
+        assert!(tl.starts_with("{\"interval_us\":1000000,"));
+        assert!(tl.contains("\"loc_on_page\""));
+        assert!(tl.contains("\"queue_us\""));
+        std::fs::remove_file(chrome).unwrap();
+        std::fs::remove_file(timeline).unwrap();
+
+        // The two trace formats are mutually exclusive.
+        let err = dispatch(&parse(&format!(
+            "simulate --preset low3-5 --trace a.jsonl --chrome-trace {chrome}"
+        )))
+        .unwrap_err();
+        assert!(err.contains("mutually exclusive"));
+
+        // A zero sampling interval is rejected.
+        let err = dispatch(&parse(&format!(
+            "simulate --preset low3-5 --timeline {timeline} --timeline-interval-us 0"
+        )))
+        .unwrap_err();
+        assert!(err.contains("must be positive"));
+    }
+
+    #[test]
+    fn explain_placement_table_and_json() {
+        let out = dispatch(&parse(
+            "explain-placement --preset med5-10 --clustering nolimit --split linear \
+             --txns 80 --buffer-pages 16 --last 8",
+        ))
+        .unwrap();
+        assert!(out.contains("placement decisions"));
+        assert!(out.contains("chosen→landed"));
+
+        let out = dispatch(&parse(
+            "explain-placement --preset med5-10 --clustering nolimit --split linear \
+             --txns 80 --buffer-pages 16 --last 8 --json",
+        ))
+        .unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert!(!lines.is_empty() && lines.len() <= 8);
+        for line in &lines {
+            assert!(line.starts_with("{\"t\":"));
+            assert!(line.contains("\"candidates\":["));
+            assert!(line.contains("\"search_ios\":"));
+        }
+        assert!(dispatch(&parse("explain-placement --last 0")).is_err());
+    }
+
+    #[test]
+    fn obs_diff_compares_bench_reports() {
+        let dir = std::env::temp_dir().join("semcluster-obs-diff-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let a = dir.join("BENCH_1.json");
+        let b = dir.join("BENCH_2.json");
+        let base = "{\"bench_schema\":1,\"suite\":\"smoke\"}\n\
+            {\"job\":\"baseline\",\"rep\":0,\"report\":{\"config\":\"x\",\"mean_response_s\":0.010000}}\n\
+            {\"job\":\"baseline\",\"rep\":1,\"report\":{\"config\":\"x\",\"mean_response_s\":0.020000}}\n\
+            {\"metrics\":{}}\n";
+        std::fs::write(&a, base).unwrap();
+
+        // Identical snapshots pass.
+        std::fs::write(&b, base).unwrap();
+        let cmd = format!("obs diff {} {}", a.display(), b.display());
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("none slower"));
+
+        // A >5% mean-response regression fails with a marked row.
+        std::fs::write(&b, base.replace("0.020000", "0.030000")).unwrap();
+        let err = dispatch(&parse(&cmd)).unwrap_err();
+        assert!(err.contains("REGRESSION"));
+        assert!(err.contains("1 of 2 runs regressed"));
+
+        // A generous threshold lets the same pair pass.
+        let out = dispatch(&parse(&format!("{cmd} --threshold 60"))).unwrap();
+        assert!(out.contains("none slower"));
+
+        // Improvements never fail, whatever the threshold.
+        std::fs::write(&b, base.replace("0.020000", "0.002000")).unwrap();
+        let out = dispatch(&parse(&cmd)).unwrap();
+        assert!(out.contains("none slower"));
+
+        assert!(dispatch(&parse("obs diff missing-a.json missing-b.json")).is_err());
+        assert!(dispatch(&parse("obs frobnicate")).is_err());
+        std::fs::remove_file(&a).unwrap();
+        std::fs::remove_file(&b).unwrap();
+    }
+
+    #[test]
+    fn bench_report_writes_snapshot() {
+        let dir = std::env::temp_dir().join("semcluster-bench-report-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let out_path = dir.join("BENCH_T.json");
+        let out_path_s = out_path.to_str().unwrap();
+        let _ = std::fs::remove_file(&out_path);
+        let out = dispatch(&parse(&format!("bench-report --out {out_path_s} --jobs 2"))).unwrap();
+        assert!(out.contains("bench report written to"));
+        let content = std::fs::read_to_string(&out_path).unwrap();
+        assert!(content.starts_with("{\"bench_schema\":1,\"suite\":\"smoke\"}\n"));
+        assert!(content.contains("\"job\":\"baseline\""));
+        assert!(content.lines().last().unwrap().starts_with("{\"metrics\":"));
+        // The snapshot diffs cleanly against itself.
+        let out = dispatch(&parse(&format!("obs diff {out_path_s} {out_path_s}"))).unwrap();
+        assert!(out.contains("none slower"));
+        std::fs::remove_file(&out_path).unwrap();
+    }
+
+    #[test]
+    fn next_bench_path_skips_existing() {
+        let dir = std::env::temp_dir().join("semcluster-bench-path-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_1.json"));
+        std::fs::write(dir.join("BENCH_1.json"), "x").unwrap();
+        assert_eq!(next_bench_path(&dir), dir.join("BENCH_2.json"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn timeline_golden_bless_and_thread_invariance() {
+        let dir = std::env::temp_dir().join("semcluster-timeline-golden-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("timeline_smoke.json");
+        let path = path.to_str().unwrap();
+
+        let out = dispatch(&parse(&format!(
+            "golden --suite timeline --bless --path {path} --jobs 2"
+        )))
+        .unwrap();
+        assert!(out.contains("golden blessed"));
+        let blessed = std::fs::read_to_string(path).unwrap();
+        assert!(blessed.contains("\"job\":\"tl-baseline\""));
+        assert!(blessed.contains("\"job\":\"tl-faults\""));
+        assert!(blessed.lines().last().unwrap().starts_with("{\"merged\":"));
+
+        // A serial re-run byte-matches the 2-thread bless.
+        let out = dispatch(&parse(&format!(
+            "golden --suite timeline --path {path} --jobs 1"
+        )))
+        .unwrap();
+        assert!(out.contains("golden OK"));
         std::fs::remove_file(path).unwrap();
     }
 

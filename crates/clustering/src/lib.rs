@@ -22,6 +22,7 @@
 
 mod config;
 mod cost;
+mod locality;
 mod offline;
 mod placement;
 mod recluster;
@@ -32,10 +33,11 @@ pub use cost::{
     candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel,
     HINT_MULTIPLIER, TWO_HOP_DECAY,
 };
+pub use locality::page_locality;
 pub use offline::{broken_arc_weight, static_recluster, ReorgReport};
 pub use placement::{
-    execute_placement, plan_placement, AllResident, PlacementPlan, PlacementTarget, ResidencyView,
-    MAX_EXAMINED,
+    execute_placement, plan_placement, AllResident, ExaminedCandidate, PlacementPlan,
+    PlacementTarget, ResidencyView, MAX_EXAMINED,
 };
 pub use recluster::{
     consider_split, execute_split, plan_recluster, ReclusterPlan, SplitOutcome, SplitPlan,

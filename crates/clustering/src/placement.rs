@@ -52,6 +52,19 @@ pub enum PlacementTarget {
     Append,
 }
 
+/// One page the candidate search examined, with the facts the decision
+/// was based on — the raw material for placement audit records.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExaminedCandidate {
+    /// The candidate page.
+    pub page: PageId,
+    /// Its score at decision time: placement affinity for the create
+    /// search, expected-cost gain (possibly negative) for reclustering.
+    pub score: f64,
+    /// Whether the object fit on the page.
+    pub fits: bool,
+}
+
 /// Output of the candidate search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PlacementPlan {
@@ -65,8 +78,9 @@ pub struct PlacementPlan {
     /// Non-resident candidate pages read during the search (each is a
     /// physical I/O charged to the writing transaction).
     pub search_ios: u32,
-    /// Every page the search examined, in examination order.
-    pub examined: Vec<PageId>,
+    /// Every page the search examined, in examination order, with its
+    /// affinity and whether it had room.
+    pub examined: Vec<ExaminedCandidate>,
     /// Affinity of the chosen target (0 for append).
     pub chosen_affinity: f64,
 }
@@ -116,8 +130,12 @@ pub fn plan_placement(
             io_budget -= 1;
             plan.search_ios += 1;
         }
-        plan.examined.push(page);
         let fits = store.page(page).map(|p| p.fits(size)).unwrap_or(false);
+        plan.examined.push(ExaminedCandidate {
+            page,
+            score: affinity,
+            fits,
+        });
         if fits {
             if plan.target == PlacementTarget::Append {
                 plan.target = PlacementTarget::Existing(page);

@@ -13,7 +13,7 @@ use crate::config::{ClusteringPolicy, SplitPolicy};
 use crate::cost::{
     candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel,
 };
-use crate::placement::ResidencyView;
+use crate::placement::{ExaminedCandidate, ResidencyView};
 use crate::split::{build_dependency_graph, linear_split, optimal_split, Partition};
 use semcluster_storage::{PageId, StorageError, StorageManager, PAGE_OVERHEAD_BYTES};
 use semcluster_vdm::{Database, ObjectId};
@@ -131,8 +131,9 @@ pub struct ReclusterPlan {
     pub gain: f64,
     /// Non-resident candidate pages read during the search.
     pub search_ios: u32,
-    /// Pages examined, in order.
-    pub examined: Vec<PageId>,
+    /// Pages examined, in order, with the expected-cost gain each
+    /// offered and whether it had room.
+    pub examined: Vec<ExaminedCandidate>,
 }
 
 /// Re-evaluate the placement of an existing object after its structure
@@ -187,12 +188,16 @@ pub fn plan_recluster(
             io_budget -= 1;
             search_ios += 1;
         }
-        examined.push(page);
         let fits = store.page(page).map(|p| p.fits(size)).unwrap_or(false);
+        let gain = current_cost - placement_cost(store, &neighbors, page);
+        examined.push(ExaminedCandidate {
+            page,
+            score: gain,
+            fits,
+        });
         if !fits {
             continue;
         }
-        let gain = current_cost - placement_cost(store, &neighbors, page);
         if gain > min_gain && best.map(|(_, g)| gain > g).unwrap_or(true) {
             best = Some((page, gain));
         }

@@ -32,18 +32,19 @@ use crate::crash::CrashOutcome;
 use crate::error::EngineError;
 use crate::metrics::{MetricsCollector, RunReport, SpanBreakdown};
 use semcluster_buffer::{
-    apply_prefetch, prefetch_group, Access, AccessHint, BufferPool, PrefetchScope,
-    ReplacementPolicy,
+    apply_prefetch, prefetch_group, resident_locality, Access, AccessHint, BufferPool,
+    PrefetchScope, ReplacementPolicy,
 };
 use semcluster_clustering::{
-    consider_split, execute_placement, execute_split, plan_placement, plan_recluster,
-    ClusteringPolicy, PlacementTarget, SplitPolicy, WeightModel,
+    consider_split, execute_placement, execute_split, page_locality, plan_placement,
+    plan_recluster, ClusteringPolicy, PlacementTarget, SplitPolicy, WeightModel,
 };
 use semcluster_faults::{CrashPoint, FaultState, IoError, IoOp};
 use semcluster_lock::{LockManager, LockMode};
 use semcluster_obs::{
-    FaultOp, FlushCause, LogFlushKind, MetricsRegistry, MetricsSnapshot, NoopSink, ReadCause,
-    TraceEvent, TraceSink,
+    milli, AuditKind, AuditSink, CandidateAudit, FaultOp, FlushCause, LogFlushKind,
+    MetricsRegistry, MetricsSnapshot, NoopSink, PlacementAudit, ReadCause, SplitVerdict, Timeline,
+    TimelineSample, TimelineSampler, TraceEvent, TraceSink,
 };
 use semcluster_sim::{EventQueue, FcfsServer, ServerBank, SimDuration, SimRng, SimTime};
 use semcluster_storage::{DiskLayout, PageId, StorageManager};
@@ -107,18 +108,27 @@ struct ActiveTxn {
 /// Observability wiring for an engine run.
 ///
 /// The default is behaviourally free: a [`NoopSink`] whose
-/// `enabled() == false` short-circuits event construction, so an
-/// uninstrumented run does no tracing work beyond a branch. Any sink is
-/// a pure observer — attaching one changes no simulation result.
+/// `enabled() == false` short-circuits event construction, no timeline
+/// sampling and no placement auditing, so an uninstrumented run does no
+/// observability work beyond a branch. Every observer is pure —
+/// attaching one changes no simulation result.
 pub struct ObsConfig {
     /// Trace sink receiving every typed event, stamped in simulated time.
     pub sink: Box<dyn TraceSink>,
+    /// When set, sample the timeline signals every this many simulated
+    /// microseconds (see [`Timeline`]).
+    pub timeline_interval_us: Option<u64>,
+    /// When set, record a [`PlacementAudit`] for every (re)cluster
+    /// decision, retaining the most recent this-many records.
+    pub audit_capacity: Option<usize>,
 }
 
 impl Default for ObsConfig {
     fn default() -> Self {
         ObsConfig {
             sink: Box::new(NoopSink),
+            timeline_interval_us: None,
+            audit_capacity: None,
         }
     }
 }
@@ -126,8 +136,63 @@ impl Default for ObsConfig {
 impl ObsConfig {
     /// Wire a specific trace sink.
     pub fn with_sink(sink: Box<dyn TraceSink>) -> Self {
-        ObsConfig { sink }
+        ObsConfig {
+            sink,
+            ..ObsConfig::default()
+        }
     }
+
+    /// Enable timeline sampling at `interval_us` simulated microseconds.
+    pub fn timeline(mut self, interval_us: u64) -> Self {
+        self.timeline_interval_us = Some(interval_us);
+        self
+    }
+
+    /// Enable placement auditing, retaining the last `capacity` records.
+    pub fn audit(mut self, capacity: usize) -> Self {
+        self.audit_capacity = Some(capacity);
+        self
+    }
+}
+
+/// Everything the observability layer collected during one run (or,
+/// after merging, across the runs of a sweep).
+#[derive(Default)]
+pub struct RunObservations {
+    /// Final metrics-registry snapshot (counters reconcile with
+    /// [`RunReport::io`]).
+    pub metrics: MetricsSnapshot,
+    /// Sampled timeline, when sampling was enabled.
+    pub timeline: Option<Timeline>,
+    /// Retained placement audits, oldest first, when auditing was
+    /// enabled (runs are concatenated in replication order on merge).
+    pub audits: Vec<PlacementAudit>,
+}
+
+impl RunObservations {
+    /// Merge another run's observations into this one. Metrics and
+    /// timelines merge order-independently; audits concatenate.
+    pub fn absorb(&mut self, other: RunObservations) {
+        self.metrics.merge(&other.metrics);
+        match (&mut self.timeline, other.timeline) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (slot @ None, Some(theirs)) => *slot = Some(theirs),
+            _ => {}
+        }
+        self.audits.extend(other.audits);
+    }
+}
+
+/// Never-reset whole-run counters feeding the timeline sampler. These
+/// are kept separate from the metrics registry, which resets when the
+/// measured interval begins; the timeline spans warmup too, and its
+/// per-interval deltas must not jump backwards at that boundary.
+#[derive(Debug, Clone, Copy, Default)]
+struct TimelineCounters {
+    hits: u64,
+    misses: u64,
+    commits: u64,
+    aborts: u64,
 }
 
 #[derive(Debug)]
@@ -170,6 +235,12 @@ pub struct Engine {
     registry: MetricsRegistry,
     /// Typed event sink (NoopSink unless the caller attached one).
     trace: Box<dyn TraceSink>,
+    /// Fixed-interval timeline sampler (None unless enabled).
+    timeline: Option<TimelineSampler>,
+    /// Bounded placement-audit recorder (None unless enabled).
+    audit: Option<AuditSink>,
+    /// Whole-run counters backing the timeline's per-interval deltas.
+    tl: TimelineCounters,
     /// Global transaction sequence number.
     txn_seq: u64,
     /// Scratch attribution for the operation currently executing; drained
@@ -269,6 +340,9 @@ impl Engine {
             disk_service,
             registry: MetricsRegistry::new(),
             trace: obs.sink,
+            timeline: obs.timeline_interval_us.map(TimelineSampler::new),
+            audit: obs.audit_capacity.map(AuditSink::with_capacity),
+            tl: TimelineCounters::default(),
             txn_seq: 0,
             cur_span: SpanBreakdown::default(),
             faults,
@@ -514,12 +588,28 @@ impl Engine {
 
     /// Run to completion, returning the report plus a snapshot of the
     /// metrics registry (counters reconcile with [`RunReport::io`]).
-    pub fn run_with_obs(mut self) -> (RunReport, MetricsSnapshot) {
+    pub fn run_with_obs(self) -> (RunReport, MetricsSnapshot) {
+        let (report, obs) = self.run_observed();
+        (report, obs.metrics)
+    }
+
+    /// Run to completion, returning the report plus everything the
+    /// observability layer collected (metrics snapshot, timeline,
+    /// placement audits).
+    pub fn run_observed(mut self) -> (RunReport, RunObservations) {
         self.drive();
         self.finalize_obs();
         let report = self.report();
-        let snapshot = self.registry.snapshot();
-        (report, snapshot)
+        let obs = RunObservations {
+            metrics: self.registry.snapshot(),
+            timeline: self.timeline.take().map(TimelineSampler::into_timeline),
+            audits: self
+                .audit
+                .take()
+                .map(AuditSink::into_records)
+                .unwrap_or_default(),
+        };
+        (report, obs)
     }
 
     /// Live view of the metrics registry (for tests and embedding).
@@ -616,6 +706,7 @@ impl Engine {
                 Event::TxnDone(u) => self.on_txn_done(u, now),
             }
             self.events_seen += 1;
+            self.sample_timeline(now);
             match self.crash_point {
                 CrashPoint::Event(k) if self.events_seen >= k => self.crash_pending = true,
                 CrashPoint::Lsn(k) if self.log.current_lsn() >= k => self.crash_pending = true,
@@ -625,6 +716,43 @@ impl Engine {
                 break; // crash point fired: stop at this event boundary
             }
         }
+    }
+
+    /// Record a timeline point for every interval boundary simulated
+    /// time has crossed since the last sample. Pure observation: reads
+    /// engine state, touches no RNG, schedules nothing — with sampling
+    /// off this is one branch.
+    fn sample_timeline(&mut self, now: SimTime) {
+        let due = match &self.timeline {
+            Some(sampler) => sampler.due(now.as_micros()),
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        let mut sampler = self.timeline.take().expect("due implies a sampler");
+        while sampler.due(now.as_micros()) {
+            let t_us = sampler.next_due_us();
+            let mut queue_us = Vec::with_capacity(self.disks.len());
+            for i in 0..self.disks.len() {
+                let free = self.disks.member(i).free_at().as_micros();
+                queue_us.push(free.saturating_sub(t_us));
+            }
+            let (loc_on_page, loc_refs) = resident_locality(&self.pool, |page| {
+                page_locality(&self.db, &self.store, page)
+            });
+            sampler.record(TimelineSample {
+                hits: self.tl.hits,
+                misses: self.tl.misses,
+                commits: self.tl.commits,
+                aborts: self.tl.aborts,
+                queue_us,
+                log_buffered: self.log.buffered_bytes() as u64,
+                loc_on_page,
+                loc_refs,
+            });
+        }
+        self.timeline = Some(sampler);
     }
 
     fn report(&self) -> RunReport {
@@ -796,6 +924,7 @@ impl Engine {
             self.recent_kinds.pop_front();
         }
         self.recent_kinds.push_back(txn.is_read);
+        self.tl.commits += 1;
         if self.measuring {
             self.metrics.record_txn(response, txn.is_read, txn.span);
         }
@@ -900,6 +1029,7 @@ impl Engine {
         }
         self.faults.stats.txn_aborts += 1;
         self.registry.inc("fault.txn.abort");
+        self.tl.aborts += 1;
         if self.abort_reasons.len() < 8 {
             self.abort_reasons.push(err.to_string());
         }
@@ -1203,10 +1333,12 @@ impl Engine {
         match self.pool.access(page) {
             Access::Hit => {
                 self.registry.inc("buffer.hit");
+                self.tl.hits += 1;
                 Ok(t)
             }
             Access::Miss { evicted_dirty } => {
                 self.registry.inc("buffer.miss");
+                self.tl.misses += 1;
                 let issued = t;
                 let mut ios = 1u32;
                 let mut t = t;
@@ -1551,11 +1683,16 @@ impl Engine {
         let mut t = now;
         // Candidate-page reads flow through the buffer manager; misses
         // they cause are search I/Os, not demand reads.
-        for &page in &plan.examined {
-            t = self.charge_access(page, t, ReadCause::ClusterSearch)?;
+        for c in &plan.examined {
+            t = self.charge_access(c.page, t, ReadCause::ClusterSearch)?;
         }
 
         // 3. Page-overflow handling.
+        let mut split_verdict = if plan.preferred_full.is_some() {
+            SplitVerdict::Declined
+        } else {
+            SplitVerdict::NotConsidered
+        };
         let landed = if plan.target == PlacementTarget::Append
             && plan.preferred_full.is_some()
             && self.cfg.split != SplitPolicy::NoSplit
@@ -1601,6 +1738,9 @@ impl Engine {
                             new: outcome.new_page,
                         });
                     }
+                    split_verdict = SplitVerdict::Executed {
+                        new_page: outcome.new_page,
+                    };
                     outcome.incoming_page
                 }
                 None => execute_placement(&mut self.store, id, size, &plan).map_err(|_| {
@@ -1618,6 +1758,32 @@ impl Engine {
                 }
             })?
         };
+
+        if let Some(audit) = self.audit.as_mut() {
+            audit.push(PlacementAudit {
+                at: now,
+                kind: AuditKind::Create,
+                object: id.0,
+                candidates: plan
+                    .examined
+                    .iter()
+                    .map(|c| CandidateAudit {
+                        page: c.page,
+                        score_milli: milli(c.score),
+                        fits: c.fits,
+                    })
+                    .collect(),
+                chosen: match plan.target {
+                    PlacementTarget::Existing(p) => Some(p),
+                    PlacementTarget::Append => None,
+                },
+                landed,
+                score_milli: milli(plan.chosen_affinity),
+                preferred_full: plan.preferred_full,
+                split: split_verdict,
+                search_ios: plan.search_ios,
+            });
+        }
 
         // 4. Touch + dirty + log the landing page.
         let fresh = self
@@ -1674,10 +1840,11 @@ impl Engine {
                 target,
                 self.cfg.recluster_min_gain,
             ) {
-                for &p in &plan.examined {
-                    t = self.charge_access(p, t, ReadCause::ClusterSearch)?;
+                for c in &plan.examined {
+                    t = self.charge_access(c.page, t, ReadCause::ClusterSearch)?;
                 }
-                if self.store.move_object(target, plan.to).is_ok() {
+                let moved = self.store.move_object(target, plan.to).is_ok();
+                if moved {
                     self.pool.mark_dirty(page);
                     self.pool.mark_dirty(plan.to);
                     t = self.charge_log(token, plan.to, size, t);
@@ -1691,6 +1858,28 @@ impl Engine {
                             to: plan.to,
                         });
                     }
+                }
+                if let Some(audit) = self.audit.as_mut() {
+                    audit.push(PlacementAudit {
+                        at: now,
+                        kind: AuditKind::Recluster,
+                        object: target.0,
+                        candidates: plan
+                            .examined
+                            .iter()
+                            .map(|c| CandidateAudit {
+                                page: c.page,
+                                score_milli: milli(c.score),
+                                fits: c.fits,
+                            })
+                            .collect(),
+                        chosen: Some(plan.to),
+                        landed: if moved { plan.to } else { page },
+                        score_milli: milli(plan.gain),
+                        preferred_full: None,
+                        split: SplitVerdict::NotConsidered,
+                        search_ios: plan.search_ios,
+                    });
                 }
             }
         }
@@ -1742,6 +1931,12 @@ pub fn run_simulation(cfg: SimConfig) -> RunReport {
 /// the report plus the final metrics snapshot.
 pub fn run_simulation_with_obs(cfg: SimConfig, obs: ObsConfig) -> (RunReport, MetricsSnapshot) {
     Engine::with_obs(cfg, obs).run_with_obs()
+}
+
+/// Run one configured simulation with observability attached, returning
+/// the report plus everything collected (metrics, timeline, audits).
+pub fn run_simulation_observed(cfg: SimConfig, obs: ObsConfig) -> (RunReport, RunObservations) {
+    Engine::with_obs(cfg, obs).run_observed()
 }
 
 #[cfg(test)]

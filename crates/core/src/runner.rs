@@ -1,7 +1,7 @@
 //! Replicated experiment running.
 
 use crate::config::SimConfig;
-use crate::engine::{run_simulation_with_obs, ObsConfig};
+use crate::engine::{run_simulation_observed, ObsConfig, RunObservations};
 use crate::metrics::RunReport;
 use semcluster_obs::{MetricsSnapshot, TraceSink};
 use semcluster_sim::{Estimate, OnlineStats};
@@ -75,16 +75,28 @@ pub fn run_replicated_with_obs(
     replications: u32,
     sink_for: &mut dyn FnMut(u32) -> Option<Box<dyn TraceSink>>,
 ) -> (ReplicatedResult, MetricsSnapshot) {
+    let (result, obs) = run_replicated_observed(cfg, replications, &mut |r| match sink_for(r) {
+        Some(sink) => ObsConfig::with_sink(sink),
+        None => ObsConfig::default(),
+    });
+    (result, obs.metrics)
+}
+
+/// The fully general replicated runner: `obs_for` builds a complete
+/// [`ObsConfig`] per replication (sink, timeline sampling, auditing).
+/// Metrics and timelines merge order-independently; audits concatenate
+/// in replication order.
+pub fn run_replicated_observed(
+    cfg: &SimConfig,
+    replications: u32,
+    obs_for: &mut dyn FnMut(u32) -> ObsConfig,
+) -> (ReplicatedResult, RunObservations) {
     assert!(replications > 0, "need at least one replication");
     let mut reports = Vec::with_capacity(replications as usize);
-    let mut merged = MetricsSnapshot::default();
+    let mut merged = RunObservations::default();
     for r in 0..replications {
-        let obs = match sink_for(r) {
-            Some(sink) => ObsConfig::with_sink(sink),
-            None => ObsConfig::default(),
-        };
-        let (report, snapshot) = run_simulation_with_obs(replication_config(cfg, r), obs);
-        merged.merge(&snapshot);
+        let (report, obs) = run_simulation_observed(replication_config(cfg, r), obs_for(r));
+        merged.absorb(obs);
         reports.push(report);
     }
     (ReplicatedResult::from_reports(reports), merged)

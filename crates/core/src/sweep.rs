@@ -25,8 +25,9 @@
 //! callers print those to stderr so stdout stays canonical.
 
 use crate::config::SimConfig;
-use crate::runner::{run_replicated_with_obs, ReplicatedResult};
-use semcluster_obs::{MetricsSnapshot, TraceSink};
+use crate::engine::ObsConfig;
+use crate::runner::{run_replicated_observed, ReplicatedResult};
+use semcluster_obs::{MetricsSnapshot, Timeline, TraceSink};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -100,6 +101,9 @@ pub struct SweepItem {
     /// Merged metrics snapshots of this job's replications (empty on
     /// failure).
     pub metrics: MetricsSnapshot,
+    /// Merged timeline of this job's replications (when the runner has
+    /// timeline sampling enabled; `None` on failure or when disabled).
+    pub timeline: Option<Timeline>,
     /// Host wall-clock this job took on its worker.
     pub wall: Duration,
 }
@@ -161,6 +165,9 @@ pub struct SweepOutcome {
     pub items: Vec<SweepItem>,
     /// All successful jobs' metrics, merged in submission order.
     pub metrics: MetricsSnapshot,
+    /// All successful jobs' timelines, merged in submission order
+    /// (`None` unless the runner had timeline sampling enabled).
+    pub timeline: Option<Timeline>,
     /// Host wall-clock facts (stderr material).
     pub summary: SweepSummary,
 }
@@ -199,6 +206,7 @@ pub type SinkFactory = dyn Fn(usize, u32) -> Option<Box<dyn TraceSink>> + Send +
 pub struct SweepRunner {
     jobs: usize,
     sink_factory: Option<Box<SinkFactory>>,
+    timeline_interval_us: Option<u64>,
 }
 
 impl SweepRunner {
@@ -213,6 +221,7 @@ impl SweepRunner {
         SweepRunner {
             jobs,
             sink_factory: None,
+            timeline_interval_us: None,
         }
     }
 
@@ -228,6 +237,17 @@ impl SweepRunner {
         f: impl Fn(usize, u32) -> Option<Box<dyn TraceSink>> + Send + Sync + 'static,
     ) -> Self {
         self.sink_factory = Some(Box::new(f));
+        self
+    }
+
+    /// Enable timeline sampling for every run, at `interval_us`
+    /// simulated microseconds. Each job's replications merge into
+    /// [`SweepItem::timeline`]; all jobs merge into
+    /// [`SweepOutcome::timeline`]. Because sample boundaries are
+    /// interval multiples and the merge is order-independent, the merged
+    /// timelines are byte-identical at any thread count.
+    pub fn with_timeline(mut self, interval_us: u64) -> Self {
+        self.timeline_interval_us = Some(interval_us);
         self
     }
 
@@ -271,12 +291,19 @@ impl SweepRunner {
             .into_iter()
             .map(|s| s.expect("worker pool exited with an unfilled result slot; every index < n is claimed exactly once"))
             .collect();
-        // Join: fold metrics and wall-clocks in submission order.
+        // Join: fold metrics, timelines and wall-clocks in submission
+        // order (both merges are order-independent anyway).
         let mut metrics = MetricsSnapshot::default();
+        let mut timeline: Option<Timeline> = None;
         let mut serial_equivalent = Duration::ZERO;
         let mut failed = 0;
         for item in &items {
             metrics.merge(&item.metrics);
+            match (&mut timeline, &item.timeline) {
+                (Some(merged), Some(t)) => merged.merge(t),
+                (slot @ None, Some(t)) => *slot = Some(t.clone()),
+                _ => {}
+            }
             serial_equivalent += item.wall;
             if item.result.is_err() {
                 failed += 1;
@@ -284,6 +311,7 @@ impl SweepRunner {
         }
         SweepOutcome {
             metrics,
+            timeline,
             summary: SweepSummary {
                 runs: items.len(),
                 failed,
@@ -299,11 +327,21 @@ impl SweepRunner {
         let SweepJob { label, cfg, reps } = job;
         let t0 = Instant::now();
         let factory = self.sink_factory.as_deref();
+        let interval = self.timeline_interval_us;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            run_replicated_with_obs(&cfg, reps, &mut |rep| factory.and_then(|f| f(index, rep)))
+            run_replicated_observed(&cfg, reps, &mut |rep| {
+                let mut obs = match factory.and_then(|f| f(index, rep)) {
+                    Some(sink) => ObsConfig::with_sink(sink),
+                    None => ObsConfig::default(),
+                };
+                if let Some(us) = interval {
+                    obs = obs.timeline(us);
+                }
+                obs
+            })
         }));
-        let (result, metrics) = match outcome {
-            Ok((result, metrics)) => (Ok(result), metrics),
+        let (result, metrics, timeline) = match outcome {
+            Ok((result, obs)) => (Ok(result), obs.metrics, obs.timeline),
             Err(payload) => (
                 Err(SweepError {
                     index,
@@ -311,6 +349,7 @@ impl SweepRunner {
                     message: panic_message(payload.as_ref()),
                 }),
                 MetricsSnapshot::default(),
+                None,
             ),
         };
         SweepItem {
@@ -318,6 +357,7 @@ impl SweepRunner {
             label,
             result,
             metrics,
+            timeline,
             wall: t0.elapsed(),
         }
     }
@@ -376,6 +416,27 @@ mod tests {
             assert_eq!(ra.reports[0].io, rb.reports[0].io);
             assert_eq!(a.metrics, b.metrics);
         }
+    }
+
+    #[test]
+    fn timelines_merge_identically_across_thread_counts() {
+        let jobs = || {
+            (0..4)
+                .map(|i| SweepJob::new(format!("job{i}"), tiny(200 + i), 2))
+                .collect::<Vec<_>>()
+        };
+        let serial = SweepRunner::new(1).with_timeline(1_000_000).run(jobs());
+        let parallel = SweepRunner::new(4).with_timeline(1_000_000).run(jobs());
+        for (a, b) in serial.items.iter().zip(&parallel.items) {
+            let (ta, tb) = (a.timeline.as_ref().unwrap(), b.timeline.as_ref().unwrap());
+            assert!(!ta.is_empty());
+            assert_eq!(ta.to_json(), tb.to_json());
+        }
+        let (ma, mb) = (serial.timeline.unwrap(), parallel.timeline.unwrap());
+        assert_eq!(ma.to_json(), mb.to_json());
+        // Each job contributed 2 replications to the first boundary.
+        let first = ma.points().next().unwrap().1;
+        assert_eq!(first.runs, 8);
     }
 
     #[test]

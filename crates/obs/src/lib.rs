@@ -22,11 +22,17 @@
 
 #![warn(missing_docs)]
 
+mod audit;
+mod chrome;
 mod json;
 mod metrics;
+mod timeline;
 mod trace;
 
+pub use audit::{milli, AuditKind, AuditSink, CandidateAudit, PlacementAudit, SplitVerdict};
+pub use chrome::ChromeTraceSink;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use timeline::{Timeline, TimelinePoint, TimelineSample, TimelineSampler};
 pub use trace::{
     shared, FaultOp, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink,
     SharedBuf, SharedSink, SyncBuf, TraceEvent, TraceSink,

@@ -78,8 +78,15 @@ impl Histogram {
         self.max = self.max.max(other.max);
     }
 
-    /// Upper bound of the bucket holding the q-quantile observation
-    /// (a coarse but deterministic estimate).
+    /// Upper bound of the bucket holding the q-quantile observation.
+    ///
+    /// This is **not** an exact quantile: the histogram only keeps
+    /// power-of-two bucket counts, so the returned value is the *upper
+    /// bound* `2^i` of the bucket the q-quantile observation fell into.
+    /// The true quantile lies somewhere in `(2^(i-1), 2^i]` — up to 2×
+    /// smaller than the reported bound. The estimate is coarse but
+    /// deterministic and merge-stable, which is what the golden gate
+    /// needs.
     pub fn quantile_bound(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -327,7 +334,15 @@ impl MetricsSnapshot {
             rows.push((
                 k.clone(),
                 "histogram".into(),
-                format!("n={} mean={:.1} max={}", h.count(), h.mean(), h.max()),
+                format!(
+                    "n={} mean={:.1} p50<={} p95<={} p99<={} max={}",
+                    h.count(),
+                    h.mean(),
+                    h.quantile_bound(0.50),
+                    h.quantile_bound(0.95),
+                    h.quantile_bound(0.99),
+                    h.max()
+                ),
             ));
         }
         rows.sort();
@@ -429,6 +444,8 @@ mod tests {
         assert!(t.contains("| c"));
         assert!(t.contains("gauge"));
         assert!(t.contains("histogram"));
+        assert!(t.contains("p50<="));
+        assert!(t.contains("p99<="));
         assert!(t.lines().all(|l| l.starts_with('|') || l.starts_with('+')));
     }
 

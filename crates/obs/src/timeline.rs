@@ -1,0 +1,371 @@
+//! Fixed-interval timeline sampling of engine health signals.
+//!
+//! End-of-run aggregates hide *when* clustering degrades or the buffer
+//! warms up. The timeline sampler records a small set of signals at
+//! fixed simulated-time boundaries (multiples of the interval): buffer
+//! hit ratio, per-disk queue depth, log-buffer occupancy, abort rate and
+//! the clustering-locality score (fraction of structural co-references
+//! satisfied on the same page, over buffer-resident pages).
+//!
+//! Every point stores raw **mergeable sums** — hit/miss deltas, on-page
+//! and total reference counts, queue microseconds — never ratios, so
+//! [`Timeline::merge`] is commutative and associative exactly like
+//! `MetricsSnapshot::merge`. Sample timestamps are interval multiples,
+//! so points from different runs of a sweep line up and merge
+//! order-independently regardless of job scheduling.
+
+use crate::json::ObjWriter;
+use std::collections::BTreeMap;
+
+/// Mergeable signal sums for one sample boundary. All fields are sums
+/// over the runs that contributed a sample at this timestamp; consumers
+/// derive ratios (hit ratio, locality score, abort rate) at render time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TimelinePoint {
+    /// Number of runs that contributed a sample at this boundary.
+    pub runs: u64,
+    /// Buffer hits since the previous boundary (delta, summed over runs).
+    pub hits: u64,
+    /// Buffer misses since the previous boundary (delta, summed).
+    pub misses: u64,
+    /// Transactions committed since the previous boundary (delta, summed).
+    pub commits: u64,
+    /// Transactions aborted since the previous boundary (delta, summed).
+    pub aborts: u64,
+    /// Per-disk pending-work proxy at the boundary: how far the FCFS
+    /// server's `free_at` lies beyond the sample time, in simulated µs
+    /// (summed element-wise over runs).
+    pub queue_us: Vec<u64>,
+    /// Bytes buffered in the write-ahead log at the boundary (summed).
+    pub log_buffered: u64,
+    /// Structural co-references from buffer-resident objects satisfied
+    /// on the same page (summed).
+    pub loc_on_page: u64,
+    /// Total structural co-references from buffer-resident objects
+    /// (summed). Locality score = `loc_on_page / loc_refs`.
+    pub loc_refs: u64,
+}
+
+impl TimelinePoint {
+    fn absorb(&mut self, other: &TimelinePoint) {
+        self.runs += other.runs;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        if self.queue_us.len() < other.queue_us.len() {
+            self.queue_us.resize(other.queue_us.len(), 0);
+        }
+        for (i, q) in other.queue_us.iter().enumerate() {
+            self.queue_us[i] += q;
+        }
+        self.log_buffered += other.log_buffered;
+        self.loc_on_page += other.loc_on_page;
+        self.loc_refs += other.loc_refs;
+    }
+
+    fn to_json(&self, t_us: u64) -> String {
+        let mut s = String::new();
+        let mut w = ObjWriter::begin(&mut s);
+        w.u64("t_us", t_us)
+            .u64("runs", self.runs)
+            .u64("hits", self.hits)
+            .u64("misses", self.misses)
+            .u64("commits", self.commits)
+            .u64("aborts", self.aborts);
+        let mut queue = String::from("[");
+        for (i, q) in self.queue_us.iter().enumerate() {
+            if i > 0 {
+                queue.push(',');
+            }
+            queue.push_str(&q.to_string());
+        }
+        queue.push(']');
+        w.raw("queue_us", &queue)
+            .u64("log_buffered", self.log_buffered)
+            .u64("loc_on_page", self.loc_on_page)
+            .u64("loc_refs", self.loc_refs);
+        w.end();
+        s
+    }
+}
+
+/// An ordered series of [`TimelinePoint`]s keyed by their simulated-time
+/// boundary. Merging is order-independent (point-wise sums keyed by
+/// timestamp), so a sweep can merge per-run timelines in any order and
+/// still render byte-identical JSON.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timeline {
+    interval_us: u64,
+    points: BTreeMap<u64, TimelinePoint>,
+}
+
+impl Timeline {
+    /// Empty timeline with the given sampling interval (simulated µs).
+    pub fn new(interval_us: u64) -> Self {
+        assert!(interval_us > 0, "timeline interval must be positive");
+        Timeline {
+            interval_us,
+            points: BTreeMap::new(),
+        }
+    }
+
+    /// The sampling interval in simulated microseconds.
+    pub fn interval_us(&self) -> u64 {
+        self.interval_us
+    }
+
+    /// Number of sample boundaries recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no samples were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterate points in timestamp order.
+    pub fn points(&self) -> impl Iterator<Item = (u64, &TimelinePoint)> {
+        self.points.iter().map(|(t, p)| (*t, p))
+    }
+
+    /// The point at an exact boundary timestamp, if sampled.
+    pub fn point(&self, t_us: u64) -> Option<&TimelinePoint> {
+        self.points.get(&t_us)
+    }
+
+    /// Insert or accumulate a point at `t_us`. Panics unless `t_us` is a
+    /// positive multiple of the interval — boundaries must line up or
+    /// merging across runs would silently misalign.
+    pub fn record(&mut self, t_us: u64, point: TimelinePoint) {
+        assert!(
+            t_us > 0 && t_us.is_multiple_of(self.interval_us),
+            "sample time must be a positive interval multiple"
+        );
+        self.points.entry(t_us).or_default().absorb(&point);
+    }
+
+    /// Merge another timeline into this one. Commutative and
+    /// associative: points at the same boundary sum field-wise, other
+    /// boundaries are inserted. Both timelines must share an interval.
+    pub fn merge(&mut self, other: &Timeline) {
+        assert_eq!(
+            self.interval_us, other.interval_us,
+            "cannot merge timelines with different intervals"
+        );
+        for (t, p) in &other.points {
+            self.points.entry(*t).or_default().absorb(p);
+        }
+    }
+
+    /// Render as one deterministic JSON object:
+    /// `{"interval_us":N,"points":[{"t_us":...,...},...]}`.
+    pub fn to_json(&self) -> String {
+        let mut points = String::from("[");
+        for (i, (t, p)) in self.points.iter().enumerate() {
+            if i > 0 {
+                points.push(',');
+            }
+            points.push_str(&p.to_json(*t));
+        }
+        points.push(']');
+        let mut s = String::new();
+        let mut w = ObjWriter::begin(&mut s);
+        w.u64("interval_us", self.interval_us)
+            .raw("points", &points);
+        w.end();
+        s
+    }
+}
+
+/// One raw sample handed to [`TimelineSampler::record`]. The counter
+/// fields are **cumulative** run totals at the sample time; the sampler
+/// converts them to per-interval deltas itself.
+#[derive(Debug, Clone, Default)]
+pub struct TimelineSample {
+    /// Cumulative buffer hits at the sample time.
+    pub hits: u64,
+    /// Cumulative buffer misses at the sample time.
+    pub misses: u64,
+    /// Cumulative transaction commits at the sample time.
+    pub commits: u64,
+    /// Cumulative transaction aborts at the sample time.
+    pub aborts: u64,
+    /// Per-disk pending work beyond the sample time, in simulated µs.
+    pub queue_us: Vec<u64>,
+    /// Bytes currently buffered in the write-ahead log.
+    pub log_buffered: u64,
+    /// On-page structural co-references over buffer-resident objects.
+    pub loc_on_page: u64,
+    /// Total structural co-references over buffer-resident objects.
+    pub loc_refs: u64,
+}
+
+/// Drives sampling for a single run: tracks the next due boundary and
+/// the previous cumulative counters so each recorded point carries
+/// per-interval deltas. The engine polls [`TimelineSampler::due`] from
+/// its event loop and records one point per crossed boundary.
+#[derive(Debug, Clone)]
+pub struct TimelineSampler {
+    interval_us: u64,
+    next_us: u64,
+    last: (u64, u64, u64, u64),
+    timeline: Timeline,
+}
+
+impl TimelineSampler {
+    /// Sampler recording at multiples of `interval_us` simulated µs.
+    pub fn new(interval_us: u64) -> Self {
+        let timeline = Timeline::new(interval_us);
+        TimelineSampler {
+            interval_us,
+            next_us: interval_us,
+            last: (0, 0, 0, 0),
+            timeline,
+        }
+    }
+
+    /// Whether simulated time `now_us` has reached the next boundary.
+    pub fn due(&self, now_us: u64) -> bool {
+        now_us >= self.next_us
+    }
+
+    /// The next boundary that will be stamped, in simulated µs.
+    pub fn next_due_us(&self) -> u64 {
+        self.next_us
+    }
+
+    /// Record a sample at the current boundary and advance to the next.
+    /// Cumulative counters are converted to deltas against the previous
+    /// boundary (saturating, so a caller that resets counters mid-run
+    /// cannot underflow).
+    pub fn record(&mut self, sample: TimelineSample) {
+        let (h, m, c, a) = self.last;
+        let point = TimelinePoint {
+            runs: 1,
+            hits: sample.hits.saturating_sub(h),
+            misses: sample.misses.saturating_sub(m),
+            commits: sample.commits.saturating_sub(c),
+            aborts: sample.aborts.saturating_sub(a),
+            queue_us: sample.queue_us,
+            log_buffered: sample.log_buffered,
+            loc_on_page: sample.loc_on_page,
+            loc_refs: sample.loc_refs,
+        };
+        self.last = (sample.hits, sample.misses, sample.commits, sample.aborts);
+        self.timeline.record(self.next_us, point);
+        self.next_us += self.interval_us;
+    }
+
+    /// Finish sampling and return the accumulated timeline.
+    pub fn into_timeline(self) -> Timeline {
+        self.timeline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(hits: u64, commits: u64) -> TimelineSample {
+        TimelineSample {
+            hits,
+            misses: hits / 2,
+            commits,
+            queue_us: vec![10, 0],
+            log_buffered: 64,
+            loc_on_page: 3,
+            loc_refs: 4,
+            ..TimelineSample::default()
+        }
+    }
+
+    #[test]
+    fn sampler_emits_deltas_at_boundaries() {
+        let mut s = TimelineSampler::new(1000);
+        assert!(!s.due(999));
+        assert!(s.due(1000));
+        s.record(sample(10, 2));
+        s.record(sample(25, 7));
+        let tl = s.into_timeline();
+        assert_eq!(tl.len(), 2);
+        assert_eq!(tl.point(1000).unwrap().hits, 10);
+        assert_eq!(tl.point(2000).unwrap().hits, 15);
+        assert_eq!(tl.point(2000).unwrap().commits, 5);
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let mk = |hits: u64| {
+            let mut s = TimelineSampler::new(500);
+            s.record(sample(hits, 1));
+            s.record(sample(hits * 2, 3));
+            s.into_timeline()
+        };
+        let (a, b, c) = (mk(4), mk(9), mk(16));
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut right = c.clone();
+        right.merge(&a);
+        right.merge(&b);
+        assert_eq!(left, right);
+        assert_eq!(left.to_json(), right.to_json());
+        assert_eq!(left.point(500).unwrap().runs, 3);
+    }
+
+    #[test]
+    fn merge_handles_uneven_lengths_and_disk_counts() {
+        let mut a = Timeline::new(100);
+        a.record(
+            100,
+            TimelinePoint {
+                runs: 1,
+                queue_us: vec![5],
+                ..TimelinePoint::default()
+            },
+        );
+        let mut b = Timeline::new(100);
+        b.record(
+            100,
+            TimelinePoint {
+                runs: 1,
+                queue_us: vec![1, 2, 3],
+                ..TimelinePoint::default()
+            },
+        );
+        b.record(
+            200,
+            TimelinePoint {
+                runs: 1,
+                ..TimelinePoint::default()
+            },
+        );
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.point(100).unwrap().queue_us, vec![6, 2, 3]);
+        assert_eq!(a.point(200).unwrap().runs, 1);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut s = TimelineSampler::new(1000);
+        s.record(sample(10, 2));
+        let j = s.into_timeline().to_json();
+        assert_eq!(
+            j,
+            "{\"interval_us\":1000,\"points\":[{\"t_us\":1000,\"runs\":1,\
+             \"hits\":10,\"misses\":5,\"commits\":2,\"aborts\":0,\
+             \"queue_us\":[10,0],\"log_buffered\":64,\"loc_on_page\":3,\
+             \"loc_refs\":4}]}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "different intervals")]
+    fn merge_rejects_mismatched_intervals() {
+        let mut a = Timeline::new(100);
+        a.merge(&Timeline::new(200));
+    }
+}
