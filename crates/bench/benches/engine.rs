@@ -12,6 +12,12 @@ use semcluster_obs::{JsonlSink, SharedBuf};
 use semcluster_sim::SimRng;
 use semcluster_workload::{analyze, generate_trace, oct_tools, StructureDensity};
 
+/// Benchmark under the same counting allocator the CLI registers, so
+/// the profile_on/profile_off pair below measures the full production
+/// configuration — allocator wrapper included — and not a cheaper one.
+#[global_allocator]
+static ALLOC: semcluster_obs::CountingAlloc = semcluster_obs::CountingAlloc;
+
 fn tiny(clustering: ClusteringPolicy) -> SimConfig {
     SimConfig {
         database_bytes: 2 * 1024 * 1024,
@@ -87,6 +93,29 @@ fn bench_engine_tracing(c: &mut Criterion) {
                 report.mean_response_s,
                 obs.timeline.map(|t| t.len()),
                 obs.audits.len(),
+            ))
+        })
+    });
+    // The phase profiler rides the same ≤10 % observability overhead
+    // budget as the trace pair above: profile_on must stay within that
+    // margin of profile_off. Both sides run through run_simulation_observed
+    // so the only difference is the profiler itself.
+    group.bench_function("profile_off", |b| {
+        b.iter(|| {
+            let (report, _) =
+                run_simulation_observed(tiny(ClusteringPolicy::NoLimit), ObsConfig::default());
+            black_box(report.mean_response_s)
+        })
+    });
+    group.bench_function("profile_on", |b| {
+        b.iter(|| {
+            let (report, obs) = run_simulation_observed(
+                tiny(ClusteringPolicy::NoLimit),
+                ObsConfig::default().profile(),
+            );
+            black_box((
+                report.mean_response_s,
+                obs.profile.map(|p| p.phases().count()),
             ))
         })
     });

@@ -15,6 +15,11 @@ use semcluster_storage::PageId;
 /// Iterates frames in a fixed deterministic order, and the sums are
 /// commutative anyway, so the result is independent of residency
 /// history beyond the resident set itself.
+///
+/// This fold runs inside the profiler's `page_locality` phase, whose
+/// allocation count the profile golden pins to **zero**
+/// (`golden --suite profile`): it must stay a pure walk over the
+/// resident-pages slice — no buffering, no collecting.
 pub fn resident_locality<F: FnMut(PageId) -> (u64, u64)>(
     pool: &BufferPool,
     mut per_page: F,

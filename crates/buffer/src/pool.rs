@@ -16,7 +16,8 @@ use crate::policy::ReplacementPolicy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use semcluster_storage::PageId;
-use std::collections::{BTreeSet, HashMap};
+use semcluster_vdm::{det_map_with_capacity, DetHashMap};
+use std::collections::BTreeSet;
 
 /// Result of requesting a page through the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,7 +75,10 @@ struct Frame {
 pub struct BufferPool {
     capacity: usize,
     policy: ReplacementPolicy,
-    frames: HashMap<PageId, Frame>,
+    // Fixed-seed hasher: the frame table's allocation pattern must be
+    // a pure function of the access sequence (DESIGN.md §13), not of
+    // the thread's random hash seed.
+    frames: DetHashMap<PageId, Frame>,
     order: BTreeSet<(u64, PageId)>,
     resident: Vec<PageId>,
     tick: u64,
@@ -91,7 +95,7 @@ impl BufferPool {
         BufferPool {
             capacity,
             policy,
-            frames: HashMap::with_capacity(capacity),
+            frames: det_map_with_capacity(capacity),
             order: BTreeSet::new(),
             resident: Vec::with_capacity(capacity),
             tick: 0,

@@ -11,7 +11,7 @@ use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
 use semcluster_clustering::{
     broken_arc_weight, static_recluster, ClusteringPolicy, SplitPolicy, WeightModel,
 };
-use semcluster_obs::{ChromeTraceSink, JsonlSink, SplitVerdict};
+use semcluster_obs::{ChromeTraceSink, FoldedMetric, JsonlSink, ProfileReport, SplitVerdict};
 use semcluster_sim::SimRng;
 use semcluster_storage::StorageManager;
 use semcluster_vdm::{RelKind, SyntheticDbSpec};
@@ -32,13 +32,15 @@ USAGE:
                          [--trace out.jsonl] [--chrome-trace out.json]
                          [--timeline out.json] [--timeline-interval-us N]
                          [--metrics json|table]
+                         [--profile] [--folded out.folded]
+                         [--folded-metric wall_ns|sim_us|alloc_bytes|allocs|calls]
   semclusterctl explain  [same config flags as simulate] [--json]
   semclusterctl explain-placement [same config flags as simulate]
                          [--last N] [--json]
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
-  semclusterctl golden   [--bless] [--suite smoke|faults|timeline]
+  semclusterctl golden   [--bless] [--suite smoke|faults|timeline|profile]
                          [--path FILE] [--jobs N]
   semclusterctl bench-report [--out FILE] [--jobs N]
   semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
@@ -55,7 +57,12 @@ USAGE:
   log-buffer occupancy, abort rate and the clustering-locality score at
   a fixed simulated-time interval (default 1 s) into a JSON timeline.
   simulate --metrics prints the counter/gauge/histogram registry
-  snapshot for the measured interval. explain attributes mean response
+  snapshot for the measured interval. simulate --profile runs with the
+  deterministic phase profiler on: per-phase call counts, simulated
+  time, and bytes allocated land as a JSON object on stdout (stable
+  at any --jobs count), the wall-clock table goes to stderr, and
+  --folded writes flamegraph-ready folded stacks (pick the value with
+  --folded-metric; default wall_ns). explain attributes mean response
   time into CPU / demand-read / dirty-flush / cluster-search / log /
   lock-wait components. explain-placement replays a run with placement
   auditing on and prints the last N (re)cluster decisions: candidate
@@ -74,12 +81,17 @@ USAGE:
   behaviour change. --suite faults runs the fault-injection sweep
   against goldens/faults_smoke.json instead of the fault-free smoke
   sweep; --suite timeline runs the timeline-sampled sweep against
-  goldens/timeline_smoke.json.
+  goldens/timeline_smoke.json; --suite profile runs the profiled sweep
+  against goldens/profile_smoke.json, pinning per-phase call and
+  allocation counts — including that the page-locality fold stays
+  allocation-free.
   bench-report runs the fixed smoke sweep and writes a schema-stable
   BENCH_<n>.json perf snapshot (simulated-time stats only; wall clock
-  goes to stderr). obs diff compares two such snapshots run-by-run and
-  exits 1 if any run's mean response regressed beyond --threshold
-  (default 5 %).
+  goes to stderr), including a per-phase profile section. obs diff
+  compares two such snapshots run-by-run and exits 1 if any run's mean
+  response regressed beyond --threshold (default 5 %), attributing each
+  regression to the phases with the largest simulated-time and
+  allocation deltas.
   crash-matrix crashes a small workload at every commit boundary plus
   sampled intra-transaction and torn-log points, replays recovery at
   each, and verifies ACID invariants (exit 1 on any violation).
@@ -264,6 +276,12 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
         || args.get("chrome-trace").is_some()
         || args.get("timeline").is_some()
         || args.get("metrics").is_some()
+        || args.flag("profile")
+        // Routed through the instrumented path even though they are
+        // invalid without --profile, so the user gets the error rather
+        // than a silently ignored flag.
+        || args.get("folded").is_some()
+        || args.get("folded-metric").is_some()
     {
         return simulate_instrumented(args, cfg);
     }
@@ -359,16 +377,36 @@ fn simulate_instrumented(args: &Args, cfg: SimConfig) -> Result<String, String> 
     if timeline_path.is_some() {
         obs = obs.timeline(interval_us);
     }
+    let profiled = args.flag("profile");
+    let folded_path = args.get("folded");
+    let folded_metric = match args.get("folded-metric") {
+        None => FoldedMetric::WallNs,
+        Some(m) => FoldedMetric::parse(m).ok_or_else(|| {
+            format!("--folded-metric: expected wall_ns, sim_us, alloc_bytes, allocs or calls, got {m:?}")
+        })?,
+    };
+    if (folded_path.is_some() || args.get("folded-metric").is_some()) && !profiled {
+        return Err("--folded/--folded-metric need --profile".into());
+    }
+    if profiled {
+        obs = obs.profile();
+    }
     let (report, observed) = run_simulation_observed(cfg, obs);
     let snapshot = &observed.metrics;
+    let profile = observed.profile.as_ref();
     let mut out = String::new();
     match args.get("metrics") {
         Some("json") => {
             // Report + registry snapshot in one parseable object, so the
             // per-category counters can be reconciled against the I/O
-            // breakdown they mirror.
+            // breakdown they mirror. The profile section holds only
+            // deterministic counters (wall clock stays on stderr).
             out.push_str("{\"report\":");
             out.push_str(&report_to_json(&report));
+            if let Some(profile) = profile {
+                out.push_str(",\"profile\":");
+                out.push_str(&profile.to_json());
+            }
             out.push_str(",\"metrics\":");
             out.push_str(&snapshot.to_json());
             out.push_str("}\n");
@@ -380,6 +418,22 @@ fn simulate_instrumented(args: &Args, cfg: SimConfig) -> Result<String, String> 
         None => {
             out.push_str(&report_to_json(&report));
             out.push('\n');
+            if let Some(profile) = profile {
+                out.push_str(&profile.to_json());
+                out.push('\n');
+            }
+        }
+    }
+    if let Some(profile) = profile {
+        // The per-phase wall-clock table is host-machine material and
+        // must never reach the deterministic stdout stream.
+        eprint!("{}", profile.render_table());
+        if let Some(path) = folded_path {
+            std::fs::write(path, profile.folded(folded_metric))
+                .map_err(|e| format!("--folded {path}: cannot write file: {e}"))?;
+            if args.get("metrics") != Some("json") {
+                out.push_str(&format!("folded stacks written to {path}\n"));
+            }
         }
     }
     if let Some(path) = timeline_path {
@@ -810,7 +864,24 @@ pub fn faults_golden_jobs() -> Vec<SweepJob> {
 /// snapshot. Byte-identical at any `--jobs` count; the returned
 /// [`SweepSummary`] is host wall-clock material (stderr only).
 fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<(String, SweepSummary), String> {
-    let outcome = SweepRunner::new(threads).run(jobs);
+    sweep_render(jobs, threads, false)
+}
+
+/// Shared renderer behind [`golden_render`] and `bench-report`. With
+/// `profile` set the sweep runs under the phase profiler and each job's
+/// report lines are followed by one flat line per profiled stack —
+/// deterministic counters only, so the profile section is as
+/// thread-count-independent as the reports themselves.
+fn sweep_render(
+    jobs: Vec<SweepJob>,
+    threads: usize,
+    profile: bool,
+) -> Result<(String, SweepSummary), String> {
+    let mut runner = SweepRunner::new(threads);
+    if profile {
+        runner = runner.with_profile();
+    }
+    let outcome = runner.run(jobs);
     let mut out = String::new();
     for item in &outcome.items {
         let result = item
@@ -825,9 +896,39 @@ fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<(String, SweepSu
                 report_to_json(report)
             ));
         }
+        if profile {
+            let report = item
+                .profile
+                .as_ref()
+                .ok_or_else(|| format!("sweep: job {} produced no profile", item.label))?;
+            out.push_str(&profile_lines(&item.label, report));
+        }
     }
     out.push_str(&format!("{{\"metrics\":{}}}\n", outcome.metrics.to_json()));
     Ok((out, outcome.summary))
+}
+
+/// One flat JSON line per profiled stack, tagged with the job label.
+/// Flat on purpose: the same `json_str_field`/`json_num_field` helpers
+/// that read report lines can read these, and `obs diff` can join the
+/// two sections of a snapshot by job label.
+fn profile_lines(label: &str, profile: &ProfileReport) -> String {
+    let mut out = String::new();
+    for (path, s) in profile.phases() {
+        out.push_str(&format!(
+            concat!(
+                "{{\"job\":{label:?},\"phase\":{path:?},\"calls\":{calls},",
+                "\"sim_us\":{sim},\"alloc_bytes\":{bytes},\"allocs\":{allocs}}}\n"
+            ),
+            label = label,
+            path = path,
+            calls = s.calls,
+            sim = s.sim_us,
+            bytes = s.alloc_bytes,
+            allocs = s.allocs,
+        ));
+    }
+    out
 }
 
 /// Committed golden of the timeline-sampled sweep (`golden --suite
@@ -918,6 +1019,105 @@ fn timeline_golden_render(threads: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Committed golden of the profiled sweep (`golden --suite profile`).
+pub const PROFILE_GOLDEN_PATH: &str = "goldens/profile_smoke.json";
+
+/// The stack whose allocation count the profile golden pins to zero:
+/// the resident-page locality fold sampled into every timeline point.
+/// It runs on every sample tick over the whole resident set, so a
+/// stray allocation here multiplies across a sweep.
+pub const ZERO_ALLOC_PIN: &str = "run;timeline_sample;page_locality";
+
+/// The fixed profiled sweep behind `golden --suite profile`: three tiny
+/// configurations chosen to exercise every instrumented phase —
+/// placement scoring (clustering + splits), prefetch, context-sensitive
+/// eviction, WAL append/flush, lock waits and the timeline sampler's
+/// page-locality fold. Re-bless after any intentional engine or
+/// profiler change.
+pub fn profile_golden_jobs() -> Vec<SweepJob> {
+    let tiny = |label: &str, seed: u64| SimConfig {
+        workload: workload_from_label(label).expect("known workload label"),
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed,
+        ..SimConfig::default()
+    };
+    vec![
+        SweepJob::new(
+            "prof-baseline",
+            SimConfig {
+                clustering: ClusteringPolicy::NoCluster,
+                split: SplitPolicy::NoSplit,
+                ..tiny("med5-10", 4100)
+            },
+            2,
+        ),
+        SweepJob::new(
+            "prof-clustered",
+            SimConfig {
+                clustering: ClusteringPolicy::NoLimit,
+                replacement: ReplacementPolicy::ContextSensitive,
+                prefetch: PrefetchScope::WithinBuffer,
+                split: SplitPolicy::Linear,
+                ..tiny("med5-10", 4200)
+            },
+            2,
+        ),
+        SweepJob::new(
+            "prof-write-heavy",
+            SimConfig {
+                clustering: ClusteringPolicy::Adaptive,
+                ..tiny("hi10-100", 4300)
+            },
+            2,
+        ),
+    ]
+}
+
+/// Render the profiled sweep deterministically: a schema header, then
+/// one flat line per (job, stack) with the merged per-phase counters.
+/// Wall-clock nanoseconds never enter the rendering, so the output is
+/// a pure function of the engine and byte-identical at any `--jobs`
+/// count. Hard-fails — before any golden comparison — if the
+/// page-locality fold allocated at all.
+fn profile_golden_render(threads: usize) -> Result<String, String> {
+    let outcome = SweepRunner::new(threads)
+        .with_timeline(DEFAULT_TIMELINE_INTERVAL_US)
+        .with_profile()
+        .run(profile_golden_jobs());
+    let mut out = String::from("{\"golden_schema\":1,\"suite\":\"profile\"}\n");
+    for item in &outcome.items {
+        item.result
+            .as_ref()
+            .map_err(|e| format!("profile sweep: {e}"))?;
+        let profile = item
+            .profile
+            .as_ref()
+            .ok_or_else(|| format!("profile sweep: job {} produced no profile", item.label))?;
+        match profile.get(ZERO_ALLOC_PIN) {
+            None => {
+                return Err(format!(
+                    "profile sweep: job {} never entered the {ZERO_ALLOC_PIN} stack \
+                     (timeline sampling off, or the instrumentation moved?)",
+                    item.label
+                ))
+            }
+            Some(s) if s.alloc_bytes != 0 => {
+                return Err(format!(
+                    "profile sweep: job {}: stack {ZERO_ALLOC_PIN} allocated {} bytes \
+                     over {} allocations; the page-locality fold is pinned allocation-free",
+                    item.label, s.alloc_bytes, s.allocs
+                ))
+            }
+            Some(_) => {}
+        }
+        out.push_str(&profile_lines(&item.label, profile));
+    }
+    Ok(out)
+}
+
 /// A unified diff of the region around the first mismatching line:
 /// two lines of context, `-` for the expected (committed) side, `+`
 /// for the current run, long lines truncated. Gives drift reports an
@@ -984,9 +1184,10 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
             FAULTS_GOLDEN_PATH,
         ),
         "timeline" => (timeline_golden_render(jobs)?, TIMELINE_GOLDEN_PATH),
+        "profile" => (profile_golden_render(jobs)?, PROFILE_GOLDEN_PATH),
         other => {
             return Err(format!(
-                "--suite: expected smoke, faults or timeline, got {other:?}"
+                "--suite: expected smoke, faults, timeline or profile, got {other:?}"
             ))
         }
     };
@@ -1031,8 +1232,11 @@ fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
 /// with `obs diff`. Host wall-clock goes to stderr.
 pub fn cmd_bench_report(args: &Args) -> Result<String, String> {
     let jobs: usize = args.get_parsed("jobs", 0)?;
-    let (body, summary) = golden_render(golden_jobs(), jobs)?;
-    let content = format!("{{\"bench_schema\":1,\"suite\":\"smoke\"}}\n{body}");
+    // Schema 2 adds flat per-(job, stack) profile lines after each
+    // job's report lines; `obs diff` reads them for regression
+    // attribution and schema-1 readers skip them (no mean_response_s).
+    let (body, summary) = sweep_render(golden_jobs(), jobs, true)?;
+    let content = format!("{{\"bench_schema\":2,\"suite\":\"smoke\"}}\n{body}");
     let path = match args.get("out") {
         Some(p) => std::path::PathBuf::from(p),
         None => next_bench_path(std::path::Path::new(".")),
@@ -1092,9 +1296,106 @@ fn load_bench(path: &str) -> Result<Vec<(String, f64)>, String> {
     Ok(rows)
 }
 
+/// A snapshot's profile section, joined for attribution:
+/// `(job, stack) → (sim_us, alloc_bytes)`.
+type ProfileRows = std::collections::BTreeMap<(String, String), (f64, f64)>;
+
+/// Load the per-(job, stack) profile counters out of a bench report.
+/// Empty — not an error — for schema-1 snapshots, which predate the
+/// profile section.
+fn load_profile_section(path: &str) -> Result<ProfileRows, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("obs diff: cannot read {path}: {e}"))?;
+    let mut rows = std::collections::BTreeMap::new();
+    for line in text.lines() {
+        let (Some(job), Some(phase), Some(sim_us), Some(alloc_bytes)) = (
+            json_str_field(line, "job"),
+            json_str_field(line, "phase"),
+            json_num_field(line, "sim_us"),
+            json_num_field(line, "alloc_bytes"),
+        ) else {
+            continue; // header / report / metrics lines
+        };
+        rows.insert((job, phase), (sim_us, alloc_bytes));
+    }
+    Ok(rows)
+}
+
+/// Attribute regressed jobs to phases: for each job, the stacks with
+/// the largest simulated-time delta and the largest allocation delta
+/// between the two snapshots' profile sections.
+fn profile_attribution(
+    jobs: &std::collections::BTreeSet<String>,
+    base: &ProfileRows,
+    cur: &ProfileRows,
+) -> String {
+    const TOP_K: usize = 3;
+    if base.is_empty() || cur.is_empty() {
+        return "no profile section in one of the snapshots (bench_schema 1?); \
+                re-run bench-report for per-phase attribution\n"
+            .to_string();
+    }
+    let mut out = String::new();
+    for job in jobs {
+        // Union of the job's stacks across both snapshots: a phase that
+        // appeared or vanished is itself a lead worth surfacing.
+        let mut deltas: Vec<(&str, f64, f64)> = Vec::new();
+        for ((j, phase), &(base_sim, base_bytes)) in base {
+            if j != job {
+                continue;
+            }
+            let (cur_sim, cur_bytes) = cur
+                .get(&(j.clone(), phase.clone()))
+                .copied()
+                .unwrap_or((0.0, 0.0));
+            deltas.push((phase, cur_sim - base_sim, cur_bytes - base_bytes));
+        }
+        for ((j, phase), &(cur_sim, cur_bytes)) in cur {
+            if j != job || base.contains_key(&(j.clone(), phase.clone())) {
+                continue;
+            }
+            deltas.push((phase, cur_sim, cur_bytes));
+        }
+        if deltas.is_empty() {
+            continue;
+        }
+        let mut by_sim = deltas.clone();
+        by_sim.sort_by(|a, b| b.1.abs().total_cmp(&a.1.abs()));
+        let mut by_bytes = deltas.clone();
+        by_bytes.sort_by(|a, b| b.2.abs().total_cmp(&a.2.abs()));
+        let mut picks: Vec<&str> = Vec::new();
+        for (phase, d_sim, d_bytes) in by_sim.iter().take(TOP_K).chain(by_bytes.iter().take(TOP_K))
+        {
+            if (*d_sim != 0.0 || *d_bytes != 0.0) && !picks.contains(phase) {
+                picks.push(phase);
+            }
+        }
+        if picks.is_empty() {
+            out.push_str(&format!(
+                "job {job}: no phase counter moved — the regression is outside the profiled paths\n"
+            ));
+            continue;
+        }
+        out.push_str(&format!(
+            "job {job}: top phases by simulated-time / allocation delta\n"
+        ));
+        for phase in picks {
+            let (_, d_sim, d_bytes) = deltas
+                .iter()
+                .find(|d| d.0 == phase)
+                .expect("picked from deltas");
+            out.push_str(&format!(
+                "  {phase:<44} sim_us {d_sim:+12.0}   alloc_bytes {d_bytes:+12.0}\n"
+            ));
+        }
+    }
+    out
+}
+
 /// `obs` subcommand. `obs diff BASELINE.json CURRENT.json` compares two
 /// bench-report snapshots run-by-run and fails (exit 1) when any run's
-/// mean response time regressed beyond `--threshold` percent.
+/// mean response time regressed beyond `--threshold` percent, naming
+/// the phases whose simulated-time and allocation counters moved most.
 pub fn cmd_obs(args: &Args) -> Result<String, String> {
     match args.positional.first().map(String::as_str) {
         Some("diff") => {}
@@ -1113,6 +1414,7 @@ pub fn cmd_obs(args: &Args) -> Result<String, String> {
     let mut table = Table::new(vec!["run", "baseline (ms)", "current (ms)", "delta"]);
     let mut compared = 0usize;
     let mut regressions = 0usize;
+    let mut regressed_jobs = std::collections::BTreeSet::new();
     for (key, was) in &base {
         let Some(now) = cur.get(key) else { continue };
         compared += 1;
@@ -1123,6 +1425,12 @@ pub fn cmd_obs(args: &Args) -> Result<String, String> {
         };
         let marker = if delta > threshold {
             regressions += 1;
+            // Run keys are "<job>/rep<n>"; attribution works on the
+            // job's merged profile, so fold the replications back up.
+            regressed_jobs.insert(
+                key.rsplit_once("/rep")
+                    .map_or_else(|| key.clone(), |(job, _)| job.to_string()),
+            );
             "  REGRESSION"
         } else {
             ""
@@ -1140,8 +1448,13 @@ pub fn cmd_obs(args: &Args) -> Result<String, String> {
     let mut out = format!("perf diff {base_path} → {cur_path} (threshold {threshold:.1} %)\n");
     out.push_str(&table.render());
     if regressions > 0 {
+        let attribution = profile_attribution(
+            &regressed_jobs,
+            &load_profile_section(base_path)?,
+            &load_profile_section(cur_path)?,
+        );
         return Err(format!(
-            "{out}{regressions} of {compared} runs regressed beyond +{threshold:.1} %"
+            "{out}{attribution}{regressions} of {compared} runs regressed beyond +{threshold:.1} %"
         ));
     }
     out.push_str(&format!(
@@ -1510,8 +1823,10 @@ mod tests {
         let out = dispatch(&parse(&format!("bench-report --out {out_path_s} --jobs 2"))).unwrap();
         assert!(out.contains("bench report written to"));
         let content = std::fs::read_to_string(&out_path).unwrap();
-        assert!(content.starts_with("{\"bench_schema\":1,\"suite\":\"smoke\"}\n"));
+        assert!(content.starts_with("{\"bench_schema\":2,\"suite\":\"smoke\"}\n"));
         assert!(content.contains("\"job\":\"baseline\""));
+        // Schema 2 interleaves per-phase profile lines with the reports.
+        assert!(content.contains("\"phase\":\"run;buffer_lookup\""));
         assert!(content.lines().last().unwrap().starts_with("{\"metrics\":"));
         // The snapshot diffs cleanly against itself.
         let out = dispatch(&parse(&format!("obs diff {out_path_s} {out_path_s}"))).unwrap();

@@ -9,6 +9,14 @@
 
 use semcluster_cli::{dispatch, Args, USAGE};
 
+/// Thread-local allocation accounting for `simulate --profile` and the
+/// profile golden suite. The wrapper forwards straight to the system
+/// allocator, so binaries that register it pay two thread-local
+/// increments per allocation and nothing else; binaries that don't
+/// simply report zero allocation counts.
+#[global_allocator]
+static ALLOC: semcluster_obs::CountingAlloc = semcluster_obs::CountingAlloc;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let parsed = match Args::parse(argv) {

@@ -11,8 +11,8 @@
 use crate::config::HintPolicy;
 use semcluster_buffer::AccessHint;
 use semcluster_storage::{PageId, StorageManager};
+use semcluster_vdm::DetHashMap;
 use semcluster_vdm::{Database, ObjectId, RelKind};
-use std::collections::HashMap;
 
 /// How strongly a user hint amplifies its relationship's weights.
 pub const HINT_MULTIPLIER: f64 = 4.0;
@@ -83,7 +83,7 @@ pub fn weighted_neighbors(
     let Ok(freqs) = db.frequencies_of(object) else {
         return Vec::new();
     };
-    let mut acc: HashMap<ObjectId, f64> = HashMap::new();
+    let mut acc: DetHashMap<ObjectId, f64> = DetHashMap::default();
     for (kind, dir, other) in db.graph().related(object) {
         let base = freqs.weight(kind, dir);
         let w = model.arc_weight(kind, base);
@@ -110,7 +110,7 @@ pub fn extended_neighbors(
     object: ObjectId,
 ) -> Vec<(ObjectId, f64)> {
     let direct = weighted_neighbors(db, model, object);
-    let mut acc: HashMap<ObjectId, f64> = direct.iter().copied().collect();
+    let mut acc: DetHashMap<ObjectId, f64> = direct.iter().copied().collect();
     for &(hop, w1) in &direct {
         let Ok(freqs) = db.frequencies_of(hop) else {
             continue;
@@ -136,7 +136,7 @@ pub fn candidate_pages(
     store: &StorageManager,
     neighbors: &[(ObjectId, f64)],
 ) -> Vec<(PageId, f64)> {
-    let mut affinity: HashMap<PageId, f64> = HashMap::new();
+    let mut affinity: DetHashMap<PageId, f64> = DetHashMap::default();
     for &(obj, w) in neighbors {
         if let Some(page) = store.page_of(obj) {
             *affinity.entry(page).or_insert(0.0) += w;

@@ -13,7 +13,10 @@
 //! slices directly instead of going through `weighted_neighbors` — no
 //! allocation, no sort, and parallel arcs of different kinds each count
 //! as their own co-reference (each is a distinct traversal the layout
-//! can satisfy or fault).
+//! can satisfy or fault). "No allocation" is not just an intention:
+//! the fold is bracketed by the profiler's `page_locality` phase and
+//! `golden --suite profile` pins its `alloc_bytes` at zero under the
+//! counting allocator, so an allocation sneaking in here fails CI.
 
 use semcluster_storage::{PageId, StorageManager};
 use semcluster_vdm::{Database, Direction, RelKind};

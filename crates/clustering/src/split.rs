@@ -16,8 +16,8 @@
 
 use crate::cost::WeightModel;
 use semcluster_storage::{PageId, StorageManager};
+use semcluster_vdm::DetHashMap;
 use semcluster_vdm::{Database, ObjectId};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Largest node count for which [`optimal_split`] enumerates exhaustively.
@@ -75,13 +75,13 @@ pub fn build_dependency_graph(
         objects.push(o);
         sizes.push(s);
     }
-    let index: HashMap<ObjectId, u32> = objects
+    let index: DetHashMap<ObjectId, u32> = objects
         .iter()
         .enumerate()
         .map(|(i, &o)| (o, i as u32))
         .collect();
 
-    let mut weights: HashMap<(u32, u32), f64> = HashMap::new();
+    let mut weights: DetHashMap<(u32, u32), f64> = DetHashMap::default();
     for (&obj, &i) in &index {
         let Ok(freqs) = db.frequencies_of(obj) else {
             continue;
@@ -212,7 +212,7 @@ pub fn linear_split(g: &DependencyGraph, capacity: u32) -> Result<Partition, Spl
     }
 
     // Collect groups.
-    let mut groups: HashMap<u32, Vec<u32>> = HashMap::new();
+    let mut groups: DetHashMap<u32, Vec<u32>> = DetHashMap::default();
     for i in 0..n as u32 {
         groups.entry(find(&mut parent, i)).or_default().push(i);
     }

@@ -43,8 +43,9 @@ use semcluster_faults::{CrashPoint, FaultState, IoError, IoOp};
 use semcluster_lock::{LockManager, LockMode};
 use semcluster_obs::{
     milli, AuditKind, AuditSink, CandidateAudit, FaultOp, FlushCause, LogFlushKind,
-    MetricsRegistry, MetricsSnapshot, NoopSink, PlacementAudit, ReadCause, SplitVerdict, Timeline,
-    TimelineSample, TimelineSampler, TraceEvent, TraceSink,
+    MetricsRegistry, MetricsSnapshot, NoopSink, Phase, PhaseProfiler, PhaseToken, PlacementAudit,
+    ProfileReport, ReadCause, SplitVerdict, Timeline, TimelineSample, TimelineSampler, TraceEvent,
+    TraceSink,
 };
 use semcluster_sim::{EventQueue, FcfsServer, ServerBank, SimDuration, SimRng, SimTime};
 use semcluster_storage::{DiskLayout, PageId, StorageManager};
@@ -121,6 +122,11 @@ pub struct ObsConfig {
     /// When set, record a [`PlacementAudit`] for every (re)cluster
     /// decision, retaining the most recent this-many records.
     pub audit_capacity: Option<usize>,
+    /// When true, bracket the engine's hot paths with a
+    /// [`PhaseProfiler`] and return the per-phase self costs in
+    /// [`RunObservations::profile`]. Purely observational: the simulated
+    /// results are byte-identical with profiling on or off.
+    pub profile: bool,
 }
 
 impl Default for ObsConfig {
@@ -129,6 +135,7 @@ impl Default for ObsConfig {
             sink: Box::new(NoopSink),
             timeline_interval_us: None,
             audit_capacity: None,
+            profile: false,
         }
     }
 }
@@ -153,6 +160,12 @@ impl ObsConfig {
         self.audit_capacity = Some(capacity);
         self
     }
+
+    /// Enable hierarchical phase profiling.
+    pub fn profile(mut self) -> Self {
+        self.profile = true;
+        self
+    }
 }
 
 /// Everything the observability layer collected during one run (or,
@@ -167,11 +180,15 @@ pub struct RunObservations {
     /// Retained placement audits, oldest first, when auditing was
     /// enabled (runs are concatenated in replication order on merge).
     pub audits: Vec<PlacementAudit>,
+    /// Per-phase self-cost profile, when profiling was enabled (runs
+    /// merge by per-stack sums, order-independently).
+    pub profile: Option<ProfileReport>,
 }
 
 impl RunObservations {
-    /// Merge another run's observations into this one. Metrics and
-    /// timelines merge order-independently; audits concatenate.
+    /// Merge another run's observations into this one. Metrics,
+    /// timelines and profiles merge order-independently; audits
+    /// concatenate.
     pub fn absorb(&mut self, other: RunObservations) {
         self.metrics.merge(&other.metrics);
         match (&mut self.timeline, other.timeline) {
@@ -180,6 +197,11 @@ impl RunObservations {
             _ => {}
         }
         self.audits.extend(other.audits);
+        match (&mut self.profile, other.profile) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (slot @ None, Some(theirs)) => *slot = Some(theirs),
+            _ => {}
+        }
     }
 }
 
@@ -239,6 +261,12 @@ pub struct Engine {
     timeline: Option<TimelineSampler>,
     /// Bounded placement-audit recorder (None unless enabled).
     audit: Option<AuditSink>,
+    /// Hierarchical phase profiler (None unless enabled); pure observer.
+    profiler: Option<PhaseProfiler>,
+    /// The profiler's final report, staged by [`Self::finalize_obs`]
+    /// *before* any trace emission so the report never observes its own
+    /// export.
+    profile_report: Option<ProfileReport>,
     /// Whole-run counters backing the timeline's per-interval deltas.
     tl: TimelineCounters,
     /// Global transaction sequence number.
@@ -342,6 +370,8 @@ impl Engine {
             trace: obs.sink,
             timeline: obs.timeline_interval_us.map(TimelineSampler::new),
             audit: obs.audit_capacity.map(AuditSink::with_capacity),
+            profiler: obs.profile.then(PhaseProfiler::new),
+            profile_report: None,
             tl: TimelineCounters::default(),
             txn_seq: 0,
             cur_span: SpanBreakdown::default(),
@@ -469,7 +499,7 @@ impl Engine {
         /// a within-buffer clusterer would have seen during history.
         struct RecencyWindow {
             cap: usize,
-            set: std::collections::HashSet<PageId>,
+            set: semcluster_vdm::DetHashSet<PageId>,
             queue: VecDeque<PageId>,
         }
         impl RecencyWindow {
@@ -513,7 +543,7 @@ impl Engine {
                 // only ever saw the recency window of buffered pages.
                 let mut window = RecencyWindow {
                     cap: cfg.buffer_pages,
-                    set: std::collections::HashSet::new(),
+                    set: semcluster_vdm::DetHashSet::default(),
                     queue: VecDeque::new(),
                 };
                 for id in Self::history_order(db, rng, 16) {
@@ -608,6 +638,7 @@ impl Engine {
                 .take()
                 .map(AuditSink::into_records)
                 .unwrap_or_default(),
+            profile: self.profile_report.take(),
         };
         (report, obs)
     }
@@ -615,6 +646,24 @@ impl Engine {
     /// Live view of the metrics registry (for tests and embedding).
     pub fn registry(&self) -> &MetricsRegistry {
         &self.registry
+    }
+
+    /// Open a profiled phase. One branch when profiling is off.
+    #[inline]
+    fn prof_enter(&mut self, phase: Phase) -> Option<PhaseToken> {
+        self.profiler.as_mut().map(|p| p.enter(phase))
+    }
+
+    /// Close a profiled phase, attributing `sim_us` of simulated self
+    /// cost to it.
+    #[inline]
+    fn prof_exit(&mut self, token: Option<PhaseToken>, sim_us: u64) {
+        if let Some(token) = token {
+            self.profiler
+                .as_mut()
+                .expect("a live token implies a live profiler")
+                .exit(token, sim_us);
+        }
     }
 
     /// Stamp end-of-run utilisation gauges and flush the trace sink.
@@ -634,6 +683,26 @@ impl Engine {
             "lock.wait_us",
             self.metrics.lock_wait_time.as_micros() as i64,
         );
+        if let Some(profiler) = self.profiler.as_mut() {
+            profiler.add_root_sim_us(self.queue.now().as_micros());
+            let report = profiler.report();
+            // Counter events ride the trace stream; the report itself is
+            // staged first so exporting it cannot perturb its numbers.
+            if self.trace.enabled() {
+                let at = self.queue.now();
+                for (path, s) in report.phases() {
+                    self.trace.emit(&TraceEvent::ProfilePhase {
+                        at,
+                        path: path.to_string(),
+                        calls: s.calls,
+                        sim_us: s.sim_us,
+                        alloc_bytes: s.alloc_bytes,
+                        allocs: s.allocs,
+                    });
+                }
+            }
+            self.profile_report = Some(report);
+        }
         self.trace.flush();
     }
 
@@ -697,7 +766,10 @@ impl Engine {
     fn drive(&mut self) {
         let target = self.cfg.warmup_txns + self.cfg.measured_txns;
         while self.completed < target {
-            let Some((now, ev)) = self.queue.pop() else {
+            let tok = self.prof_enter(Phase::EventPop);
+            let popped = self.queue.pop();
+            self.prof_exit(tok, 0);
+            let Some((now, ev)) = popped else {
                 break; // all users idle — cannot happen in a closed network
             };
             match ev {
@@ -730,6 +802,7 @@ impl Engine {
         if !due {
             return;
         }
+        let tok = self.prof_enter(Phase::TimelineSample);
         let mut sampler = self.timeline.take().expect("due implies a sampler");
         while sampler.due(now.as_micros()) {
             let t_us = sampler.next_due_us();
@@ -738,9 +811,13 @@ impl Engine {
                 let free = self.disks.member(i).free_at().as_micros();
                 queue_us.push(free.saturating_sub(t_us));
             }
+            // The locality fold is pinned allocation-free by the profile
+            // golden; nothing else may creep inside this bracket.
+            let ptok = self.prof_enter(Phase::PageLocality);
             let (loc_on_page, loc_refs) = resident_locality(&self.pool, |page| {
                 page_locality(&self.db, &self.store, page)
             });
+            self.prof_exit(ptok, 0);
             sampler.record(TimelineSample {
                 hits: self.tl.hits,
                 misses: self.tl.misses,
@@ -753,6 +830,7 @@ impl Engine {
             });
         }
         self.timeline = Some(sampler);
+        self.prof_exit(tok, 0);
     }
 
     fn report(&self) -> RunReport {
@@ -831,6 +909,7 @@ impl Engine {
     /// Hierarchical conservative lock acquisition for a transaction's
     /// pre-declared object set.
     fn try_lock(&mut self, u: u32, ops: &[Op]) -> bool {
+        let tok = self.prof_enter(Phase::LockAcquire);
         let mut requests: Vec<(ObjectId, LockMode)> = Vec::new();
         for op in ops {
             let (object, mode) = match *op {
@@ -840,8 +919,13 @@ impl Engine {
             };
             requests.extend(LockManager::hierarchical_lockset(&self.db, object, mode));
         }
-        self.locks
-            .try_acquire_all(semcluster_lock::TxnId(u as u64), &requests)
+        let granted = self
+            .locks
+            .try_acquire_all(semcluster_lock::TxnId(u as u64), &requests);
+        // Lock acquisition is instantaneous in simulated time (any wait
+        // is charged to the parked transaction, not this phase).
+        self.prof_exit(tok, 0);
+        granted
     }
 
     fn on_op_done(&mut self, u: u32, now: SimTime) {
@@ -1330,10 +1414,12 @@ impl Engine {
         t: SimTime,
         cause: ReadCause,
     ) -> Result<SimTime, EngineError> {
+        let tok = self.prof_enter(Phase::BufferLookup);
         match self.pool.access(page) {
             Access::Hit => {
                 self.registry.inc("buffer.hit");
                 self.tl.hits += 1;
+                self.prof_exit(tok, 0);
                 Ok(t)
             }
             Access::Miss { evicted_dirty } => {
@@ -1343,7 +1429,16 @@ impl Engine {
                 let mut ios = 1u32;
                 let mut t = t;
                 if let Some(victim) = evicted_dirty {
-                    t = self.charge_flush(victim, t, FlushCause::Evict)?;
+                    match self.charge_flush(victim, t, FlushCause::Evict) {
+                        Ok(done) => t = done,
+                        Err(e) => {
+                            // Failed write-back aborts the access; the
+                            // phase still closes (its span was already
+                            // charged to the transaction by charge_flush).
+                            self.prof_exit(tok, 0);
+                            return Err(e);
+                        }
+                    }
                     ios += 1;
                 }
                 let d = self.layout.disk_of(page) as usize;
@@ -1369,6 +1464,10 @@ impl Engine {
                         self.cur_span.cluster_search_us += wait;
                     }
                 }
+                // Phase self cost covers the whole miss expansion
+                // (eviction write-back + read wait), even when the read
+                // ultimately fails — close before the `?` propagates.
+                self.prof_exit(tok, end.since(issued).as_micros());
                 let t = outcome?;
                 if self.trace.enabled() {
                     self.trace.emit(&TraceEvent::IoExpand {
@@ -1440,6 +1539,7 @@ impl Engine {
     /// injected stall can delay it; the stall is charged to the log
     /// component in simulated time.
     fn submit_log_io(&mut self, t: SimTime, kind: LogFlushKind) -> SimTime {
+        let tok = self.prof_enter(Phase::WalFlush);
         self.log_flushes_seen += 1;
         if let CrashPoint::MidFlush(k) = self.crash_point {
             if self.log_flushes_seen == k {
@@ -1467,6 +1567,7 @@ impl Engine {
             LogFlushKind::Commit => "wal.flush.commit",
         });
         self.cur_span.log_us += done.since(t).as_micros();
+        self.prof_exit(tok, done.since(t).as_micros());
         if self.trace.enabled() {
             self.trace.emit(&TraceEvent::LogFlush { at: t, kind, done });
         }
@@ -1482,6 +1583,7 @@ impl Engine {
         bytes: u32,
         mut t: SimTime,
     ) -> SimTime {
+        let tok = self.prof_enter(Phase::WalAppend);
         let io = self.log.log_update_detail(token, page, bytes);
         if io.before_image {
             t = self.submit_log_io(t, LogFlushKind::BeforeImage);
@@ -1489,6 +1591,9 @@ impl Engine {
         for _ in 0..io.wrap_flushes {
             t = self.submit_log_io(t, LogFlushKind::Full);
         }
+        // Physical flush time nests under `wal_flush`; the append itself
+        // is bookkeeping with zero simulated self cost.
+        self.prof_exit(tok, 0);
         t
     }
 
@@ -1510,6 +1615,14 @@ impl Engine {
     /// Honours graceful degradation: while degraded, database-wide
     /// prefetch narrows to within-buffer (see [`Self::effective_prefetch`]).
     fn do_prefetch(&mut self, obj: ObjectId, kind: QueryKind, t: SimTime) {
+        let tok = self.prof_enter(Phase::Prefetch);
+        self.do_prefetch_inner(obj, kind, t);
+        // Prefetch I/O is asynchronous: zero simulated self cost on the
+        // issuing transaction's path.
+        self.prof_exit(tok, 0);
+    }
+
+    fn do_prefetch_inner(&mut self, obj: ObjectId, kind: QueryKind, t: SimTime) {
         let scope = self.effective_prefetch();
         if scope == PrefetchScope::None {
             return;
@@ -1670,6 +1783,7 @@ impl Engine {
             .size_bytes();
 
         // 2. Placement search (candidate-page reads are charged).
+        let ptok = self.prof_enter(Phase::PlacementScore);
         let plan = plan_placement(
             &self.db,
             &self.store,
@@ -1682,10 +1796,22 @@ impl Engine {
         let cpu_done = self.cpu.submit(now, self.cfg.cpu_per_access);
         let mut t = now;
         // Candidate-page reads flow through the buffer manager; misses
-        // they cause are search I/Os, not demand reads.
+        // they cause are search I/Os, not demand reads. They nest under
+        // the placement phase, whose own simulated self cost is zero
+        // (scoring is CPU work, charged through the CPU server). A read
+        // failure must still close the phase before propagating.
+        let mut charged = Ok(());
         for c in &plan.examined {
-            t = self.charge_access(c.page, t, ReadCause::ClusterSearch)?;
+            match self.charge_access(c.page, t, ReadCause::ClusterSearch) {
+                Ok(done) => t = done,
+                Err(e) => {
+                    charged = Err(e);
+                    break;
+                }
+            }
         }
+        self.prof_exit(ptok, 0);
+        charged?;
 
         // 3. Page-overflow handling.
         let mut split_verdict = if plan.preferred_full.is_some() {
@@ -1831,7 +1957,8 @@ impl Engine {
         // manager re-evaluates the object's placement. Suspended while
         // degraded (effective policy is NoCluster, which never clusters).
         if self.effective_clustering().clusters() {
-            if let Some(plan) = plan_recluster(
+            let ptok = self.prof_enter(Phase::PlacementScore);
+            let plan = plan_recluster(
                 &self.db,
                 &self.store,
                 &self.pool,
@@ -1839,10 +1966,24 @@ impl Engine {
                 &self.weights,
                 target,
                 self.cfg.recluster_min_gain,
-            ) {
+            );
+            // Candidate reads nest under the scoring phase; close it
+            // before any error propagates or the move executes.
+            let mut charged = Ok(());
+            if let Some(plan) = &plan {
                 for c in &plan.examined {
-                    t = self.charge_access(c.page, t, ReadCause::ClusterSearch)?;
+                    match self.charge_access(c.page, t, ReadCause::ClusterSearch) {
+                        Ok(done) => t = done,
+                        Err(e) => {
+                            charged = Err(e);
+                            break;
+                        }
+                    }
                 }
+            }
+            self.prof_exit(ptok, 0);
+            charged?;
+            if let Some(plan) = plan {
                 let moved = self.store.move_object(target, plan.to).is_ok();
                 if moved {
                     self.pool.mark_dirty(page);

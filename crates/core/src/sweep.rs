@@ -27,7 +27,7 @@
 use crate::config::SimConfig;
 use crate::engine::ObsConfig;
 use crate::runner::{run_replicated_observed, ReplicatedResult};
-use semcluster_obs::{MetricsSnapshot, Timeline, TraceSink};
+use semcluster_obs::{MetricsSnapshot, ProfileReport, Timeline, TraceSink};
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -104,6 +104,9 @@ pub struct SweepItem {
     /// Merged timeline of this job's replications (when the runner has
     /// timeline sampling enabled; `None` on failure or when disabled).
     pub timeline: Option<Timeline>,
+    /// Merged phase profile of this job's replications (when the runner
+    /// has profiling enabled; `None` on failure or when disabled).
+    pub profile: Option<ProfileReport>,
     /// Host wall-clock this job took on its worker.
     pub wall: Duration,
 }
@@ -168,6 +171,10 @@ pub struct SweepOutcome {
     /// All successful jobs' timelines, merged in submission order
     /// (`None` unless the runner had timeline sampling enabled).
     pub timeline: Option<Timeline>,
+    /// All successful jobs' phase profiles, merged in submission order
+    /// (`None` unless the runner had profiling enabled). The merge is
+    /// per-stack sums, so this is byte-identical at any thread count.
+    pub profile: Option<ProfileReport>,
     /// Host wall-clock facts (stderr material).
     pub summary: SweepSummary,
 }
@@ -207,6 +214,7 @@ pub struct SweepRunner {
     jobs: usize,
     sink_factory: Option<Box<SinkFactory>>,
     timeline_interval_us: Option<u64>,
+    profile: bool,
 }
 
 impl SweepRunner {
@@ -222,6 +230,7 @@ impl SweepRunner {
             jobs,
             sink_factory: None,
             timeline_interval_us: None,
+            profile: false,
         }
     }
 
@@ -248,6 +257,16 @@ impl SweepRunner {
     /// timelines are byte-identical at any thread count.
     pub fn with_timeline(mut self, interval_us: u64) -> Self {
         self.timeline_interval_us = Some(interval_us);
+        self
+    }
+
+    /// Enable phase profiling for every run. Each job's replications
+    /// merge into [`SweepItem::profile`]; all jobs merge into
+    /// [`SweepOutcome::profile`]. Per-stack counters are deterministic
+    /// sums, so the merged profile (minus wall clock, which never enters
+    /// canonical output) is byte-identical at any thread count.
+    pub fn with_profile(mut self) -> Self {
+        self.profile = true;
         self
     }
 
@@ -295,6 +314,7 @@ impl SweepRunner {
         // order (both merges are order-independent anyway).
         let mut metrics = MetricsSnapshot::default();
         let mut timeline: Option<Timeline> = None;
+        let mut profile: Option<ProfileReport> = None;
         let mut serial_equivalent = Duration::ZERO;
         let mut failed = 0;
         for item in &items {
@@ -302,6 +322,11 @@ impl SweepRunner {
             match (&mut timeline, &item.timeline) {
                 (Some(merged), Some(t)) => merged.merge(t),
                 (slot @ None, Some(t)) => *slot = Some(t.clone()),
+                _ => {}
+            }
+            match (&mut profile, &item.profile) {
+                (Some(merged), Some(p)) => merged.merge(p),
+                (slot @ None, Some(p)) => *slot = Some(p.clone()),
                 _ => {}
             }
             serial_equivalent += item.wall;
@@ -312,6 +337,7 @@ impl SweepRunner {
         SweepOutcome {
             metrics,
             timeline,
+            profile,
             summary: SweepSummary {
                 runs: items.len(),
                 failed,
@@ -328,6 +354,7 @@ impl SweepRunner {
         let t0 = Instant::now();
         let factory = self.sink_factory.as_deref();
         let interval = self.timeline_interval_us;
+        let profiled = self.profile;
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             run_replicated_observed(&cfg, reps, &mut |rep| {
                 let mut obs = match factory.and_then(|f| f(index, rep)) {
@@ -337,11 +364,14 @@ impl SweepRunner {
                 if let Some(us) = interval {
                     obs = obs.timeline(us);
                 }
+                if profiled {
+                    obs = obs.profile();
+                }
                 obs
             })
         }));
-        let (result, metrics, timeline) = match outcome {
-            Ok((result, obs)) => (Ok(result), obs.metrics, obs.timeline),
+        let (result, metrics, timeline, profile) = match outcome {
+            Ok((result, obs)) => (Ok(result), obs.metrics, obs.timeline, obs.profile),
             Err(payload) => (
                 Err(SweepError {
                     index,
@@ -349,6 +379,7 @@ impl SweepRunner {
                     message: panic_message(payload.as_ref()),
                 }),
                 MetricsSnapshot::default(),
+                None,
                 None,
             ),
         };
@@ -358,6 +389,7 @@ impl SweepRunner {
             result,
             metrics,
             timeline,
+            profile,
             wall: t0.elapsed(),
         }
     }

@@ -15,8 +15,8 @@
 //! intention locks along the configuration path.
 
 use crate::mode::LockMode;
-use semcluster_vdm::{Database, ObjectId};
-use std::collections::{HashMap, HashSet, VecDeque};
+use semcluster_vdm::{Database, DetHashMap, DetHashSet, ObjectId};
+use std::collections::VecDeque;
 use std::fmt;
 
 /// Transaction identifier (assigned by the caller).
@@ -43,7 +43,7 @@ pub enum LockResult {
 
 #[derive(Debug, Default)]
 struct LockEntry {
-    holders: HashMap<TxnId, LockMode>,
+    holders: DetHashMap<TxnId, LockMode>,
     queue: VecDeque<(TxnId, LockMode)>,
 }
 
@@ -69,10 +69,15 @@ pub struct LockStats {
 }
 
 /// The lock table.
+///
+/// Fixed-seed hashing throughout: the table is mutated and walked
+/// inside the engine's profiled lock-acquisition phase, so both its
+/// allocation pattern and its iteration order must be pure functions
+/// of the request sequence (DESIGN.md §13).
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: HashMap<ObjectId, LockEntry>,
-    held: HashMap<TxnId, HashSet<ObjectId>>,
+    table: DetHashMap<ObjectId, LockEntry>,
+    held: DetHashMap<TxnId, DetHashSet<ObjectId>>,
     stats: LockStats,
 }
 
@@ -147,7 +152,7 @@ impl LockManager {
     fn would_deadlock(&self, txn: TxnId, object: ObjectId, mode: LockMode) -> bool {
         // Direct blockers of the hypothetical request.
         let mut frontier: Vec<TxnId> = self.blockers(txn, object, mode);
-        let mut seen: HashSet<TxnId> = frontier.iter().copied().collect();
+        let mut seen: DetHashSet<TxnId> = frontier.iter().copied().collect();
         while let Some(cur) = frontier.pop() {
             if cur == txn {
                 return true;

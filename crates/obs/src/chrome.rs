@@ -16,7 +16,10 @@
 //!   service duration, faults and retries as instants;
 //! * pid 3 `log-device` — physical log flushes and injected stalls;
 //! * pid 4 `engine` — global instants (I/O expansion, prefetch issue,
-//!   recluster moves, splits, degradation transitions).
+//!   recluster moves, splits, degradation transitions);
+//! * pid 5 `profiler` — end-of-run `C` counter events, one per phase
+//!   stack, carrying the deterministic profile columns (calls,
+//!   simulated µs, allocated bytes/count).
 //!
 //! Output is deterministic: same run, byte-identical trace file.
 
@@ -28,6 +31,7 @@ const PID_TXNS: u64 = 1;
 const PID_DISKS: u64 = 2;
 const PID_LOG: u64 = 3;
 const PID_ENGINE: u64 = 4;
+const PID_PROFILE: u64 = 5;
 
 /// Streams [`TraceEvent`]s as a Chrome `trace_event` JSON array.
 pub struct ChromeTraceSink<W: Write> {
@@ -93,6 +97,7 @@ impl<W: Write> ChromeTraceSink<W> {
             (PID_DISKS, "data-disks"),
             (PID_LOG, "log-device"),
             (PID_ENGINE, "engine"),
+            (PID_PROFILE, "profiler"),
         ] {
             sink.write_record(&Record {
                 name: "process_name",
@@ -122,7 +127,7 @@ impl<W: Write> ChromeTraceSink<W> {
             .expect("chrome trace write failed");
     }
 
-    fn map(event: &TraceEvent) -> Record<'static> {
+    fn map(event: &TraceEvent) -> Record<'_> {
         let ts = event.at().as_micros();
         match *event {
             TraceEvent::TxnBegin {
@@ -380,6 +385,27 @@ impl<W: Write> ChromeTraceSink<W> {
                 tid: 0,
                 args: args(|w| {
                     w.bool("entered", entered);
+                }),
+            },
+            TraceEvent::ProfilePhase {
+                ref path,
+                calls,
+                sim_us,
+                alloc_bytes,
+                allocs,
+                ..
+            } => Record {
+                name: path,
+                ph: "C",
+                ts,
+                dur: None,
+                pid: PID_PROFILE,
+                tid: 0,
+                args: args(|w| {
+                    w.u64("calls", calls)
+                        .u64("sim_us", sim_us)
+                        .u64("alloc_bytes", alloc_bytes)
+                        .u64("allocs", allocs);
                 }),
             },
         }

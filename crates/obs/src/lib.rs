@@ -10,7 +10,11 @@
 //!   `disk.3.busy_us`), snapshot/diff and JSON + ASCII-table export;
 //! * [`TraceSink`] + [`TraceEvent`] — typed events stamped in simulated
 //!   time, with a JSONL emitter ([`JsonlSink`]), a flight-recorder ring
-//!   ([`RingBufferSink`]) and a free [`NoopSink`] default.
+//!   ([`RingBufferSink`]) and a free [`NoopSink`] default;
+//! * [`PhaseProfiler`] + [`ProfileReport`] — hierarchical self-cost
+//!   profiles of the engine's hot paths (calls, simulated time, heap
+//!   allocation via [`CountingAlloc`], wall clock), with deterministic
+//!   JSON and folded-stack (flamegraph) export.
 //!
 //! ## Determinism contract
 //!
@@ -26,12 +30,17 @@ mod audit;
 mod chrome;
 mod json;
 mod metrics;
+mod profile;
 mod timeline;
 mod trace;
 
 pub use audit::{milli, AuditKind, AuditSink, CandidateAudit, PlacementAudit, SplitVerdict};
 pub use chrome::ChromeTraceSink;
 pub use metrics::{Histogram, MetricsRegistry, MetricsSnapshot};
+pub use profile::{
+    allocation_counts, CountingAlloc, FoldedMetric, Phase, PhaseProfiler, PhaseStats, PhaseToken,
+    ProfileReport,
+};
 pub use timeline::{Timeline, TimelinePoint, TimelineSample, TimelineSampler};
 pub use trace::{
     shared, FaultOp, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink,

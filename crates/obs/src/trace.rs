@@ -297,6 +297,24 @@ pub enum TraceEvent {
         /// recovering to normal clustering.
         entered: bool,
     },
+    /// End-of-run profiler counters for one phase stack (emitted once
+    /// per stack when `--profile` is on and a sink is attached; renders
+    /// as a Chrome counter event). Wall clock is deliberately absent —
+    /// trace output stays deterministic.
+    ProfilePhase {
+        /// End-of-run simulated time.
+        at: SimTime,
+        /// `;`-joined phase stack (e.g. `run;wal_append;wal_flush`).
+        path: String,
+        /// Times the stack was entered.
+        calls: u64,
+        /// Simulated microseconds of self cost.
+        sim_us: u64,
+        /// Heap bytes requested while the stack was innermost.
+        alloc_bytes: u64,
+        /// Heap allocations while the stack was innermost.
+        allocs: u64,
+    },
 }
 
 impl TraceEvent {
@@ -319,7 +337,8 @@ impl TraceEvent {
             | TraceEvent::IoRetry { at, .. }
             | TraceEvent::LogStall { at, .. }
             | TraceEvent::TxnAbort { at, .. }
-            | TraceEvent::Degrade { at, .. } => at,
+            | TraceEvent::Degrade { at, .. }
+            | TraceEvent::ProfilePhase { at, .. } => at,
         }
     }
 
@@ -343,6 +362,7 @@ impl TraceEvent {
             TraceEvent::LogStall { .. } => "log_stall",
             TraceEvent::TxnAbort { .. } => "txn_abort",
             TraceEvent::Degrade { .. } => "degrade",
+            TraceEvent::ProfilePhase { .. } => "profile_phase",
         }
     }
 
@@ -498,6 +518,20 @@ impl TraceEvent {
             }
             TraceEvent::Degrade { entered, .. } => {
                 w.bool("entered", entered);
+            }
+            TraceEvent::ProfilePhase {
+                ref path,
+                calls,
+                sim_us,
+                alloc_bytes,
+                allocs,
+                ..
+            } => {
+                w.str("path", path)
+                    .u64("calls", calls)
+                    .u64("sim_us", sim_us)
+                    .u64("alloc_bytes", alloc_bytes)
+                    .u64("allocs", allocs);
             }
         }
         w.end();

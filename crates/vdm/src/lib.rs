@@ -43,6 +43,7 @@
 
 mod builder;
 mod db;
+mod dethash;
 mod graph;
 mod id;
 mod inherit;
@@ -55,6 +56,9 @@ mod validate;
 
 pub use builder::{BuildStats, SyntheticDbSpec};
 pub use db::{Database, DbError};
+pub use dethash::{
+    det_map_with_capacity, det_set_with_capacity, DetHashMap, DetHashSet, DetHasher, DetState,
+};
 pub use graph::{GraphError, StructureGraph};
 pub use id::{ObjectId, TypeId};
 pub use inherit::{derive_version, CopyVsRefModel, DerivedVersion, ImplChoice};

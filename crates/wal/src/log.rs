@@ -17,7 +17,7 @@
 
 use crate::recovery::{DurableLog, LogRecord, RecordKind};
 use semcluster_storage::PageId;
-use std::collections::{HashMap, HashSet};
+use semcluster_vdm::{DetHashMap, DetHashSet};
 
 /// Handle of an open transaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -91,7 +91,10 @@ pub struct LogManager {
     cfg: LogConfig,
     buffered: u32,
     next_token: u64,
-    open: HashMap<TxnToken, HashSet<PageId>>,
+    // Fixed-seed hashing: the open-transaction map is mutated inside
+    // the engine's profiled WAL-append phase, so its allocation pattern
+    // must not depend on the thread's random hash seed (DESIGN.md §13).
+    open: DetHashMap<TxnToken, DetHashSet<PageId>>,
     stats: LogStats,
     /// Record retention for recovery testing (None = count-only mode).
     retain: Option<Retention>,
@@ -114,7 +117,7 @@ impl LogManager {
             cfg,
             buffered: 0,
             next_token: 0,
-            open: HashMap::new(),
+            open: DetHashMap::default(),
             stats: LogStats::default(),
             retain: None,
         }
@@ -217,7 +220,7 @@ impl LogManager {
     pub fn begin(&mut self) -> TxnToken {
         let token = TxnToken(self.next_token);
         self.next_token += 1;
-        self.open.insert(token, HashSet::new());
+        self.open.insert(token, DetHashSet::default());
         token
     }
 

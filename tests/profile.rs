@@ -1,0 +1,205 @@
+//! Tier-1 contract of the deterministic phase profiler (DESIGN.md §13):
+//! profiling must never perturb the simulation it measures, its
+//! deterministic counters (calls, simulated time, allocation
+//! accounting) must be byte-identical at any worker-thread count, the
+//! timeline sampler's page-locality fold must stay allocation-free,
+//! and `obs diff` must treat `--threshold` as a strict bound while
+//! attributing regressions to the phases whose counters moved.
+
+use std::hint::black_box;
+
+use semcluster::{run_simulation_observed, ObsConfig, SimConfig, SweepRunner};
+use semcluster_cli::commands::{
+    profile_golden_jobs, report_to_json, DEFAULT_TIMELINE_INTERVAL_US, ZERO_ALLOC_PIN,
+};
+use semcluster_cli::{dispatch, Args};
+use semcluster_obs::allocation_counts;
+use semcluster_workload::StructureDensity;
+
+/// Register the same counting allocator the CLI binary uses, so the
+/// allocation counts asserted below are real measurements, not the
+/// all-zero placeholder of an uninstrumented binary.
+#[global_allocator]
+static ALLOC: semcluster_obs::CountingAlloc = semcluster_obs::CountingAlloc;
+
+fn tiny(seed: u64) -> SimConfig {
+    SimConfig {
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed,
+        ..SimConfig::default()
+    }
+    .with_workload(StructureDensity::Med5, 10.0)
+}
+
+fn parse(tokens: &[&str]) -> Args {
+    Args::parse(tokens.iter().map(|s| s.to_string())).expect("valid flags")
+}
+
+#[test]
+fn counting_allocator_is_registered_and_counts_bytes() {
+    let (bytes_before, allocs_before) = allocation_counts();
+    let v: Vec<u8> = black_box(Vec::with_capacity(4096));
+    let (bytes_after, allocs_after) = allocation_counts();
+    drop(v);
+    assert!(
+        bytes_after - bytes_before >= 4096,
+        "expected the 4 KiB buffer to be counted, got {} bytes",
+        bytes_after - bytes_before
+    );
+    assert!(allocs_after > allocs_before);
+    // Frees must not decrement: the counters measure allocation
+    // pressure, not live heap.
+    let (bytes_final, _) = allocation_counts();
+    assert!(bytes_final >= bytes_after);
+}
+
+/// Profiling on vs off: the simulation result must be byte-identical.
+/// The profiler only ever observes — one drifting counter here would
+/// mean the instrumentation itself changed engine behaviour.
+#[test]
+fn profiler_is_inert() {
+    let (plain, _) = run_simulation_observed(tiny(42), ObsConfig::default());
+    let (profiled, obs) = run_simulation_observed(tiny(42), ObsConfig::default().profile());
+    assert_eq!(report_to_json(&plain), report_to_json(&profiled));
+    let profile = obs.profile.expect("profiling was enabled");
+    assert!(profile.get("run").is_some(), "missing root stack");
+    assert!(
+        profile.get("run;buffer_lookup").is_some(),
+        "missing buffer_lookup stack"
+    );
+}
+
+/// The golden sweep's merged profiles — calls, simulated time and
+/// allocation counts — must not depend on the worker-thread count,
+/// and the page-locality fold must be allocation-free under the real
+/// counting allocator.
+#[test]
+fn profile_is_identical_at_any_thread_count() {
+    let run = |threads: usize| {
+        SweepRunner::new(threads)
+            .with_timeline(DEFAULT_TIMELINE_INTERVAL_US)
+            .with_profile()
+            .run(profile_golden_jobs())
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.items.len(), parallel.items.len());
+    for (a, b) in serial.items.iter().zip(&parallel.items) {
+        let pa = a.profile.as_ref().expect("profiled sweep");
+        let pb = b.profile.as_ref().expect("profiled sweep");
+        assert_eq!(
+            pa.to_json(),
+            pb.to_json(),
+            "job {} profile drifted",
+            a.label
+        );
+        let pin = pa
+            .get(ZERO_ALLOC_PIN)
+            .unwrap_or_else(|| panic!("job {}: no {ZERO_ALLOC_PIN} stack", a.label));
+        assert!(pin.calls > 0, "the page-locality fold never ran");
+        assert_eq!(
+            (pin.alloc_bytes, pin.allocs),
+            (0, 0),
+            "job {}: the page-locality fold allocated",
+            a.label
+        );
+    }
+    let ma = serial.profile.expect("merged profile");
+    let mb = parallel.profile.expect("merged profile");
+    assert_eq!(ma.to_json(), mb.to_json());
+}
+
+/// `simulate --profile` puts only deterministic counters on stdout.
+#[test]
+fn simulate_profile_emits_schema_line() {
+    let out = dispatch(&parse(&[
+        "simulate",
+        "--preset",
+        "low3-5",
+        "--txns",
+        "60",
+        "--buffer-pages",
+        "16",
+        "--profile",
+    ]))
+    .expect("simulate --profile runs");
+    assert!(out.contains("\"profile_schema\":1"));
+    assert!(out.contains("\"run;buffer_lookup\""));
+    assert!(
+        !out.contains("wall_ns"),
+        "wall-clock material leaked onto stdout"
+    );
+}
+
+/// Two synthetic bench-report snapshots whose single shared run moves
+/// from 250 ms to 312.5 ms: exactly +25 % (both values are exact in
+/// binary floating point, so the delta is exactly 25.0).
+fn write_diff_fixtures(dir: &std::path::Path) -> (String, String) {
+    std::fs::create_dir_all(dir).unwrap();
+    let base = dir.join("base.json");
+    let cur = dir.join("cur.json");
+    std::fs::write(
+        &base,
+        concat!(
+            "{\"bench_schema\":2,\"suite\":\"smoke\"}\n",
+            "{\"job\":\"a\",\"rep\":0,\"report\":{\"mean_response_s\":0.250000}}\n",
+            "{\"job\":\"a\",\"phase\":\"run\",\"calls\":2,\"sim_us\":500,\"alloc_bytes\":0,\"allocs\":0}\n",
+            "{\"job\":\"a\",\"phase\":\"run;buffer_lookup\",\"calls\":10,\"sim_us\":100,\"alloc_bytes\":64,\"allocs\":2}\n",
+        ),
+    )
+    .unwrap();
+    std::fs::write(
+        &cur,
+        concat!(
+            "{\"bench_schema\":2,\"suite\":\"smoke\"}\n",
+            "{\"job\":\"a\",\"rep\":0,\"report\":{\"mean_response_s\":0.312500}}\n",
+            "{\"job\":\"a\",\"phase\":\"run\",\"calls\":2,\"sim_us\":500,\"alloc_bytes\":0,\"allocs\":0}\n",
+            "{\"job\":\"a\",\"phase\":\"run;buffer_lookup\",\"calls\":10,\"sim_us\":900,\"alloc_bytes\":4160,\"allocs\":66}\n",
+        ),
+    )
+    .unwrap();
+    (
+        base.to_str().unwrap().to_string(),
+        cur.to_str().unwrap().to_string(),
+    )
+}
+
+#[test]
+fn obs_diff_threshold_is_a_strict_bound() {
+    let dir = std::env::temp_dir().join("semcluster-profile-test-boundary");
+    let (base, cur) = write_diff_fixtures(&dir);
+    // A regression of exactly the threshold passes (the contract is
+    // strictly-greater-than)…
+    let ok = dispatch(&parse(&["obs", "diff", &base, &cur, "--threshold", "25"]))
+        .expect("exactly-at-threshold must pass");
+    assert!(ok.contains("none slower"));
+    // …and an epsilon tighter threshold fails.
+    let err = dispatch(&parse(&[
+        "obs",
+        "diff",
+        &base,
+        &cur,
+        "--threshold",
+        "24.999",
+    ]))
+    .expect_err("above-threshold must fail");
+    assert!(err.contains("REGRESSION"));
+    assert!(err.contains("1 of 1 runs regressed"));
+}
+
+#[test]
+fn obs_diff_attributes_regressions_to_phases() {
+    let dir = std::env::temp_dir().join("semcluster-profile-test-attrib");
+    let (base, cur) = write_diff_fixtures(&dir);
+    let err = dispatch(&parse(&["obs", "diff", &base, &cur]))
+        .expect_err("a +25 % regression fails the default 5 % threshold");
+    // The failure names the phase whose counters moved: buffer_lookup
+    // gained +800 sim_us and +4096 alloc_bytes, `run` moved not at all.
+    assert!(err.contains("top phases"));
+    assert!(err.contains("run;buffer_lookup"));
+    assert!(err.contains("+800"));
+    assert!(err.contains("+4096"));
+}

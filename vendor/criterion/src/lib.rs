@@ -164,7 +164,10 @@ fn run_bench(id: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
     let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
     let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = per_iter.iter().cloned().fold(0.0f64, f64::max);
-    println!(
+    // Wall-clock timings are host facts, not canonical output: keep
+    // them off stdout so bench invocations obey the same stdout
+    // determinism contract as the simulator CLI (DESIGN.md §10).
+    eprintln!(
         "{id:<55} time: [{} {} {}]  ({} samples x {} iters)",
         fmt_time(min),
         fmt_time(mean),
