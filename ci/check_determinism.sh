@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Determinism guard: reject std::collections::HashMap / HashSet in
+# simulation-state crates.
+#
+# The engine's byte-exact golden contract (DESIGN.md §14) requires that
+# every container whose iteration order or allocation pattern can leak
+# into simulation output be deterministic. std's RandomState draws a
+# per-process seed, so a plain HashMap/HashSet in simulation state is a
+# latent nondeterminism bug even when today's code never iterates it —
+# use DetHashMap/DetHashSet (semcluster_vdm::dethash) or an ordered /
+# dense structure instead.
+#
+# Files with a *reviewed* legitimate exception (e.g. membership-only
+# sets whose order provably never leaks) are listed one-per-line in
+# ci/dethash_allowlist.txt, with a comment in the file explaining why.
+#
+# Scope: library sources of the simulation-state crates only. Tests,
+# benches and the vdm crate (which defines the Det wrappers) are out of
+# scope.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+allowlist="ci/dethash_allowlist.txt"
+scope=(
+    crates/core/src
+    crates/buffer/src
+    crates/clustering/src
+    crates/lock/src
+    crates/wal/src
+)
+
+# \bHash(Map|Set)\b matches the std types but not DetHashMap/DetHashSet
+# (no word boundary inside an identifier).
+hits=$(grep -rn --include='*.rs' -E '\bHash(Map|Set)\b' "${scope[@]}" || true)
+
+status=0
+while IFS= read -r hit; do
+    [ -z "$hit" ] && continue
+    file=${hit%%:*}
+    if [ -f "$allowlist" ] && grep -qxF "$file" "$allowlist"; then
+        continue
+    fi
+    if [ "$status" -eq 0 ]; then
+        echo "determinism guard: nondeterministic hash container in simulation state:" >&2
+    fi
+    echo "  $hit" >&2
+    status=1
+done <<<"$hits"
+
+if [ "$status" -ne 0 ]; then
+    echo >&2
+    echo "Use DetHashMap/DetHashSet (semcluster_vdm) or a Vec/BTreeMap instead;" >&2
+    echo "if the use is provably order-safe, add the file to $allowlist with a" >&2
+    echo "justifying comment at the use site." >&2
+    exit 1
+fi
+echo "determinism guard: OK (no raw HashMap/HashSet in simulation state)"

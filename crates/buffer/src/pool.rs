@@ -1,7 +1,7 @@
 //! The buffer pool.
 //!
 //! A fixed number of page frames with pluggable replacement. All three
-//! policies share one ordered index keyed by a 64-bit *retention key*:
+//! policies share one 64-bit *retention key* per frame:
 //!
 //! * **LRU** — key is the logical access tick; the oldest key is evicted.
 //! * **Context-sensitive** — key is a priority: the access tick plus
@@ -11,13 +11,27 @@
 //!   paper wants ("the traditional LRU algorithm could easily choose these
 //!   pages to be replaced").
 //! * **Random** — a uniformly random resident page is evicted.
+//!
+//! ## Data-oriented layout (DESIGN.md §14)
+//!
+//! The pool is three dense arrays: `resident` (slot → page), `frames`
+//! (slot → retention key / dirty / pins, parallel to `resident`) and
+//! `page_slot` (page index → slot, `FREE_SLOT` when non-resident). Lookup
+//! is one array index, touch is one store, and eviction is a linear
+//! min-key scan over at most `capacity` frames — allocation-free and
+//! cache-friendly, replacing the previous `DetHashMap` + `BTreeSet`
+//! ordered index whose node churn dominated the `buffer_lookup` phase.
+//! Victim choice is *provably identical* to the old ordered index: the
+//! first unpinned entry of a `BTreeSet<(key, page)>` in ascending order
+//! is exactly the minimum `(key, page)` over unpinned frames.
 
 use crate::policy::ReplacementPolicy;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use semcluster_storage::PageId;
-use semcluster_vdm::{det_map_with_capacity, DetHashMap};
-use std::collections::BTreeSet;
+
+/// `page_slot` sentinel: the page is not resident.
+const FREE_SLOT: u32 = u32::MAX;
 
 /// Result of requesting a page through the pool.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +76,11 @@ impl BufferStats {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Frame {
     key: u64,
     dirty: bool,
     pins: u32,
-    slot: usize, // position in `resident` for O(1) random eviction
 }
 
 /// A fixed-capacity page buffer with pluggable replacement.
@@ -75,12 +88,14 @@ struct Frame {
 pub struct BufferPool {
     capacity: usize,
     policy: ReplacementPolicy,
-    // Fixed-seed hasher: the frame table's allocation pattern must be
-    // a pure function of the access sequence (DESIGN.md §13), not of
-    // the thread's random hash seed.
-    frames: DetHashMap<PageId, Frame>,
-    order: BTreeSet<(u64, PageId)>,
+    /// Slot → frame state, parallel to `resident`.
+    frames: Vec<Frame>,
+    /// Slot → resident page, maintained by swap-remove on eviction.
     resident: Vec<PageId>,
+    /// Page index → slot (`FREE_SLOT` when non-resident). Grown by
+    /// [`BufferPool::ensure_page_capacity`] (callers should pre-grow
+    /// outside hot loops) or on demand when an unseen page id arrives.
+    page_slot: Vec<u32>,
     tick: u64,
     boost_amount: u64,
     rng: SmallRng,
@@ -95,15 +110,34 @@ impl BufferPool {
         BufferPool {
             capacity,
             policy,
-            frames: det_map_with_capacity(capacity),
-            order: BTreeSet::new(),
+            frames: Vec::with_capacity(capacity),
             resident: Vec::with_capacity(capacity),
+            page_slot: Vec::new(),
             tick: 0,
             // Default boost: half the pool's worth of ticks. Related pages
             // outlive roughly capacity/2 unrelated faults.
             boost_amount: (capacity as u64 / 2).max(1),
             rng: SmallRng::seed_from_u64(seed),
             stats: BufferStats::default(),
+        }
+    }
+
+    /// Grow the page → slot index to cover `pages` page ids. Call from
+    /// outside hot loops whenever the database may have grown; admitting
+    /// an uncovered page id still works (the index self-grows) but that
+    /// growth is then attributed to whatever phase it happens in.
+    pub fn ensure_page_capacity(&mut self, pages: usize) {
+        if self.page_slot.len() < pages {
+            self.page_slot.resize(pages, FREE_SLOT);
+        }
+    }
+
+    /// Slot of `page`, or `None` when non-resident.
+    #[inline]
+    fn slot_of(&self, page: PageId) -> Option<usize> {
+        match self.page_slot.get(page.index()) {
+            Some(&s) if s != FREE_SLOT => Some(s as usize),
+            _ => None,
         }
     }
 
@@ -134,7 +168,7 @@ impl BufferPool {
 
     /// Whether `page` is resident.
     pub fn contains(&self, page: PageId) -> bool {
-        self.frames.contains_key(&page)
+        self.slot_of(page).is_some()
     }
 
     /// Resident pages, unordered.
@@ -156,9 +190,9 @@ impl BufferPool {
     pub fn access(&mut self, page: PageId) -> Access {
         self.tick += 1;
         self.stats.requests += 1;
-        if self.frames.contains_key(&page) {
+        if let Some(slot) = self.slot_of(page) {
             self.stats.hits += 1;
-            self.touch(page);
+            self.touch(slot);
             Access::Hit
         } else {
             self.stats.misses += 1;
@@ -171,7 +205,7 @@ impl BufferPool {
     /// key as a direct access). Returns a dirty write-back if eviction was
     /// needed, and `None` in that slot when the page was already resident.
     pub fn prefetch(&mut self, page: PageId) -> Option<PageId> {
-        if self.frames.contains_key(&page) {
+        if self.contains(page) {
             self.boost(page);
             return None;
         }
@@ -188,16 +222,13 @@ impl BufferPool {
         if self.policy != ReplacementPolicy::ContextSensitive {
             return;
         }
-        let Some(frame) = self.frames.get(&page) else {
+        let Some(slot) = self.slot_of(page) else {
             return;
         };
         self.stats.boosts += 1;
         let new_key = self.tick + self.boost_amount;
-        if new_key > frame.key {
-            let old_key = frame.key;
-            self.order.remove(&(old_key, page));
-            self.order.insert((new_key, page));
-            self.frames.get_mut(&page).expect("resident").key = new_key;
+        if new_key > self.frames[slot].key {
+            self.frames[slot].key = new_key;
         }
     }
 
@@ -206,7 +237,7 @@ impl BufferPool {
     /// a dirty page written back to make room, if eviction was needed.
     /// No-op returning `None` when the page is already resident.
     pub fn install(&mut self, page: PageId) -> Option<PageId> {
-        if self.frames.contains_key(&page) {
+        if self.contains(page) {
             return None;
         }
         self.tick += 1;
@@ -223,9 +254,9 @@ impl BufferPool {
         match self.policy {
             ReplacementPolicy::ContextSensitive => self.boost(page),
             ReplacementPolicy::Lru => {
-                if self.frames.contains_key(&page) {
+                if let Some(slot) = self.slot_of(page) {
                     self.stats.boosts += 1;
-                    self.touch(page);
+                    self.touch(slot);
                 }
             }
             ReplacementPolicy::Random => {}
@@ -235,20 +266,22 @@ impl BufferPool {
     /// Mark a resident page dirty (no-op when not resident — the caller
     /// should have accessed it first).
     pub fn mark_dirty(&mut self, page: PageId) {
-        if let Some(f) = self.frames.get_mut(&page) {
-            f.dirty = true;
+        if let Some(slot) = self.slot_of(page) {
+            self.frames[slot].dirty = true;
         }
     }
 
     /// Whether a resident page is dirty.
     pub fn is_dirty(&self, page: PageId) -> bool {
-        self.frames.get(&page).map(|f| f.dirty).unwrap_or(false)
+        self.slot_of(page)
+            .map(|s| self.frames[s].dirty)
+            .unwrap_or(false)
     }
 
     /// Clean a page after an explicit flush (checkpoint, commit force).
     pub fn mark_clean(&mut self, page: PageId) {
-        if let Some(f) = self.frames.get_mut(&page) {
-            f.dirty = false;
+        if let Some(slot) = self.slot_of(page) {
+            self.frames[slot].dirty = false;
         }
     }
 
@@ -256,9 +289,9 @@ impl BufferPool {
     /// victims. Returns `false` when the page is not resident. Pins
     /// nest; match every pin with an [`BufferPool::unpin`].
     pub fn pin(&mut self, page: PageId) -> bool {
-        match self.frames.get_mut(&page) {
-            Some(f) => {
-                f.pins += 1;
+        match self.slot_of(page) {
+            Some(slot) => {
+                self.frames[slot].pins += 1;
                 true
             }
             None => false,
@@ -271,25 +304,24 @@ impl BufferPool {
     /// Panics when the page is not resident or not pinned — an unmatched
     /// unpin is always a caller bug.
     pub fn unpin(&mut self, page: PageId) {
-        let f = self
-            .frames
-            .get_mut(&page)
-            .expect("unpin of a non-resident page");
+        let slot = self.slot_of(page).expect("unpin of a non-resident page");
+        let f = &mut self.frames[slot];
         assert!(f.pins > 0, "unpin without a matching pin");
         f.pins -= 1;
     }
 
     /// Current pin count of a page (0 when not resident).
     pub fn pin_count(&self, page: PageId) -> u32 {
-        self.frames.get(&page).map(|f| f.pins).unwrap_or(0)
+        self.slot_of(page).map(|s| self.frames[s].pins).unwrap_or(0)
     }
 
     /// All dirty resident pages (for shutdown flushes).
     pub fn dirty_pages(&self) -> Vec<PageId> {
         self.resident
             .iter()
-            .copied()
-            .filter(|p| self.is_dirty(*p))
+            .enumerate()
+            .filter(|&(s, _)| self.frames[s].dirty)
+            .map(|(_, &p)| p)
             .collect()
     }
 
@@ -301,36 +333,33 @@ impl BufferPool {
         }
     }
 
-    fn touch(&mut self, page: PageId) {
-        let frame = self.frames.get(&page).expect("touch on resident page");
+    fn touch(&mut self, slot: usize) {
+        let frame = &mut self.frames[slot];
         let new_key = match self.policy {
             // Recency update; context-sensitive keeps the larger of the
             // boosted key and the recency key.
             ReplacementPolicy::ContextSensitive => frame.key.max(self.tick),
             _ => self.tick,
         };
-        if new_key != frame.key {
-            let old_key = frame.key;
-            self.order.remove(&(old_key, page));
-            self.order.insert((new_key, page));
-            self.frames.get_mut(&page).expect("resident").key = new_key;
-        }
+        frame.key = new_key;
     }
 
     /// Insert a non-resident page, evicting if needed. Returns the dirty
     /// page written back, if eviction hit one.
     fn admit(&mut self, page: PageId, key: u64) -> Option<PageId> {
-        debug_assert!(!self.frames.contains_key(&page));
+        debug_assert!(!self.contains(page));
         let mut write_back = None;
         if self.resident.len() == self.capacity {
-            let victim = self.pick_victim();
-            let frame = self.frames.remove(&victim).expect("victim is resident");
-            self.order.remove(&(frame.key, victim));
-            // O(1) removal from the resident vector.
-            let last = *self.resident.last().expect("non-empty");
-            self.resident.swap_remove(frame.slot);
-            if last != victim {
-                self.frames.get_mut(&last).expect("resident").slot = frame.slot;
+            let victim_slot = self.pick_victim_slot();
+            let victim = self.resident[victim_slot];
+            let frame = self.frames[victim_slot];
+            self.page_slot[victim.index()] = FREE_SLOT;
+            // O(1) removal: the last frame moves into the vacated slot.
+            self.resident.swap_remove(victim_slot);
+            self.frames.swap_remove(victim_slot);
+            if victim_slot < self.resident.len() {
+                let moved = self.resident[victim_slot];
+                self.page_slot[moved.index()] = victim_slot as u32;
             }
             self.stats.evictions += 1;
             if frame.dirty {
@@ -340,37 +369,47 @@ impl BufferPool {
         }
         let slot = self.resident.len();
         self.resident.push(page);
-        self.frames.insert(
-            page,
-            Frame {
-                key,
-                dirty: false,
-                pins: 0,
-                slot,
-            },
-        );
-        self.order.insert((key, page));
+        self.frames.push(Frame {
+            key,
+            dirty: false,
+            pins: 0,
+        });
+        self.ensure_page_capacity(page.index() + 1);
+        self.page_slot[page.index()] = slot as u32;
         write_back
     }
 
-    /// Pick an unpinned victim.
+    /// Pick an unpinned victim slot.
     ///
     /// # Panics
     /// Panics when every frame is pinned — the pool cannot make progress
     /// and the caller has a pin leak.
-    fn pick_victim(&mut self) -> PageId {
+    fn pick_victim_slot(&mut self) -> usize {
         match self.policy {
-            ReplacementPolicy::Lru | ReplacementPolicy::ContextSensitive => self
-                .order
-                .iter()
-                .map(|&(_, page)| page)
-                .find(|&page| self.frames[&page].pins == 0)
-                .expect("every frame is pinned"),
+            ReplacementPolicy::Lru | ReplacementPolicy::ContextSensitive => {
+                // Minimum (key, page) over unpinned frames — identical to
+                // the first unpinned entry of an ascending ordered index.
+                let mut best: Option<(u64, PageId, usize)> = None;
+                for (slot, frame) in self.frames.iter().enumerate() {
+                    if frame.pins != 0 {
+                        continue;
+                    }
+                    let page = self.resident[slot];
+                    let better = match best {
+                        Some((bk, bp, _)) => (frame.key, page) < (bk, bp),
+                        None => true,
+                    };
+                    if better {
+                        best = Some((frame.key, page, slot));
+                    }
+                }
+                best.expect("every frame is pinned").2
+            }
             ReplacementPolicy::Random => {
                 let start = self.rng.gen_range(0..self.resident.len());
                 (0..self.resident.len())
-                    .map(|off| self.resident[(start + off) % self.resident.len()])
-                    .find(|&page| self.frames[&page].pins == 0)
+                    .map(|off| (start + off) % self.resident.len())
+                    .find(|&slot| self.frames[slot].pins == 0)
                     .expect("every frame is pinned")
             }
         }

@@ -26,8 +26,8 @@ USAGE:
                          [--replacement lru|random|ctx]
                          [--prefetch none|buffer|db]
                          [--split none|linear|np]
-                         [--buffer-pages N] [--reps N] [--jobs N]
-                         [--seed N] [--json]
+                         [--buffer-pages N] [--paper-scale]
+                         [--reps N] [--jobs N] [--seed N] [--json]
                          [--faults none|smoke|degraded|stress]
                          [--trace out.jsonl] [--chrome-trace out.json]
                          [--timeline out.json] [--timeline-interval-us N]
@@ -43,6 +43,8 @@ USAGE:
   semclusterctl golden   [--bless] [--suite smoke|faults|timeline|profile]
                          [--path FILE] [--jobs N]
   semclusterctl bench-report [--out FILE] [--jobs N]
+                         [--suite smoke|full] [--folded FILE]
+                         [--folded-metric wall_ns|sim_us|alloc_bytes|allocs|calls]
   semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
   semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
                          [--jobs N] [--json]
@@ -83,11 +85,18 @@ USAGE:
   sweep; --suite timeline runs the timeline-sampled sweep against
   goldens/timeline_smoke.json; --suite profile runs the profiled sweep
   against goldens/profile_smoke.json, pinning per-phase call and
-  allocation counts — including that the page-locality fold stays
-  allocation-free.
+  allocation counts — including that every arena-backed hot-path leaf
+  (page-locality fold, placement scoring, buffer lookup, event-queue
+  pop) stays allocation-free.
+  simulate --paper-scale starts from the paper's unscaled Table 4.1
+  configuration (500 MB database, 1000 buffer pages, ≈1.6 M objects)
+  instead of the proportionally scaled default; other flags still
+  apply on top.
   bench-report runs the fixed smoke sweep and writes a schema-stable
   BENCH_<n>.json perf snapshot (simulated-time stats only; wall clock
-  goes to stderr), including a per-phase profile section. obs diff
+  goes to stderr), including a per-phase profile section; --suite full
+  appends the two paper-scale jobs CI's full-scale perf wall runs, and
+  --folded writes the sweep-wide folded stacks. obs diff
   compares two such snapshots run-by-run and exits 1 if any run's mean
   response regressed beyond --threshold (default 5 %), attributing each
   regression to the phases with the largest simulated-time and
@@ -148,7 +157,14 @@ pub fn parse_split(v: &str) -> Result<SplitPolicy, String> {
 
 /// Build a `SimConfig` from flags.
 pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
-    let mut cfg = SimConfig::default();
+    // `--paper-scale` starts from the unscaled Table 4.1 configuration
+    // (500 MB database, 1000 buffer pages) instead of the proportionally
+    // scaled default; every other flag still applies on top.
+    let mut cfg = if args.flag("paper-scale") {
+        SimConfig::paper_scale()
+    } else {
+        SimConfig::default()
+    };
     // `--preset` is an alias for `--workload`.
     if let Some(label) = args.get("workload").or_else(|| args.get("preset")) {
         cfg.workload =
@@ -864,19 +880,22 @@ pub fn faults_golden_jobs() -> Vec<SweepJob> {
 /// snapshot. Byte-identical at any `--jobs` count; the returned
 /// [`SweepSummary`] is host wall-clock material (stderr only).
 fn golden_render(jobs: Vec<SweepJob>, threads: usize) -> Result<(String, SweepSummary), String> {
-    sweep_render(jobs, threads, false)
+    let (body, summary, _) = sweep_render(jobs, threads, false)?;
+    Ok((body, summary))
 }
 
 /// Shared renderer behind [`golden_render`] and `bench-report`. With
 /// `profile` set the sweep runs under the phase profiler and each job's
 /// report lines are followed by one flat line per profiled stack —
 /// deterministic counters only, so the profile section is as
-/// thread-count-independent as the reports themselves.
+/// thread-count-independent as the reports themselves. The third
+/// return is the sweep-wide merged profile (None without `profile`),
+/// which `bench-report --folded` exports as flamegraph input.
 fn sweep_render(
     jobs: Vec<SweepJob>,
     threads: usize,
     profile: bool,
-) -> Result<(String, SweepSummary), String> {
+) -> Result<(String, SweepSummary, Option<ProfileReport>), String> {
     let mut runner = SweepRunner::new(threads);
     if profile {
         runner = runner.with_profile();
@@ -905,7 +924,7 @@ fn sweep_render(
         }
     }
     out.push_str(&format!("{{\"metrics\":{}}}\n", outcome.metrics.to_json()));
-    Ok((out, outcome.summary))
+    Ok((out, outcome.summary, outcome.profile))
 }
 
 /// One flat JSON line per profiled stack, tagged with the job label.
@@ -1022,11 +1041,27 @@ fn timeline_golden_render(threads: usize) -> Result<String, String> {
 /// Committed golden of the profiled sweep (`golden --suite profile`).
 pub const PROFILE_GOLDEN_PATH: &str = "goldens/profile_smoke.json";
 
-/// The stack whose allocation count the profile golden pins to zero:
-/// the resident-page locality fold sampled into every timeline point.
-/// It runs on every sample tick over the whole resident set, so a
-/// stray allocation here multiplies across a sweep.
-pub const ZERO_ALLOC_PIN: &str = "run;timeline_sample;page_locality";
+/// Leaf phases whose allocation counters the profile golden pins to
+/// zero. A stack is pinned when its last `;`-separated segment names
+/// one of these, so both `run;buffer_lookup` and the nested
+/// `run;placement_score;buffer_lookup` are covered. These are the
+/// engine's per-event inner loops — the page-locality fold, placement
+/// candidate scoring, buffer-pool frame lookup and the event-queue pop
+/// — where a stray allocation multiplies across every simulated event
+/// of a sweep. (`timeline_sample` itself is deliberately not pinned:
+/// each retained sample stores a queue-delay vector by design.)
+pub const ZERO_ALLOC_PIN_LEAVES: &[&str] = &[
+    "page_locality",
+    "placement_score",
+    "buffer_lookup",
+    "event_pop",
+];
+
+/// Whether a profiler stack path ends in one of the pinned leaf phases.
+pub fn is_zero_alloc_pinned(path: &str) -> bool {
+    let leaf = path.rsplit(';').next().unwrap_or(path);
+    ZERO_ALLOC_PIN_LEAVES.contains(&leaf)
+}
 
 /// The fixed profiled sweep behind `golden --suite profile`: three tiny
 /// configurations chosen to exercise every instrumented phase —
@@ -1080,8 +1115,8 @@ pub fn profile_golden_jobs() -> Vec<SweepJob> {
 /// one flat line per (job, stack) with the merged per-phase counters.
 /// Wall-clock nanoseconds never enter the rendering, so the output is
 /// a pure function of the engine and byte-identical at any `--jobs`
-/// count. Hard-fails — before any golden comparison — if the
-/// page-locality fold allocated at all.
+/// count. Hard-fails — before any golden comparison — if any pinned
+/// hot-path leaf phase allocated at all, or never ran.
 fn profile_golden_render(threads: usize) -> Result<String, String> {
     let outcome = SweepRunner::new(threads)
         .with_timeline(DEFAULT_TIMELINE_INTERVAL_US)
@@ -1096,22 +1131,28 @@ fn profile_golden_render(threads: usize) -> Result<String, String> {
             .profile
             .as_ref()
             .ok_or_else(|| format!("profile sweep: job {} produced no profile", item.label))?;
-        match profile.get(ZERO_ALLOC_PIN) {
-            None => {
+        for leaf in ZERO_ALLOC_PIN_LEAVES {
+            let mut seen = false;
+            for (path, s) in profile.phases() {
+                if path.rsplit(';').next() != Some(*leaf) {
+                    continue;
+                }
+                seen = true;
+                if s.alloc_bytes != 0 || s.allocs != 0 {
+                    return Err(format!(
+                        "profile sweep: job {}: stack {path} allocated {} bytes \
+                         over {} allocations; the {leaf} phase is pinned allocation-free",
+                        item.label, s.alloc_bytes, s.allocs
+                    ));
+                }
+            }
+            if !seen {
                 return Err(format!(
-                    "profile sweep: job {} never entered the {ZERO_ALLOC_PIN} stack \
-                     (timeline sampling off, or the instrumentation moved?)",
+                    "profile sweep: job {} never entered a {leaf} stack \
+                     (phase disabled, or the instrumentation moved?)",
                     item.label
-                ))
+                ));
             }
-            Some(s) if s.alloc_bytes != 0 => {
-                return Err(format!(
-                    "profile sweep: job {}: stack {ZERO_ALLOC_PIN} allocated {} bytes \
-                     over {} allocations; the page-locality fold is pinned allocation-free",
-                    item.label, s.alloc_bytes, s.allocs
-                ))
-            }
-            Some(_) => {}
         }
         out.push_str(&profile_lines(&item.label, profile));
     }
@@ -1217,6 +1258,44 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
     ))
 }
 
+/// The paper-scale sweep behind `bench-report --suite full` and the CI
+/// `full-scale` job: Table 4.1's static parameters verbatim — a 500 MB
+/// database (~1.6 M synthetic objects) under a 1000-page buffer pool —
+/// run once per configuration with fixed seeds. Two configurations
+/// bracket the paper's headline comparison: the unclustered LRU
+/// baseline and the full semantic stack (no-limit clustering,
+/// context-sensitive replacement, within-buffer prefetch, linear
+/// splitting).
+pub fn full_scale_jobs() -> Vec<SweepJob> {
+    let paper = |seed: u64| SimConfig {
+        workload: workload_from_label("med5-10").expect("known workload label"),
+        seed,
+        ..SimConfig::paper_scale()
+    };
+    vec![
+        SweepJob::new(
+            "full-baseline",
+            SimConfig {
+                clustering: ClusteringPolicy::NoCluster,
+                split: SplitPolicy::NoSplit,
+                ..paper(7100)
+            },
+            1,
+        ),
+        SweepJob::new(
+            "full-clustered",
+            SimConfig {
+                clustering: ClusteringPolicy::NoLimit,
+                replacement: ReplacementPolicy::ContextSensitive,
+                prefetch: PrefetchScope::WithinBuffer,
+                split: SplitPolicy::Linear,
+                ..paper(7200)
+            },
+            1,
+        ),
+    ]
+}
+
 /// First free `BENCH_<n>.json` path in `dir`, counting up from 1.
 fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
     (1u64..)
@@ -1232,23 +1311,57 @@ fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
 /// with `obs diff`. Host wall-clock goes to stderr.
 pub fn cmd_bench_report(args: &Args) -> Result<String, String> {
     let jobs: usize = args.get_parsed("jobs", 0)?;
+    let suite = args.get("suite").unwrap_or("smoke");
+    // `--suite full` appends the paper-scale jobs to the smoke sweep:
+    // the smoke rows keep the snapshot joinable (`obs diff`) against
+    // historical BENCH_<n> trajectory points, while the full-scale rows
+    // are what the CI perf wall compares between baseline and PR.
+    let sweep = match suite {
+        "smoke" => golden_jobs(),
+        "full" => {
+            let mut s = golden_jobs();
+            s.extend(full_scale_jobs());
+            s
+        }
+        other => {
+            return Err(format!(
+                "bench-report: unknown suite {other:?} (expected smoke or full)"
+            ))
+        }
+    };
     // Schema 2 adds flat per-(job, stack) profile lines after each
     // job's report lines; `obs diff` reads them for regression
     // attribution and schema-1 readers skip them (no mean_response_s).
-    let (body, summary) = sweep_render(golden_jobs(), jobs, true)?;
-    let content = format!("{{\"bench_schema\":2,\"suite\":\"smoke\"}}\n{body}");
+    let (body, summary, profile) = sweep_render(sweep, jobs, true)?;
+    let content = format!("{{\"bench_schema\":2,\"suite\":{suite:?}}}\n{body}");
     let path = match args.get("out") {
         Some(p) => std::path::PathBuf::from(p),
         None => next_bench_path(std::path::Path::new(".")),
     };
     std::fs::write(&path, &content)
         .map_err(|e| format!("bench-report: cannot write {}: {e}", path.display()))?;
-    eprintln!("{}", summary.render());
-    Ok(format!(
+    let mut out = format!(
         "bench report written to {} ({} reports)\n",
         path.display(),
         body.lines().count() - 1
-    ))
+    );
+    if let Some(folded_path) = args.get("folded") {
+        let metric = match args.get("folded-metric") {
+            None => FoldedMetric::SimUs,
+            Some(m) => FoldedMetric::parse(m).ok_or_else(|| {
+                format!(
+                    "--folded-metric: expected wall_ns, sim_us, alloc_bytes, allocs or calls, \
+                     got {m:?}"
+                )
+            })?,
+        };
+        let profile = profile.ok_or("bench-report: sweep produced no merged profile")?;
+        std::fs::write(folded_path, profile.folded(metric))
+            .map_err(|e| format!("--folded {folded_path}: cannot write file: {e}"))?;
+        out.push_str(&format!("folded stacks written to {folded_path}\n"));
+    }
+    eprintln!("{}", summary.render());
+    Ok(out)
 }
 
 /// Extract a `"key":"value"` string field from a single JSON line.
@@ -1564,6 +1677,19 @@ mod tests {
         assert!(config_from_args(&parse("simulate --workload nope")).is_err());
         assert!(config_from_args(&parse("simulate --clustering nope")).is_err());
         assert!(dispatch(&parse("frobnicate")).is_err());
+        assert!(dispatch(&parse("bench-report --suite nope")).is_err());
+    }
+
+    #[test]
+    fn paper_scale_flag_starts_from_table_4_1() {
+        let cfg = config_from_args(&parse("simulate --paper-scale --preset med5-10")).unwrap();
+        let paper = SimConfig::paper_scale();
+        assert_eq!(cfg.buffer_pages, paper.buffer_pages);
+        assert_eq!(cfg.database_bytes, paper.database_bytes);
+        assert_eq!(cfg.workload.label(), "med5-10");
+        // Other flags still override the paper values.
+        let cfg = config_from_args(&parse("simulate --paper-scale --buffer-pages 64")).unwrap();
+        assert_eq!(cfg.buffer_pages, 64);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! placement is the total weight of arcs it leaves crossing page
 //! boundaries.
 
+use crate::arena::{sort_scored, ScoreScratch};
 use crate::config::HintPolicy;
 use semcluster_buffer::AccessHint;
 use semcluster_storage::{PageId, StorageManager};
@@ -147,6 +148,90 @@ pub fn candidate_pages(
     out
 }
 
+/// Allocation-free [`weighted_neighbors`]: folds arc weights through the
+/// dense accumulator in `scratch` and leaves the sorted result in
+/// `scratch.direct`. Bit-for-bit equivalent to the map-based reference
+/// (see the determinism contract in [`crate::arena`]).
+pub fn weighted_neighbors_in(
+    db: &Database,
+    model: &WeightModel,
+    object: ObjectId,
+    scratch: &mut ScoreScratch,
+) {
+    scratch.direct.clear();
+    let Ok(freqs) = db.frequencies_of(object) else {
+        return;
+    };
+    scratch.obj.begin();
+    let ScoreScratch { obj, direct, .. } = scratch;
+    db.graph().for_each_related(object, |kind, dir, other| {
+        let base = freqs.weight(kind, dir);
+        let w = model.arc_weight(kind, base);
+        obj.add(direct, other.index(), other, w);
+        true
+    });
+    sort_scored(&mut scratch.direct);
+}
+
+/// Allocation-free [`extended_neighbors`]: reads the direct neighbours
+/// already in `scratch.direct` (fill with [`weighted_neighbors_in`]
+/// first) and leaves the sorted two-hop neighbourhood in
+/// `scratch.extended`.
+pub fn extended_neighbors_in(
+    db: &Database,
+    model: &WeightModel,
+    object: ObjectId,
+    scratch: &mut ScoreScratch,
+) {
+    scratch.extended.clear();
+    scratch.obj.begin();
+    let ScoreScratch {
+        obj,
+        direct,
+        extended,
+        ..
+    } = scratch;
+    // Seed with the direct neighbours (sorted order — the same insertion
+    // order the reference's `collect()` sees).
+    for &(id, w) in direct.iter() {
+        obj.add(extended, id.index(), id, w);
+    }
+    for &(hop, w1) in direct.iter() {
+        let Ok(freqs) = db.frequencies_of(hop) else {
+            continue;
+        };
+        db.graph().for_each_related(hop, |kind, dir, two| {
+            if two == object {
+                return true;
+            }
+            let w2 = model.arc_weight(kind, freqs.weight(kind, dir));
+            obj.add(extended, two.index(), two, TWO_HOP_DECAY * w1.min(w2));
+            true
+        });
+    }
+    sort_scored(extended);
+}
+
+/// Allocation-free [`candidate_pages`]: scores the pages holding the
+/// extended neighbourhood already in `scratch.extended` and leaves the
+/// sorted candidates in `scratch.pages`.
+pub fn candidate_pages_in(store: &StorageManager, scratch: &mut ScoreScratch) {
+    scratch.pages.clear();
+    scratch.page.begin();
+    let ScoreScratch {
+        page: acc,
+        extended,
+        pages,
+        ..
+    } = scratch;
+    for &(obj, w) in extended.iter() {
+        if let Some(page) = store.page_of(obj) {
+            acc.add(pages, page.index(), page, w);
+        }
+    }
+    sort_scored(pages);
+}
+
 /// Expected access cost of having `object` on `page`: total arc weight to
 /// related objects *not* co-resident on `page`. Lower is better.
 pub fn placement_cost(store: &StorageManager, neighbors: &[(ObjectId, f64)], page: PageId) -> f64 {
@@ -250,6 +335,27 @@ mod tests {
         assert!((cands[0].1 - 5.0).abs() < 1e-12); // 3 + 2
         assert_eq!(cands.len(), 2);
         let _ = corr;
+    }
+
+    #[test]
+    fn scratch_scoring_matches_reference() {
+        let (db, mut store, x, [comp, parent, _]) = fixture();
+        let shared = store.allocate_page();
+        store.move_object(comp, shared).unwrap();
+        store.move_object(parent, shared).unwrap();
+        let model = WeightModel::with_hint(AccessHint::ByConfiguration);
+        let mut scratch = ScoreScratch::new();
+        for probe in [x, comp, parent] {
+            weighted_neighbors_in(&db, &model, probe, &mut scratch);
+            assert_eq!(scratch.direct, weighted_neighbors(&db, &model, probe));
+            extended_neighbors_in(&db, &model, probe, &mut scratch);
+            assert_eq!(scratch.extended, extended_neighbors(&db, &model, probe));
+            candidate_pages_in(&store, &mut scratch);
+            assert_eq!(
+                scratch.pages,
+                candidate_pages(&store, &extended_neighbors(&db, &model, probe))
+            );
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod arena;
 mod config;
 mod cost;
 mod locality;
@@ -28,20 +29,21 @@ mod placement;
 mod recluster;
 mod split;
 
+pub use arena::ScoreScratch;
 pub use config::{ClusteringPolicy, HintPolicy, SplitPolicy};
 pub use cost::{
-    candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel,
-    HINT_MULTIPLIER, TWO_HOP_DECAY,
+    candidate_pages, candidate_pages_in, extended_neighbors, extended_neighbors_in, placement_cost,
+    weighted_neighbors, weighted_neighbors_in, WeightModel, HINT_MULTIPLIER, TWO_HOP_DECAY,
 };
 pub use locality::page_locality;
 pub use offline::{broken_arc_weight, static_recluster, ReorgReport};
 pub use placement::{
-    execute_placement, plan_placement, AllResident, ExaminedCandidate, PlacementPlan,
-    PlacementTarget, ResidencyView, MAX_EXAMINED,
+    execute_placement, plan_placement, plan_placement_in, AllResident, ExaminedCandidate,
+    PlacementPlan, PlacementTarget, ResidencyView, MAX_EXAMINED,
 };
 pub use recluster::{
-    consider_split, execute_split, plan_recluster, ReclusterPlan, SplitOutcome, SplitPlan,
-    SPLIT_OVERHEAD_WEIGHT,
+    consider_split, execute_split, plan_recluster, plan_recluster_in, ReclusterPlan, SplitOutcome,
+    SplitPlan, SPLIT_OVERHEAD_WEIGHT,
 };
 pub use split::{
     build_dependency_graph, linear_split, optimal_split, DependencyGraph, Partition, SplitError,

@@ -14,8 +14,9 @@
 //! candidate-page reads flow through the buffer manager and get charged to
 //! the writer's response time.
 
+use crate::arena::ScoreScratch;
 use crate::config::ClusteringPolicy;
-use crate::cost::{candidate_pages, extended_neighbors, weighted_neighbors, WeightModel};
+use crate::cost::{candidate_pages_in, extended_neighbors_in, weighted_neighbors_in, WeightModel};
 use semcluster_buffer::BufferPool;
 use semcluster_storage::{PageId, StorageError, StorageManager};
 use semcluster_vdm::{Database, ObjectId};
@@ -86,6 +87,9 @@ pub struct PlacementPlan {
 }
 
 /// Rank candidates and find a home for `object` of `size` bytes.
+///
+/// Convenience wrapper over [`plan_placement_in`] with throwaway scratch;
+/// hot paths should own a [`ScoreScratch`] and call the `_in` variant.
 pub fn plan_placement(
     db: &Database,
     store: &StorageManager,
@@ -95,31 +99,62 @@ pub fn plan_placement(
     object: ObjectId,
     size: u32,
 ) -> PlacementPlan {
+    let mut scratch = ScoreScratch::new();
+    plan_placement_in(
+        db,
+        store,
+        residency,
+        policy,
+        model,
+        object,
+        size,
+        &mut scratch,
+    )
+}
+
+/// Rank candidates and find a home for `object` of `size` bytes, using
+/// `scratch` for every intermediate — the only allocation-visible state
+/// is the plan's `examined` list, which is recycled from `scratch` and
+/// should be handed back with [`ScoreScratch::put_examined`] once the
+/// plan has been consumed.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_placement_in(
+    db: &Database,
+    store: &StorageManager,
+    residency: &impl ResidencyView,
+    policy: ClusteringPolicy,
+    model: &WeightModel,
+    object: ObjectId,
+    size: u32,
+    scratch: &mut ScoreScratch,
+) -> PlacementPlan {
     let mut plan = PlacementPlan {
         target: PlacementTarget::Append,
         preferred_full: None,
         preferred_full_affinity: 0.0,
         search_ios: 0,
-        examined: Vec::new(),
+        examined: scratch.take_examined(),
         chosen_affinity: 0.0,
     };
     if !policy.clusters() {
         return plan;
     }
-    let neighbors = weighted_neighbors(db, model, object);
-    if neighbors.is_empty() {
+    weighted_neighbors_in(db, model, object, scratch);
+    if scratch.direct.is_empty() {
         return plan;
     }
     // Candidates come from the extended (two-hop) cluster neighbourhood;
     // exploring it is what the I/O budget pays for.
-    let candidates = extended_neighbors(db, model, object);
+    extended_neighbors_in(db, model, object, scratch);
+    candidate_pages_in(store, scratch);
     // The search *examines* every candidate page it may touch — reading
     // each non-resident one (that is the cost the I/O limit bounds) — and
     // places on the best-affinity examined page with room. Examination is
     // capped at MAX_EXAMINED pages even under No_limit, mirroring a real
     // implementation's sanity bound.
     let mut io_budget = policy.io_budget();
-    for (page, affinity) in candidate_pages(store, &candidates) {
+    for i in 0..scratch.pages.len() {
+        let (page, affinity) = scratch.pages[i];
         if plan.examined.len() >= MAX_EXAMINED {
             break;
         }

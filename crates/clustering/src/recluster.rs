@@ -9,9 +9,10 @@
 //!   run-time reclustering algorithm re-evaluates its placement and moves
 //!   it if the expected-cost improvement clears a threshold.
 
+use crate::arena::ScoreScratch;
 use crate::config::{ClusteringPolicy, SplitPolicy};
 use crate::cost::{
-    candidate_pages, extended_neighbors, placement_cost, weighted_neighbors, WeightModel,
+    candidate_pages_in, extended_neighbors_in, placement_cost, weighted_neighbors_in, WeightModel,
 };
 use crate::placement::{ExaminedCandidate, ResidencyView};
 use crate::split::{build_dependency_graph, linear_split, optimal_split, Partition};
@@ -140,6 +141,9 @@ pub struct ReclusterPlan {
 /// changed. Returns a move when a candidate page (reachable under
 /// `policy`'s I/O budget) improves expected access cost by more than
 /// `min_gain` and has room.
+///
+/// Convenience wrapper over [`plan_recluster_in`] with throwaway scratch;
+/// hot paths should own a [`ScoreScratch`] and call the `_in` variant.
 pub fn plan_recluster(
     db: &Database,
     store: &StorageManager,
@@ -148,6 +152,33 @@ pub fn plan_recluster(
     model: &WeightModel,
     object: ObjectId,
     min_gain: f64,
+) -> Option<ReclusterPlan> {
+    let mut scratch = ScoreScratch::new();
+    plan_recluster_in(
+        db,
+        store,
+        residency,
+        policy,
+        model,
+        object,
+        min_gain,
+        &mut scratch,
+    )
+}
+
+/// [`plan_recluster`] with caller-owned scratch. A returned plan's
+/// `examined` list is recycled from `scratch`; hand it back with
+/// [`ScoreScratch::put_examined`] once the plan has been consumed.
+#[allow(clippy::too_many_arguments)]
+pub fn plan_recluster_in(
+    db: &Database,
+    store: &StorageManager,
+    residency: &impl ResidencyView,
+    policy: ClusteringPolicy,
+    model: &WeightModel,
+    object: ObjectId,
+    min_gain: f64,
+    scratch: &mut ScoreScratch,
 ) -> Option<ReclusterPlan> {
     if !policy.clusters() {
         return None;
@@ -159,22 +190,24 @@ pub fn plan_recluster(
         .iter()
         .find(|&&(o, _)| o == object)
         .map(|&(_, s)| s)?;
-    let neighbors = weighted_neighbors(db, model, object);
-    if neighbors.is_empty() {
+    weighted_neighbors_in(db, model, object, scratch);
+    if scratch.direct.is_empty() {
         return None;
     }
-    let current_cost = placement_cost(store, &neighbors, current);
+    let current_cost = placement_cost(store, &scratch.direct, current);
     // Examine every candidate the I/O budget allows (the paper's
     // "amount of I/O allowed to the clustering algorithm as it examines
     // candidate pages for reclustering") and move to the best one. The
     // pool is the extended (two-hop) cluster neighbourhood; the expected
     // access cost that decides the move uses the direct arcs only.
-    let candidates = extended_neighbors(db, model, object);
+    extended_neighbors_in(db, model, object, scratch);
+    candidate_pages_in(store, scratch);
     let mut io_budget = policy.io_budget();
     let mut search_ios = 0;
-    let mut examined = Vec::new();
+    let mut examined = scratch.take_examined();
     let mut best: Option<(PageId, f64)> = None;
-    for (page, _aff) in candidate_pages(store, &candidates) {
+    for i in 0..scratch.pages.len() {
+        let (page, _aff) = scratch.pages[i];
         if page == current {
             continue;
         }
@@ -189,7 +222,7 @@ pub fn plan_recluster(
             search_ios += 1;
         }
         let fits = store.page(page).map(|p| p.fits(size)).unwrap_or(false);
-        let gain = current_cost - placement_cost(store, &neighbors, page);
+        let gain = current_cost - placement_cost(store, &scratch.direct, page);
         examined.push(ExaminedCandidate {
             page,
             score: gain,
@@ -202,12 +235,18 @@ pub fn plan_recluster(
             best = Some((page, gain));
         }
     }
-    best.map(|(to, gain)| ReclusterPlan {
-        to,
-        gain,
-        search_ios,
-        examined,
-    })
+    match best {
+        Some((to, gain)) => Some(ReclusterPlan {
+            to,
+            gain,
+            search_ios,
+            examined,
+        }),
+        None => {
+            scratch.put_examined(examined);
+            None
+        }
+    }
 }
 
 #[cfg(test)]

@@ -15,8 +15,8 @@ use crate::config::SimConfig;
 use crate::engine::Engine;
 use crate::metrics::RunReport;
 use semcluster_faults::CrashPoint;
+use semcluster_vdm::DetHashSet;
 use semcluster_wal::{DurableLog, RecordKind, RecoveryOutcome, TxnToken};
-use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -67,8 +67,8 @@ impl CrashOutcome {
     pub fn verify_acid(&self) -> Vec<String> {
         let mut violations = Vec::new();
         let trusted = self.durable.trusted();
-        let mut committed: HashSet<TxnToken> = HashSet::new();
-        let mut updated: HashSet<TxnToken> = HashSet::new();
+        let mut committed: DetHashSet<TxnToken> = DetHashSet::default();
+        let mut updated: DetHashSet<TxnToken> = DetHashSet::default();
         for rec in trusted {
             match rec.kind {
                 RecordKind::Commit => {
@@ -80,8 +80,8 @@ impl CrashOutcome {
                 RecordKind::Abort => {}
             }
         }
-        let winners: HashSet<TxnToken> = self.recovery.winners.iter().copied().collect();
-        let losers: HashSet<TxnToken> = self.recovery.losers.iter().copied().collect();
+        let winners: DetHashSet<TxnToken> = self.recovery.winners.iter().copied().collect();
+        let losers: DetHashSet<TxnToken> = self.recovery.losers.iter().copied().collect();
 
         // Durability of acknowledged commits.
         for t in &self.acked {

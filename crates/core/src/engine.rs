@@ -36,8 +36,8 @@ use semcluster_buffer::{
     PrefetchScope, ReplacementPolicy,
 };
 use semcluster_clustering::{
-    consider_split, execute_placement, execute_split, page_locality, plan_placement,
-    plan_recluster, ClusteringPolicy, PlacementTarget, SplitPolicy, WeightModel,
+    consider_split, execute_placement, execute_split, page_locality, plan_placement_in,
+    plan_recluster_in, ClusteringPolicy, PlacementTarget, ScoreScratch, SplitPolicy, WeightModel,
 };
 use semcluster_faults::{CrashPoint, FaultState, IoError, IoOp};
 use semcluster_lock::{LockManager, LockMode};
@@ -67,6 +67,42 @@ const WORKING_SET_CAP: usize = 64;
 /// Transactions remembered when estimating the run-time read/write ratio
 /// for the adaptive clustering policy.
 const RW_WINDOW: usize = 100;
+
+/// Build the engine's metrics registry with every counter the hot
+/// paths bump pre-declared at zero. First-touch of a counter name
+/// allocates its `String` key and possibly a tree node; declaring them
+/// all here — before any profiled phase opens — keeps the zero-alloc
+/// pins on the inner loops honest. Zero-valued counters are filtered
+/// out of snapshots, so unfired declarations are invisible.
+fn engine_registry() -> MetricsRegistry {
+    let mut r = MetricsRegistry::new();
+    for name in [
+        "buffer.hit",
+        "buffer.miss",
+        "buffer.evict.dirty",
+        "io.read.demand",
+        "cluster.search.candidate_io",
+        "cluster.split",
+        "cluster.recluster.move",
+        "split.io",
+        "lock.wait",
+        "prefetch.issue",
+        "prefetch.io",
+        "wal.flush.before_image",
+        "wal.flush.full",
+        "wal.flush.commit",
+        "fault.io.read_error",
+        "fault.io.write_error",
+        "fault.io.retry",
+        "fault.log.stall",
+        "fault.txn.abort",
+        "fault.degrade.enter",
+        "fault.degrade.exit",
+    ] {
+        r.declare(name);
+    }
+    r
+}
 
 /// Map the fault layer's I/O kind onto the trace vocabulary.
 fn fault_op(op: IoOp) -> FaultOp {
@@ -242,6 +278,12 @@ pub struct Engine {
     rng: SimRng,
     weights: WeightModel,
     locks: LockManager,
+    /// Reusable dense scoring scratch threaded through every placement
+    /// and recluster decision (DESIGN.md §14): pre-grown outside the
+    /// profiled phases so candidate scoring never allocates.
+    scratch: ScoreScratch,
+    /// Reusable hierarchical lock-request buffer for [`Self::try_lock`].
+    lock_requests: Vec<(ObjectId, LockMode)>,
     parked_fifo: VecDeque<u32>,
     /// Sliding window of recent transaction kinds (true = read) for the
     /// adaptive clustering policy.
@@ -329,6 +371,7 @@ impl Engine {
         if let Some(boost) = cfg.context_boost_ticks {
             pool.set_boost_amount(boost);
         }
+        pool.ensure_page_capacity(store.page_count() + 64);
         let disks = ServerBank::new("disk", cfg.disks as usize);
         let log_disk = FcfsServer::new("log-disk");
         let cpu = FcfsServer::new("cpu");
@@ -343,6 +386,10 @@ impl Engine {
             .collect();
         let disk_service = SimDuration::from_micros(cfg.disk.service_us());
         let faults = FaultState::new(cfg.seed, cfg.faults.clone());
+        let scratch = ScoreScratch::with_capacity(db.object_count() + 64, store.page_count() + 64);
+        let mut locks = LockManager::new();
+        locks.ensure_object_capacity(db.object_count() + 64);
+        let queue = EventQueue::with_capacity(cfg.users as usize * 4 + 16);
         let mut engine = Engine {
             cfg,
             db,
@@ -353,11 +400,13 @@ impl Engine {
             log_disk,
             cpu,
             layout,
-            queue: EventQueue::new(),
+            queue,
             users,
             rng,
             weights,
-            locks: LockManager::new(),
+            locks,
+            scratch,
+            lock_requests: Vec::with_capacity(64),
             parked_fifo: VecDeque::new(),
             recent_kinds: VecDeque::with_capacity(RW_WINDOW),
             metrics: MetricsCollector::default(),
@@ -366,7 +415,7 @@ impl Engine {
             measure_start: SimTime::ZERO,
             create_seq: 0,
             disk_service,
-            registry: MetricsRegistry::new(),
+            registry: engine_registry(),
             trace: obs.sink,
             timeline: obs.timeline_interval_us.map(TimelineSampler::new),
             audit: obs.audit_capacity.map(AuditSink::with_capacity),
@@ -546,12 +595,13 @@ impl Engine {
                     set: semcluster_vdm::DetHashSet::default(),
                     queue: VecDeque::new(),
                 };
+                let mut scratch = ScoreScratch::with_capacity(db.object_count(), 0);
                 for id in Self::history_order(db, rng, 16) {
                     let size = db
                         .get(id)
                         .expect("seeded object ids are dense in 0..object_count")
                         .size_bytes();
-                    let plan = plan_placement(
+                    let plan = plan_placement_in(
                         db,
                         &store,
                         &window,
@@ -559,6 +609,7 @@ impl Engine {
                         weights,
                         id,
                         size,
+                        &mut scratch,
                     );
                     let landed = match plan.target {
                         PlacementTarget::Existing(page) => {
@@ -569,6 +620,7 @@ impl Engine {
                             .append_reserving(id, size, reserve)
                             .expect("append always finds or opens a page (object larger than a page would be a workload bug)"),
                     };
+                    scratch.put_examined(plan.examined);
                     window.touch(landed);
                 }
             }
@@ -578,13 +630,14 @@ impl Engine {
                 // Unbounded search plus months of run-time reclustering
                 // converge on relationship-order placement; load in
                 // structure order with full visibility.
+                let mut scratch = ScoreScratch::with_capacity(db.object_count(), 0);
                 for obj_id in 0..db.object_count() {
                     let id = ObjectId(obj_id as u32);
                     let size = db
                         .get(id)
                         .expect("seeded object ids are dense in 0..object_count")
                         .size_bytes();
-                    let plan = plan_placement(
+                    let plan = plan_placement_in(
                         db,
                         &store,
                         &semcluster_clustering::AllResident,
@@ -592,6 +645,7 @@ impl Engine {
                         weights,
                         id,
                         size,
+                        &mut scratch,
                     );
                     let landed = match plan.target {
                         PlacementTarget::Existing(page) => {
@@ -602,6 +656,7 @@ impl Engine {
                             .append_reserving(id, size, reserve)
                             .expect("append always finds or opens a page (object larger than a page would be a workload bug)"),
                     };
+                    scratch.put_examined(plan.examined);
                     let _ = landed;
                 }
             }
@@ -772,6 +827,15 @@ impl Engine {
             let Some((now, ev)) = popped else {
                 break; // all users idle — cannot happen in a closed network
             };
+            // Pre-grow every dense index outside the profiled phases so
+            // in-phase self-growth (which would charge its allocation to
+            // the phase it happens in) never fires: the headroom covers
+            // every object/page a single event can create.
+            let obj_cap = self.db.object_count() + 64;
+            let page_cap = self.store.page_count() + 64;
+            self.scratch.ensure_capacity(obj_cap, page_cap);
+            self.pool.ensure_page_capacity(page_cap);
+            self.locks.ensure_object_capacity(obj_cap);
             match ev {
                 Event::ThinkDone(u) => self.on_think_done(u, now),
                 Event::OpDone(u) => self.on_op_done(u, now),
@@ -910,18 +974,20 @@ impl Engine {
     /// pre-declared object set.
     fn try_lock(&mut self, u: u32, ops: &[Op]) -> bool {
         let tok = self.prof_enter(Phase::LockAcquire);
-        let mut requests: Vec<(ObjectId, LockMode)> = Vec::new();
+        let mut requests = std::mem::take(&mut self.lock_requests);
+        requests.clear();
         for op in ops {
             let (object, mode) = match *op {
                 Op::Read { root, .. } => (root, LockMode::Shared),
                 Op::Create { anchor, .. } => (anchor, LockMode::Exclusive),
                 Op::Update { target } | Op::Delete { target } => (target, LockMode::Exclusive),
             };
-            requests.extend(LockManager::hierarchical_lockset(&self.db, object, mode));
+            LockManager::hierarchical_lockset_into(&self.db, object, mode, &mut requests);
         }
         let granted = self
             .locks
             .try_acquire_all(semcluster_lock::TxnId(u as u64), &requests);
+        self.lock_requests = requests;
         // Lock acquisition is instantaneous in simulated time (any wait
         // is charged to the parked transaction, not this phase).
         self.prof_exit(tok, 0);
@@ -1603,12 +1669,19 @@ impl Engine {
         if self.pool.policy() != ReplacementPolicy::ContextSensitive {
             return;
         }
-        let related = self.db.graph().related(obj);
-        for (_, _, other) in related.into_iter().take(CONTEXT_BOOST_FANOUT) {
-            if let Some(page) = self.store.page_of(other) {
-                self.pool.boost(page);
+        // Walk the adjacency slices directly (same order `related()`
+        // returns) and stop at the fanout cap — no materialised list.
+        let db = &self.db;
+        let store = &self.store;
+        let pool = &mut self.pool;
+        let mut left = CONTEXT_BOOST_FANOUT;
+        db.graph().for_each_related(obj, |_, _, other| {
+            if let Some(page) = store.page_of(other) {
+                pool.boost(page);
             }
-        }
+            left -= 1;
+            left > 0
+        });
     }
 
     /// Asynchronous prefetch for an access to `obj` arriving via `kind`.
@@ -1782,16 +1855,20 @@ impl Engine {
             .expect("object created two statements ago is present")
             .size_bytes();
 
-        // 2. Placement search (candidate-page reads are charged).
+        // 2. Placement search (candidate-page reads are charged). The
+        // scoring runs on the engine's dense scratch arenas — pinned
+        // allocation-free by the profile golden.
+        let policy = self.effective_clustering();
         let ptok = self.prof_enter(Phase::PlacementScore);
-        let plan = plan_placement(
+        let plan = plan_placement_in(
             &self.db,
             &self.store,
             &self.pool,
-            self.effective_clustering(),
+            policy,
             &self.weights,
             id,
             size,
+            &mut self.scratch,
         );
         let cpu_done = self.cpu.submit(now, self.cfg.cpu_per_access);
         let mut t = now;
@@ -1910,6 +1987,7 @@ impl Engine {
                 search_ios: plan.search_ios,
             });
         }
+        self.scratch.put_examined(plan.examined);
 
         // 4. Touch + dirty + log the landing page.
         let fresh = self
@@ -1956,16 +2034,18 @@ impl Engine {
         // Run-time reclustering: the update is the moment the cluster
         // manager re-evaluates the object's placement. Suspended while
         // degraded (effective policy is NoCluster, which never clusters).
-        if self.effective_clustering().clusters() {
+        let policy = self.effective_clustering();
+        if policy.clusters() {
             let ptok = self.prof_enter(Phase::PlacementScore);
-            let plan = plan_recluster(
+            let plan = plan_recluster_in(
                 &self.db,
                 &self.store,
                 &self.pool,
-                self.effective_clustering(),
+                policy,
                 &self.weights,
                 target,
                 self.cfg.recluster_min_gain,
+                &mut self.scratch,
             );
             // Candidate reads nest under the scoring phase; close it
             // before any error propagates or the move executes.
@@ -2022,6 +2102,7 @@ impl Engine {
                         search_ios: plan.search_ios,
                     });
                 }
+                self.scratch.put_examined(plan.examined);
             }
         }
         self.remember(u, target);

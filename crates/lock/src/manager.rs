@@ -15,7 +15,7 @@
 //! intention locks along the configuration path.
 
 use crate::mode::LockMode;
-use semcluster_vdm::{Database, DetHashMap, DetHashSet, ObjectId};
+use semcluster_vdm::{Database, DetHashSet, ObjectId};
 use std::collections::VecDeque;
 use std::fmt;
 
@@ -43,7 +43,7 @@ pub enum LockResult {
 
 #[derive(Debug, Default)]
 struct LockEntry {
-    holders: DetHashMap<TxnId, LockMode>,
+    holders: Vec<(TxnId, LockMode)>,
     queue: VecDeque<(TxnId, LockMode)>,
 }
 
@@ -51,7 +51,31 @@ impl LockEntry {
     fn grantable(&self, txn: TxnId, mode: LockMode) -> bool {
         self.holders
             .iter()
-            .all(|(&h, &m)| h == txn || m.compatible(mode))
+            .all(|&(h, m)| h == txn || m.compatible(mode))
+    }
+
+    fn held_by(&self, txn: TxnId) -> Option<LockMode> {
+        self.holders
+            .iter()
+            .find(|&&(h, _)| h == txn)
+            .map(|&(_, m)| m)
+    }
+
+    fn set_holder(&mut self, txn: TxnId, mode: LockMode) {
+        match self.holders.iter_mut().find(|(h, _)| *h == txn) {
+            Some(slot) => slot.1 = mode,
+            None => self.holders.push((txn, mode)),
+        }
+    }
+
+    fn remove_holder(&mut self, txn: TxnId) {
+        if let Some(pos) = self.holders.iter().position(|&(h, _)| h == txn) {
+            self.holders.swap_remove(pos);
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.holders.is_empty() && self.queue.is_empty()
     }
 }
 
@@ -68,16 +92,40 @@ pub struct LockStats {
     pub upgrades: u64,
 }
 
+/// Sentinel in the object→entry index meaning "no entry".
+const NO_ENTRY: u32 = u32::MAX;
+
 /// The lock table.
 ///
-/// Fixed-seed hashing throughout: the table is mutated and walked
-/// inside the engine's profiled lock-acquisition phase, so both its
-/// allocation pattern and its iteration order must be pure functions
-/// of the request sequence (DESIGN.md §13).
+/// Data-oriented layout (DESIGN.md §14): a dense `Vec<u32>` maps each
+/// `ObjectId` index to a slot in a slab of [`LockEntry`]s, and freed
+/// slots are recycled through a free list *keeping their holder/queue
+/// capacity*, so the steady-state conservative acquire/release cycle
+/// performs no allocation. Per-transaction holdings live in a small
+/// linear `(TxnId, Vec<ObjectId>)` table (active transactions are
+/// bounded by the user count) whose object lists are likewise recycled.
+/// The table is mutated and walked inside the engine's profiled
+/// lock-acquisition phase, so both its allocation pattern and every
+/// observable decision must be pure functions of the request sequence
+/// (DESIGN.md §13) — all holder scans here are order-independent
+/// (`all`/`any` folds), so slab order never leaks into results.
 #[derive(Debug, Default)]
 pub struct LockManager {
-    table: DetHashMap<ObjectId, LockEntry>,
-    held: DetHashMap<TxnId, DetHashSet<ObjectId>>,
+    /// Object index → slot in `entries`, or [`NO_ENTRY`].
+    slot: Vec<u32>,
+    /// Slab of lock entries; live iff referenced from `slot`.
+    entries: Vec<LockEntry>,
+    /// Which object each slab slot currently belongs to (stale for free
+    /// slots; cross-check against `slot`).
+    entry_object: Vec<ObjectId>,
+    /// Recycled slab slots (capacity of their holders/queue retained).
+    free: Vec<u32>,
+    /// Live entry count (objects with at least one holder or waiter).
+    active: usize,
+    /// Per-transaction holdings, linear-scanned (few active txns).
+    held: Vec<(TxnId, Vec<ObjectId>)>,
+    /// Recycled holding lists.
+    held_free: Vec<Vec<ObjectId>>,
     stats: LockStats,
 }
 
@@ -92,30 +140,91 @@ impl LockManager {
         self.stats
     }
 
+    /// Grow the object→entry index to cover `objects` ids. Call from
+    /// outside profiled phases when the object space grows; the index
+    /// also self-grows as a safety net.
+    pub fn ensure_object_capacity(&mut self, objects: usize) {
+        if self.slot.len() < objects {
+            self.slot.resize(objects, NO_ENTRY);
+        }
+    }
+
+    #[inline]
+    fn slot_of(&self, object: ObjectId) -> Option<usize> {
+        match self.slot.get(object.index()) {
+            Some(&s) if s != NO_ENTRY => Some(s as usize),
+            _ => None,
+        }
+    }
+
+    /// Slot for `object`, creating (or recycling) an entry if absent.
+    fn slot_or_create(&mut self, object: ObjectId) -> usize {
+        if let Some(s) = self.slot_of(object) {
+            return s;
+        }
+        self.ensure_object_capacity(object.index() + 1);
+        let s = match self.free.pop() {
+            Some(s) => s as usize,
+            None => {
+                self.entries.push(LockEntry::default());
+                self.entry_object.push(object);
+                self.entries.len() - 1
+            }
+        };
+        self.entry_object[s] = object;
+        self.slot[object.index()] = s as u32;
+        self.active += 1;
+        s
+    }
+
+    /// Return an idle entry's slot to the free list, keeping capacity.
+    fn release_slot(&mut self, object: ObjectId, s: usize) {
+        debug_assert!(self.entries[s].is_idle());
+        self.slot[object.index()] = NO_ENTRY;
+        self.free.push(s as u32);
+        self.active -= 1;
+    }
+
     /// The mode `txn` currently holds on `object`, if any.
     pub fn held_mode(&self, txn: TxnId, object: ObjectId) -> Option<LockMode> {
-        self.table.get(&object)?.holders.get(&txn).copied()
+        self.entries[self.slot_of(object)?].held_by(txn)
     }
 
     /// Number of objects with at least one holder or waiter.
     pub fn active_objects(&self) -> usize {
-        self.table.len()
+        self.active
+    }
+
+    /// Record that `txn` holds `object` (deduplicated).
+    fn note_held(&mut self, txn: TxnId, object: ObjectId) {
+        let list = match self.held.iter().position(|(t, _)| *t == txn) {
+            Some(i) => &mut self.held[i].1,
+            None => {
+                let buf = self.held_free.pop().unwrap_or_default();
+                self.held.push((txn, buf));
+                &mut self.held.last_mut().expect("just pushed").1
+            }
+        };
+        if !list.contains(&object) {
+            list.push(object);
+        }
     }
 
     // ------------------------------------------------------- incremental
 
     /// Request `mode` on `object` for `txn`, queueing on conflict.
     pub fn request(&mut self, txn: TxnId, object: ObjectId, mode: LockMode) -> LockResult {
-        let entry = self.table.entry(object).or_default();
-        let effective = match entry.holders.get(&txn) {
-            Some(&held) if held.covers(mode) => {
+        let s = self.slot_or_create(object);
+        let entry = &self.entries[s];
+        let effective = match entry.held_by(txn) {
+            Some(held) if held.covers(mode) => {
                 self.stats.immediate_grants += 1;
                 return LockResult::Granted;
             }
-            Some(&held) => held.join(mode),
+            Some(held) => held.join(mode),
             None => mode,
         };
-        let is_upgrade = entry.holders.contains_key(&txn);
+        let is_upgrade = entry.held_by(txn).is_some();
         // FIFO fairness: a fresh request must also wait behind queued
         // waiters; upgrades only check the holders.
         let must_wait =
@@ -126,8 +235,8 @@ impl LockManager {
             } else {
                 self.stats.immediate_grants += 1;
             }
-            entry.holders.insert(txn, effective);
-            self.held.entry(txn).or_default().insert(object);
+            self.entries[s].set_holder(txn, effective);
+            self.note_held(txn, object);
             return LockResult::Granted;
         }
         // Would wait: check for a deadlock first.
@@ -135,7 +244,7 @@ impl LockManager {
             self.stats.deadlocks += 1;
             return LockResult::Deadlock;
         }
-        let entry = self.table.get_mut(&object).expect("created above");
+        let entry = &mut self.entries[s];
         if is_upgrade {
             // Upgrades wait at the front so they cannot starve behind
             // requests they block anyway.
@@ -148,7 +257,8 @@ impl LockManager {
     }
 
     /// Whether queueing `txn`'s request would close a cycle in the
-    /// wait-for graph.
+    /// wait-for graph. Exploration order follows the entry slab, but the
+    /// answer (cycle or no cycle) is order-independent.
     fn would_deadlock(&self, txn: TxnId, object: ObjectId, mode: LockMode) -> bool {
         // Direct blockers of the hypothetical request.
         let mut frontier: Vec<TxnId> = self.blockers(txn, object, mode);
@@ -158,12 +268,17 @@ impl LockManager {
                 return true;
             }
             // Whatever `cur` is itself waiting on.
-            for (obj, entry) in &self.table {
-                for &(waiter, wmode) in &entry.queue {
+            for s in 0..self.entries.len() {
+                let obj = self.entry_object[s];
+                if self.slot_of(obj) != Some(s) {
+                    continue; // free slot
+                }
+                for qi in 0..self.entries[s].queue.len() {
+                    let (waiter, wmode) = self.entries[s].queue[qi];
                     if waiter != cur {
                         continue;
                     }
-                    for b in self.blockers(cur, *obj, wmode) {
+                    for b in self.blockers(cur, obj, wmode) {
                         if seen.insert(b) || b == txn {
                             frontier.push(b);
                         }
@@ -177,21 +292,25 @@ impl LockManager {
     /// Transactions whose holdings block `txn` from taking `mode` on
     /// `object`.
     fn blockers(&self, txn: TxnId, object: ObjectId, mode: LockMode) -> Vec<TxnId> {
-        let Some(entry) = self.table.get(&object) else {
+        let Some(s) = self.slot_of(object) else {
             return Vec::new();
         };
-        entry
+        self.entries[s]
             .holders
             .iter()
-            .filter(|&(&h, &m)| h != txn && !m.compatible(mode))
-            .map(|(&h, _)| h)
+            .filter(|&&(h, m)| h != txn && !m.compatible(mode))
+            .map(|&(h, _)| h)
             .collect()
     }
 
     /// Drop a queued request (after a deadlock abort or timeout).
     pub fn cancel_wait(&mut self, txn: TxnId, object: ObjectId) {
-        if let Some(entry) = self.table.get_mut(&object) {
+        if let Some(s) = self.slot_of(object) {
+            let entry = &mut self.entries[s];
             entry.queue.retain(|&(t, _)| t != txn);
+            if entry.is_idle() {
+                self.release_slot(object, s);
+            }
         }
     }
 
@@ -204,11 +323,11 @@ impl LockManager {
         // Feasibility check against holders AND queued waiters (so a
         // conservative stream does not starve incremental waiters).
         for &(object, mode) in requests {
-            if let Some(entry) = self.table.get(&object) {
+            if let Some(s) = self.slot_of(object) {
+                let entry = &self.entries[s];
                 let effective = entry
-                    .holders
-                    .get(&txn)
-                    .map(|&held| held.join(mode))
+                    .held_by(txn)
+                    .map(|held| held.join(mode))
                     .unwrap_or(mode);
                 if !entry.grantable(txn, effective)
                     || entry
@@ -221,14 +340,14 @@ impl LockManager {
             }
         }
         for &(object, mode) in requests {
-            let entry = self.table.entry(object).or_default();
+            let s = self.slot_or_create(object);
+            let entry = &mut self.entries[s];
             let effective = entry
-                .holders
-                .get(&txn)
-                .map(|&held| held.join(mode))
+                .held_by(txn)
+                .map(|held| held.join(mode))
                 .unwrap_or(mode);
-            entry.holders.insert(txn, effective);
-            self.held.entry(txn).or_default().insert(object);
+            entry.set_holder(txn, effective);
+            self.note_held(txn, object);
         }
         self.stats.immediate_grants += requests.len() as u64;
         true
@@ -241,30 +360,36 @@ impl LockManager {
     /// order.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<(TxnId, ObjectId, LockMode)> {
         let mut granted = Vec::new();
-        let Some(objects) = self.held.remove(&txn) else {
+        let Some(pos) = self.held.iter().position(|(t, _)| *t == txn) else {
             return granted;
         };
-        for object in objects {
-            let Some(entry) = self.table.get_mut(&object) else {
+        let (_, mut objects) = self.held.swap_remove(pos);
+        for &object in &objects {
+            let Some(s) = self.slot_of(object) else {
                 continue;
             };
-            entry.holders.remove(&txn);
+            let entry = &mut self.entries[s];
+            entry.remove_holder(txn);
             // Promote from the queue head while compatible.
             while let Some(&(waiter, mode)) = entry.queue.front() {
                 if entry.grantable(waiter, mode) {
                     entry.queue.pop_front();
-                    entry.holders.insert(waiter, mode);
+                    entry.set_holder(waiter, mode);
                     granted.push((waiter, object, mode));
                 } else {
                     break;
                 }
             }
-            if entry.holders.is_empty() && entry.queue.is_empty() {
-                self.table.remove(&object);
+            if entry.is_idle() {
+                self.release_slot(object, s);
             }
         }
+        // Recycle the holdings list so the next transaction's acquire
+        // phase reuses its capacity.
+        objects.clear();
+        self.held_free.push(objects);
         for &(waiter, object, _) in &granted {
-            self.held.entry(waiter).or_default().insert(object);
+            self.note_held(waiter, object);
         }
         granted
     }
@@ -280,25 +405,42 @@ impl LockManager {
         object: ObjectId,
         mode: LockMode,
     ) -> Vec<(ObjectId, LockMode)> {
+        let mut out = Vec::new();
+        Self::hierarchical_lockset_into(db, object, mode, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`LockManager::hierarchical_lockset`]:
+    /// appends the lock set to `out` (the ancestor chain lives on the
+    /// stack, bounded by the same depth guard), so the engine can reuse
+    /// one request buffer across its whole profiled lock phase.
+    pub fn hierarchical_lockset_into(
+        db: &Database,
+        object: ObjectId,
+        mode: LockMode,
+        out: &mut Vec<(ObjectId, LockMode)>,
+    ) {
         const MAX_DEPTH: usize = 16;
-        let mut chain = Vec::new();
+        let mut chain = [object; MAX_DEPTH];
+        let mut len = 0usize;
         let mut cur = object;
         for _ in 0..MAX_DEPTH {
             match db.graph().composites(cur).first() {
-                Some(&up) if up != object && !chain.contains(&up) => {
-                    chain.push(up);
+                Some(&up) if up != object && !chain[..len].contains(&up) => {
+                    chain[len] = up;
+                    len += 1;
                     cur = up;
                 }
                 _ => break,
             }
         }
-        let mut out: Vec<(ObjectId, LockMode)> = chain
-            .into_iter()
-            .rev()
-            .map(|anc| (anc, mode.intention()))
-            .collect();
+        out.extend(
+            chain[..len]
+                .iter()
+                .rev()
+                .map(|&anc| (anc, mode.intention())),
+        );
         out.push((object, mode));
-        out
     }
 }
 

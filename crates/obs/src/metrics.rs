@@ -149,6 +149,19 @@ impl MetricsRegistry {
         }
     }
 
+    /// Pre-create counter `name` at zero if absent. Declaring every
+    /// counter up front (outside the engine's profiled hot phases)
+    /// makes the first [`MetricsRegistry::inc`] of each name a pure
+    /// `BTreeMap` lookup — no `String` or tree-node allocation inside
+    /// a profiled phase. Zero-valued counters never appear in
+    /// [`MetricsRegistry::snapshot`], so declaring is observationally
+    /// free.
+    pub fn declare(&mut self, name: &str) {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), 0);
+        }
+    }
+
     /// Current value of counter `name` (0 if never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
@@ -186,16 +199,34 @@ impl MetricsRegistry {
 
     /// Clear every metric (used when the measured interval begins, so
     /// counters reconcile with per-run report totals).
+    ///
+    /// Counter *keys* are retained and their values zeroed in place:
+    /// counters are bumped inside the engine's profiled hot phases, and
+    /// keeping the keys makes every post-warmup [`MetricsRegistry::inc`]
+    /// a pure `BTreeMap` lookup — no `String` allocation inside a
+    /// profiled phase. Zero-valued counters are filtered out of
+    /// [`MetricsRegistry::snapshot`], so the observable state is
+    /// byte-identical to a full clear.
     pub fn reset(&mut self) {
-        self.counters.clear();
+        for v in self.counters.values_mut() {
+            *v = 0;
+        }
         self.gauges.clear();
         self.histograms.clear();
     }
 
-    /// Deterministic point-in-time copy of every metric.
+    /// Deterministic point-in-time copy of every metric. Zero-valued
+    /// counters (keys retained by [`MetricsRegistry::reset`] purely as
+    /// an allocation optimisation) are omitted — a counter that never
+    /// fired is indistinguishable from one that was never created.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            counters: self.counters.clone(),
+            counters: self
+                .counters
+                .iter()
+                .filter(|&(_, &v)| v > 0)
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
             gauges: self.gauges.clone(),
             histograms: self.histograms.clone(),
         }

@@ -1,12 +1,15 @@
 //! The future-event list.
 //!
-//! A binary-heap calendar keyed by `(time, sequence)`. The sequence number
-//! breaks ties so that events scheduled earlier fire earlier at equal
-//! timestamps, which makes runs fully deterministic.
+//! A flat, `Vec`-backed binary min-heap calendar keyed by `(time, sequence)`.
+//! The sequence number breaks ties so that events scheduled earlier fire
+//! earlier at equal timestamps, which makes runs fully deterministic:
+//! `(time, seq)` is a strict total order, so *any* correct heap pops the
+//! identical sequence. Capacity can be reserved up front
+//! ([`EventQueue::with_capacity`] / [`EventQueue::reserve`]) so that the
+//! engine's steady-state pop/schedule cycle never allocates — `pop` swaps
+//! the last entry into the root and sifts down in place.
 
 use crate::time::SimTime;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
 
 struct Entry<E> {
     time: SimTime,
@@ -14,32 +17,16 @@ struct Entry<E> {
     event: E,
 }
 
-impl<E> PartialEq for Entry<E> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<E> Eq for Entry<E> {}
-
-impl<E> PartialOrd for Entry<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<E> Ord for Entry<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Entry<E> {
+    #[inline]
+    fn key(&self) -> (SimTime, u64) {
+        (self.time, self.seq)
     }
 }
 
 /// A future-event list ordered by timestamp (FIFO among equal timestamps).
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Entry<E>>,
+    heap: Vec<Entry<E>>,
     seq: u64,
     now: SimTime,
 }
@@ -54,10 +41,30 @@ impl<E> EventQueue<E> {
     /// Create an empty queue with the clock at time zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            heap: Vec::new(),
             seq: 0,
             now: SimTime::ZERO,
         }
+    }
+
+    /// Create an empty queue pre-sized for `capacity` pending events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: Vec::with_capacity(capacity),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Grow the backing store to hold at least `additional` more events
+    /// without reallocating. Call from outside profiled phases.
+    pub fn reserve(&mut self, additional: usize) {
+        self.heap.reserve(additional);
+    }
+
+    /// Number of events the queue can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.heap.capacity()
     }
 
     /// The current simulated time: the timestamp of the most recently
@@ -84,19 +91,28 @@ impl<E> EventQueue<E> {
         };
         self.seq += 1;
         self.heap.push(entry);
+        self.sift_up(self.heap.len() - 1);
     }
 
     /// Remove and return the next event, advancing the clock to its
     /// timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let entry = self.heap.pop()?;
+        if self.heap.is_empty() {
+            return None;
+        }
+        let last = self.heap.len() - 1;
+        self.heap.swap(0, last);
+        let entry = self.heap.pop().expect("non-empty");
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
 
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|e| e.time)
+        self.heap.first().map(|e| e.time)
     }
 
     /// Number of pending events.
@@ -107,6 +123,39 @@ impl<E> EventQueue<E> {
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].key() < self.heap[parent].key() {
+                self.heap.swap(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let left = 2 * i + 1;
+            if left >= len {
+                break;
+            }
+            let right = left + 1;
+            let mut child = left;
+            if right < len && self.heap[right].key() < self.heap[left].key() {
+                child = right;
+            }
+            if self.heap[child].key() < self.heap[i].key() {
+                self.heap.swap(i, child);
+                i = child;
+            } else {
+                break;
+            }
+        }
     }
 }
 
@@ -161,5 +210,31 @@ mod tests {
         assert_eq!(q.now(), SimTime::ZERO);
         assert_eq!(q.len(), 1);
         assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn with_capacity_pops_identically_under_churn() {
+        // Exercise a schedule/pop interleave and check it matches a
+        // freshly allocated queue.
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::with_capacity(64);
+        assert!(b.capacity() >= 64);
+        let times = [7u64, 3, 3, 9, 1, 4, 4, 4, 8, 2, 6, 5];
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule(SimTime::from_micros(t + 10), i);
+            b.schedule(SimTime::from_micros(t + 10), i);
+        }
+        for _ in 0..4 {
+            assert_eq!(a.pop(), b.pop());
+        }
+        b.reserve(16);
+        for (i, &t) in times.iter().enumerate() {
+            a.schedule(SimTime::from_micros(t + 20), 100 + i);
+            b.schedule(SimTime::from_micros(t + 20), 100 + i);
+        }
+        while let Some(x) = a.pop() {
+            assert_eq!(Some(x), b.pop());
+        }
+        assert!(b.is_empty());
     }
 }

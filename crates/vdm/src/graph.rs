@@ -200,17 +200,39 @@ impl StructureGraph {
     /// reached through. Symmetric kinds are reported once, as `Forward`.
     pub fn related(&self, id: ObjectId) -> Vec<(RelKind, Direction, ObjectId)> {
         let mut out = Vec::new();
+        self.for_each_related(id, |kind, dir, n| {
+            out.push((kind, dir, n));
+            true
+        });
+        out
+    }
+
+    /// Visit every related object of `id` without allocating, in exactly
+    /// the order [`Self::related`] reports them: kinds in `RelKind::ALL`
+    /// order, the forward adjacency slice first, then the backward slice
+    /// for non-symmetric kinds. The visitor returns `false` to stop
+    /// early. This ordering is a determinism contract: the clustering
+    /// cost model folds floating-point weights in visit order, so any
+    /// reordering would change accumulated sums bit-for-bit.
+    pub fn for_each_related(
+        &self,
+        id: ObjectId,
+        mut f: impl FnMut(RelKind, Direction, ObjectId) -> bool,
+    ) {
         for kind in RelKind::ALL {
             for &n in self.neighbors(id, kind, Direction::Forward) {
-                out.push((kind, Direction::Forward, n));
+                if !f(kind, Direction::Forward, n) {
+                    return;
+                }
             }
             if !kind.is_symmetric() {
                 for &n in self.neighbors(id, kind, Direction::Backward) {
-                    out.push((kind, Direction::Backward, n));
+                    if !f(kind, Direction::Backward, n) {
+                        return;
+                    }
                 }
             }
         }
-        out
     }
 
     /// Downward structural fan-out of `id` (number of component objects a
@@ -358,6 +380,27 @@ mod tests {
         assert!(rel.contains(&(RelKind::VersionHistory, Direction::Backward, o(2))));
         assert!(rel.contains(&(RelKind::Correspondence, Direction::Forward, o(3))));
         assert!(rel.contains(&(RelKind::Inheritance, Direction::Backward, o(2))));
+    }
+
+    #[test]
+    fn for_each_related_matches_related_and_stops_early() {
+        let mut g = StructureGraph::new();
+        g.add_edge(RelKind::Configuration, o(0), o(1)).unwrap();
+        g.add_edge(RelKind::VersionHistory, o(2), o(0)).unwrap();
+        g.add_edge(RelKind::Correspondence, o(0), o(3)).unwrap();
+        g.add_edge(RelKind::Inheritance, o(2), o(0)).unwrap();
+        let mut walked = Vec::new();
+        g.for_each_related(o(0), |k, d, n| {
+            walked.push((k, d, n));
+            true
+        });
+        assert_eq!(walked, g.related(o(0)), "identical visit order");
+        let mut first_two = Vec::new();
+        g.for_each_related(o(0), |k, d, n| {
+            first_two.push((k, d, n));
+            first_two.len() < 2
+        });
+        assert_eq!(first_two, g.related(o(0))[..2]);
     }
 
     #[test]

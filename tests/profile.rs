@@ -10,7 +10,8 @@ use std::hint::black_box;
 
 use semcluster::{run_simulation_observed, ObsConfig, SimConfig, SweepRunner};
 use semcluster_cli::commands::{
-    profile_golden_jobs, report_to_json, DEFAULT_TIMELINE_INTERVAL_US, ZERO_ALLOC_PIN,
+    is_zero_alloc_pinned, profile_golden_jobs, report_to_json, DEFAULT_TIMELINE_INTERVAL_US,
+    ZERO_ALLOC_PIN_LEAVES,
 };
 use semcluster_cli::{dispatch, Args};
 use semcluster_obs::allocation_counts;
@@ -74,8 +75,9 @@ fn profiler_is_inert() {
 
 /// The golden sweep's merged profiles — calls, simulated time and
 /// allocation counts — must not depend on the worker-thread count,
-/// and the page-locality fold must be allocation-free under the real
-/// counting allocator.
+/// and every pinned hot-path leaf phase (page locality, placement
+/// scoring, buffer lookup, event-queue pop) must be allocation-free
+/// under the real counting allocator.
 #[test]
 fn profile_is_identical_at_any_thread_count() {
     let run = |threads: usize| {
@@ -96,16 +98,24 @@ fn profile_is_identical_at_any_thread_count() {
             "job {} profile drifted",
             a.label
         );
-        let pin = pa
-            .get(ZERO_ALLOC_PIN)
-            .unwrap_or_else(|| panic!("job {}: no {ZERO_ALLOC_PIN} stack", a.label));
-        assert!(pin.calls > 0, "the page-locality fold never ran");
-        assert_eq!(
-            (pin.alloc_bytes, pin.allocs),
-            (0, 0),
-            "job {}: the page-locality fold allocated",
-            a.label
-        );
+        for leaf in ZERO_ALLOC_PIN_LEAVES {
+            let pinned: Vec<_> = pa
+                .phases()
+                .filter(|(path, _)| {
+                    is_zero_alloc_pinned(path) && path.rsplit(';').next() == Some(*leaf)
+                })
+                .collect();
+            assert!(!pinned.is_empty(), "job {}: no {leaf} stack", a.label);
+            for (path, s) in pinned {
+                assert!(s.calls > 0, "job {}: {path} never ran", a.label);
+                assert_eq!(
+                    (s.alloc_bytes, s.allocs),
+                    (0, 0),
+                    "job {}: pinned hot-path stack {path} allocated",
+                    a.label
+                );
+            }
+        }
     }
     let ma = serial.profile.expect("merged profile");
     let mb = parallel.profile.expect("merged profile");
