@@ -27,6 +27,8 @@ scope=(
     crates/clustering/src
     crates/lock/src
     crates/wal/src
+    crates/storage/src
+    crates/faults/src
 )
 
 # \bHash(Map|Set)\b matches the std types but not DetHashMap/DetHashSet

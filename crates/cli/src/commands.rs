@@ -1,10 +1,11 @@
 //! The CLI subcommands.
 
 use crate::args::Args;
+use crate::error::CliError;
 use semcluster::{
     replication_config, run_crash_matrix, run_simulation, run_simulation_observed,
-    workload_from_label, CrashMatrixConfig, FaultConfig, ObsConfig, ReplicatedResult, RunReport,
-    SimConfig, SweepJob, SweepRunner, SweepSummary,
+    workload_from_label, CrashMatrixConfig, CrashPoint, DurableMirror, FaultConfig, MatrixBackend,
+    ObsConfig, ReplicatedResult, RunReport, SimConfig, SweepJob, SweepRunner, SweepSummary,
 };
 use semcluster_analysis::Table;
 use semcluster_buffer::{PrefetchScope, ReplacementPolicy};
@@ -28,6 +29,7 @@ USAGE:
                          [--split none|linear|np]
                          [--buffer-pages N] [--paper-scale]
                          [--reps N] [--jobs N] [--seed N] [--json]
+                         [--backend sim|file] [--data-dir DIR]
                          [--faults none|smoke|degraded|stress]
                          [--trace out.jsonl] [--chrome-trace out.json]
                          [--timeline out.json] [--timeline-interval-us N]
@@ -47,6 +49,7 @@ USAGE:
                          [--folded-metric wall_ns|sim_us|alloc_bytes|allocs|calls]
   semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
   semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
+                         [--backend sim|file|both] [--scratch-dir DIR]
                          [--jobs N] [--json]
   semclusterctl help
 
@@ -104,6 +107,17 @@ USAGE:
   crash-matrix crashes a small workload at every commit boundary plus
   sampled intra-transaction and torn-log points, replays recovery at
   each, and verifies ACID invariants (exit 1 on any violation).
+  crash-matrix --backend file shadows every run with the durable
+  file-backed page store, adds crash-at-syscall and fsync-failure
+  points, and verifies ACID by recovering the real files from disk
+  (twice — recovery must be an idempotent byte-level no-op); failing
+  points preserve their store under --scratch-dir (default
+  target/crash-scratch). simulate --backend file runs one replication
+  against the same durable store under --data-dir (default
+  target/simulate-data), pulls the plug at the end, and verifies the
+  recovered files.
+  exit codes: 1 failure, 2 bad flags, 3 missing input file, 4 unknown
+  input schema (the latter two from obs diff's bench snapshots).
 ";
 
 /// Parse the clustering policy flag.
@@ -288,6 +302,11 @@ fn run_replications_parallel(
 /// `simulate` subcommand.
 pub fn cmd_simulate(args: &Args) -> Result<String, String> {
     let cfg = config_from_args(args)?;
+    match args.get("backend") {
+        None | Some("sim") => {}
+        Some("file") => return simulate_file_backend(args, cfg),
+        Some(other) => return Err(format!("--backend: expected sim or file, got {other:?}")),
+    }
     if args.get("trace").is_some()
         || args.get("chrome-trace").is_some()
         || args.get("timeline").is_some()
@@ -357,6 +376,125 @@ pub fn cmd_simulate(args: &Args) -> Result<String, String> {
             r.disk_utilization * 100.0,
             r.cpu_utilization * 100.0
         ),
+    ]);
+    Ok(table.render())
+}
+
+/// `simulate --backend file`: one replication shadowed by the durable
+/// file-backed store under `--data-dir` (default `target/simulate-data`),
+/// then the plug is pulled and the run's durability is verified by
+/// recovering the real files from disk — twice, since recovery must be
+/// idempotent. The recovered `pages.db`/`wal.log` are left in place for
+/// inspection.
+fn simulate_file_backend(args: &Args, mut cfg: SimConfig) -> Result<String, String> {
+    if args.get_parsed("reps", 1u32)? != 1 {
+        return Err("--backend file: runs a single replication (drop --reps)".into());
+    }
+    cfg.retain_log = true;
+    let dir = std::path::PathBuf::from(args.get("data-dir").unwrap_or("target/simulate-data"));
+    std::fs::create_dir_all(&dir)
+        .map_err(|e| format!("--data-dir {}: cannot create directory: {e}", dir.display()))?;
+    for name in [semcluster_storage::PAGES_FILE, semcluster_storage::WAL_FILE] {
+        let stale = dir.join(name);
+        if stale.exists() {
+            std::fs::remove_file(&stale)
+                .map_err(|e| format!("--data-dir: cannot clear stale {}: {e}", stale.display()))?;
+        }
+    }
+    let seed = cfg.seed;
+    let mut engine = semcluster::Engine::new(cfg);
+    let mirror = DurableMirror::create(
+        &dir,
+        semcluster_faults::FsFaultConfig {
+            seed,
+            ..Default::default()
+        },
+    )
+    .map_err(|e| {
+        format!(
+            "file backend: cannot create store in {}: {e}",
+            dir.display()
+        )
+    })?;
+    engine.attach_mirror(mirror).map_err(|e| {
+        format!(
+            "file backend: checkpoint into {} failed: {e}",
+            dir.display()
+        )
+    })?;
+    let outcome = engine.run_and_crash_at(CrashPoint::End);
+    let artifacts = outcome
+        .file
+        .as_ref()
+        .expect("mirror attached, so the outcome carries file artifacts");
+
+    let rec1 = semcluster_storage::recover_dir(&dir)
+        .map_err(|e| format!("file backend: recovery in {} failed: {e}", dir.display()))?;
+    let snapshot = |n: &str| std::fs::read(dir.join(n)).ok();
+    let snap1 = (
+        snapshot(semcluster_storage::PAGES_FILE),
+        snapshot(semcluster_storage::WAL_FILE),
+    );
+    let rec2 = semcluster_storage::recover_dir(&dir).map_err(|e| {
+        format!(
+            "file backend: second recovery in {} failed: {e}",
+            dir.display()
+        )
+    })?;
+    let stable = snap1
+        == (
+            snapshot(semcluster_storage::PAGES_FILE),
+            snapshot(semcluster_storage::WAL_FILE),
+        );
+    let violations = outcome.verify_file(&rec1, &rec2, stable);
+    if !violations.is_empty() {
+        return Err(format!(
+            "file backend: ACID violations after recovery from {}:\n  {}",
+            dir.display(),
+            violations.join("\n  ")
+        ));
+    }
+
+    let r = &outcome.report;
+    let fs = artifacts.report.stats;
+    let mut table = Table::new(vec!["metric", "value"]);
+    table.row(vec!["configuration".to_string(), r.config_label.clone()]);
+    table.row(vec![
+        "backend".to_string(),
+        format!("file ({})", dir.display()),
+    ]);
+    table.row(vec![
+        "mean response".to_string(),
+        format!("{:.1} ms", r.mean_response_s * 1e3),
+    ]);
+    table.row(vec![
+        "durable traffic".to_string(),
+        format!(
+            "{} wal ops / {} steals / {} commits",
+            artifacts.stats.ops_logged, artifacts.stats.steals, artifacts.stats.commits_ok
+        ),
+    ]);
+    table.row(vec![
+        "filesystem".to_string(),
+        format!(
+            "{} writes / {} fsyncs / {} bytes synced",
+            fs.writes, fs.fsyncs, fs.bytes_synced
+        ),
+    ]);
+    table.row(vec![
+        "recovery".to_string(),
+        format!(
+            "{} winners / {} losers / {} redo / {} undo / {} pages repaired",
+            rec1.winners.len(),
+            rec1.losers.len(),
+            rec1.redone,
+            rec1.undone,
+            rec1.repaired_pages.len()
+        ),
+    ]);
+    table.row(vec![
+        "acked commits verified durable".to_string(),
+        format!("{}", outcome.acked.len()),
     ]);
     Ok(table.render())
 }
@@ -1309,7 +1447,7 @@ fn next_bench_path(dir: &std::path::Path) -> std::path::PathBuf {
 /// statistics — byte-identical at any `--jobs` count — so two snapshots
 /// from different machines or thread counts are directly comparable
 /// with `obs diff`. Host wall-clock goes to stderr.
-pub fn cmd_bench_report(args: &Args) -> Result<String, String> {
+pub fn cmd_bench_report(args: &Args) -> Result<String, CliError> {
     let jobs: usize = args.get_parsed("jobs", 0)?;
     let suite = args.get("suite").unwrap_or("smoke");
     // `--suite full` appends the paper-scale jobs to the smoke sweep:
@@ -1324,9 +1462,9 @@ pub fn cmd_bench_report(args: &Args) -> Result<String, String> {
             s
         }
         other => {
-            return Err(format!(
+            return Err(CliError::general(format!(
                 "bench-report: unknown suite {other:?} (expected smoke or full)"
-            ))
+            )))
         }
     };
     // Schema 2 adds flat per-(job, stack) profile lines after each
@@ -1385,11 +1523,43 @@ fn json_num_field(line: &str, key: &str) -> Option<f64> {
     rest[..end].parse().ok()
 }
 
+/// Bench-report schema versions this binary can read. Schema 1 is the
+/// pre-profile-section format; schema 2 appended per-(job, stack)
+/// profile lines.
+const KNOWN_BENCH_SCHEMAS: [u64; 2] = [1, 2];
+
+/// Read a bench-report file and validate its schema header. A missing
+/// file exits with [`crate::error::EXIT_MISSING_INPUT`]; a missing or
+/// unknown `bench_schema` header with [`crate::error::EXIT_BAD_SCHEMA`]
+/// — distinct codes so the CI perf wall fails loudly, not confusingly.
+fn read_bench_file(path: &str) -> Result<String, CliError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::NotFound {
+            CliError::missing_input(format!("obs diff: bench snapshot {path} does not exist"))
+        } else {
+            CliError::general(format!("obs diff: cannot read {path}: {e}"))
+        }
+    })?;
+    let header = text.lines().next().unwrap_or("");
+    let Some(schema) = json_num_field(header, "bench_schema") else {
+        return Err(CliError::bad_schema(format!(
+            "obs diff: {path}: first line carries no bench_schema header \
+             (not a bench-report file?)"
+        )));
+    };
+    if !KNOWN_BENCH_SCHEMAS.contains(&(schema as u64)) {
+        return Err(CliError::bad_schema(format!(
+            "obs diff: {path}: unknown bench_schema {} (this build reads {:?})",
+            schema as u64, KNOWN_BENCH_SCHEMAS
+        )));
+    }
+    Ok(text)
+}
+
 /// Load the per-replication mean response times out of a bench report:
 /// `(job label/rep index, mean_response_s)` in file order.
-fn load_bench(path: &str) -> Result<Vec<(String, f64)>, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("obs diff: cannot read {path}: {e}"))?;
+fn load_bench(path: &str) -> Result<Vec<(String, f64)>, CliError> {
+    let text = read_bench_file(path)?;
     let mut rows = Vec::new();
     for line in text.lines() {
         let (Some(job), Some(rep), Some(mean)) = (
@@ -1402,9 +1572,9 @@ fn load_bench(path: &str) -> Result<Vec<(String, f64)>, String> {
         rows.push((format!("{job}/rep{rep}"), mean));
     }
     if rows.is_empty() {
-        return Err(format!(
+        return Err(CliError::bad_schema(format!(
             "obs diff: {path}: no report lines found (not a bench-report file?)"
-        ));
+        )));
     }
     Ok(rows)
 }
@@ -1416,9 +1586,8 @@ type ProfileRows = std::collections::BTreeMap<(String, String), (f64, f64)>;
 /// Load the per-(job, stack) profile counters out of a bench report.
 /// Empty — not an error — for schema-1 snapshots, which predate the
 /// profile section.
-fn load_profile_section(path: &str) -> Result<ProfileRows, String> {
-    let text =
-        std::fs::read_to_string(path).map_err(|e| format!("obs diff: cannot read {path}: {e}"))?;
+fn load_profile_section(path: &str) -> Result<ProfileRows, CliError> {
+    let text = read_bench_file(path)?;
     let mut rows = std::collections::BTreeMap::new();
     for line in text.lines() {
         let (Some(job), Some(phase), Some(sim_us), Some(alloc_bytes)) = (
@@ -1509,13 +1678,13 @@ fn profile_attribution(
 /// bench-report snapshots run-by-run and fails (exit 1) when any run's
 /// mean response time regressed beyond `--threshold` percent, naming
 /// the phases whose simulated-time and allocation counters moved most.
-pub fn cmd_obs(args: &Args) -> Result<String, String> {
+pub fn cmd_obs(args: &Args) -> Result<String, CliError> {
     match args.positional.first().map(String::as_str) {
         Some("diff") => {}
         other => {
-            return Err(format!(
+            return Err(CliError::general(format!(
                 "obs: expected `diff BASELINE CURRENT`, got {other:?}"
-            ))
+            )))
         }
     }
     let (Some(base_path), Some(cur_path)) = (args.positional.get(1), args.positional.get(2)) else {
@@ -1566,9 +1735,9 @@ pub fn cmd_obs(args: &Args) -> Result<String, String> {
             &load_profile_section(base_path)?,
             &load_profile_section(cur_path)?,
         );
-        return Err(format!(
+        return Err(CliError::general(format!(
             "{out}{attribution}{regressions} of {compared} runs regressed beyond +{threshold:.1} %"
-        ));
+        )));
     }
     out.push_str(&format!(
         "{compared} runs compared, none slower than +{threshold:.1} %\n"
@@ -1588,42 +1757,70 @@ pub fn cmd_crash_matrix(args: &Args) -> Result<String, String> {
     mc.event_samples = args.get_parsed("samples", mc.event_samples)?;
     mc.jobs = args.get_parsed("jobs", mc.jobs)?;
     mc.cfg.seed = args.get_parsed("seed", mc.cfg.seed)?;
-    let report = run_crash_matrix(&mc);
-    if report.violation_count() > 0 {
-        return Err(report.render());
+    if let Some(dir) = args.get("scratch-dir") {
+        mc.scratch_dir = Some(std::path::PathBuf::from(dir));
     }
-    if args.flag("json") {
-        return Ok(format!(
-            concat!(
-                "{{\"points\":{points},\"commits\":{commits},",
-                "\"events\":{events},\"log_flushes\":{flushes},",
-                "\"violations\":{violations}}}\n"
-            ),
-            points = report.points.len(),
-            commits = report.total_commits,
-            events = report.total_events,
-            flushes = report.total_flushes,
-            violations = report.violation_count(),
-        ));
+    let backends = match args.get("backend").unwrap_or("sim") {
+        "sim" => vec![MatrixBackend::Sim],
+        "file" => vec![MatrixBackend::File],
+        "both" => vec![MatrixBackend::Sim, MatrixBackend::File],
+        other => {
+            return Err(format!(
+                "--backend: expected sim, file or both, got {other:?}"
+            ))
+        }
+    };
+    let labelled = backends.len() > 1;
+    let mut out = String::new();
+    for backend in backends {
+        mc.backend = backend;
+        let report = run_crash_matrix(&mc);
+        if report.violation_count() > 0 {
+            return Err(format!("backend {}:\n{}", backend.name(), report.render()));
+        }
+        if args.flag("json") {
+            out.push_str(&format!(
+                concat!(
+                    "{{\"backend\":{backend:?},\"points\":{points},",
+                    "\"commits\":{commits},\"events\":{events},",
+                    "\"log_flushes\":{flushes},\"violations\":{violations}}}\n"
+                ),
+                backend = backend.name(),
+                points = report.points.len(),
+                commits = report.total_commits,
+                events = report.total_events,
+                flushes = report.total_flushes,
+                violations = report.violation_count(),
+            ));
+        } else {
+            if labelled {
+                out.push_str(&format!("== backend {} ==\n", backend.name()));
+            }
+            out.push_str(&report.render());
+        }
     }
-    Ok(report.render())
+    Ok(out)
 }
 
-/// Dispatch a parsed command line.
-pub fn dispatch(args: &Args) -> Result<String, String> {
+/// Dispatch a parsed command line. Errors carry a process exit code:
+/// `1` for ordinary failures, `3` when a required input file is
+/// missing, `4` when an input file has an unknown schema version.
+pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_deref() {
-        Some("simulate") => cmd_simulate(args),
-        Some("explain") => cmd_explain(args),
-        Some("explain-placement") => cmd_explain_placement(args),
-        Some("trace") => cmd_trace(args),
-        Some("inspect") => cmd_inspect(args),
-        Some("reorg") => cmd_reorg(args),
-        Some("golden") => cmd_golden(args),
+        Some("simulate") => cmd_simulate(args).map_err(CliError::from),
+        Some("explain") => cmd_explain(args).map_err(CliError::from),
+        Some("explain-placement") => cmd_explain_placement(args).map_err(CliError::from),
+        Some("trace") => cmd_trace(args).map_err(CliError::from),
+        Some("inspect") => cmd_inspect(args).map_err(CliError::from),
+        Some("reorg") => cmd_reorg(args).map_err(CliError::from),
+        Some("golden") => cmd_golden(args).map_err(CliError::from),
         Some("bench-report") => cmd_bench_report(args),
         Some("obs") => cmd_obs(args),
-        Some("crash-matrix") => cmd_crash_matrix(args),
+        Some("crash-matrix") => cmd_crash_matrix(args).map_err(CliError::from),
         Some("help") | None => Ok(USAGE.to_string()),
-        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+        Some(other) => Err(CliError::general(format!(
+            "unknown command {other:?}\n\n{USAGE}"
+        ))),
     }
 }
 

@@ -1,0 +1,80 @@
+//! Typed CLI errors carrying a distinct process exit code, so CI can
+//! tell a missing bench snapshot or a schema mismatch from an ordinary
+//! failure without parsing stderr.
+
+use std::fmt;
+use std::ops::Deref;
+
+/// Ordinary failure.
+pub const EXIT_FAILURE: i32 = 1;
+/// A required input file does not exist. (`2` is taken by argv parse
+/// errors in `main`.)
+pub const EXIT_MISSING_INPUT: i32 = 3;
+/// An input file exists but carries an unknown or absent schema
+/// version.
+pub const EXIT_BAD_SCHEMA: i32 = 4;
+
+/// A CLI error: the message `main` prints to stderr plus the process
+/// exit code it exits with.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code ([`EXIT_FAILURE`], [`EXIT_MISSING_INPUT`] or
+    /// [`EXIT_BAD_SCHEMA`]).
+    pub code: i32,
+}
+
+impl CliError {
+    /// An ordinary failure (exit code 1).
+    pub fn general(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_FAILURE,
+        }
+    }
+
+    /// A required input file is missing (exit code 3).
+    pub fn missing_input(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_MISSING_INPUT,
+        }
+    }
+
+    /// An input file has an unknown schema version (exit code 4).
+    pub fn bad_schema(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_BAD_SCHEMA,
+        }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError::general(message)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(message: &str) -> Self {
+        CliError::general(message)
+    }
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+/// Lets call sites (and the test suite) treat the error as its message:
+/// `err.contains("...")`, `err.starts_with("...")`.
+impl Deref for CliError {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.message
+    }
+}

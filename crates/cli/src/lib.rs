@@ -8,6 +8,8 @@
 
 pub mod args;
 pub mod commands;
+pub mod error;
 
 pub use args::Args;
 pub use commands::{dispatch, USAGE};
+pub use error::{CliError, EXIT_BAD_SCHEMA, EXIT_FAILURE, EXIT_MISSING_INPUT};

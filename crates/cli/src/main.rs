@@ -29,8 +29,10 @@ fn main() {
     match dispatch(&parsed) {
         Ok(output) => print!("{output}"),
         Err(e) => {
+            // Exit codes: 1 general failure, 2 argv parse error, 3
+            // missing input file, 4 unknown input schema.
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

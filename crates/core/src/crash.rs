@@ -12,11 +12,14 @@
 //! verifying each one.
 
 use crate::config::SimConfig;
+use crate::durable::{DurableMirror, FileCrashArtifacts};
 use crate::engine::Engine;
 use crate::metrics::RunReport;
-use semcluster_faults::CrashPoint;
+use semcluster_faults::{CrashPoint, FsFaultConfig};
+use semcluster_storage::{recover_dir, FileRecoveryOutcome, PAGES_FILE, WAL_FILE};
 use semcluster_vdm::DetHashSet;
 use semcluster_wal::{DurableLog, RecordKind, RecoveryOutcome, TxnToken};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -37,6 +40,11 @@ pub struct CrashOutcome {
     /// (the TxnDone event ran) before the crash. Durability must hold
     /// for exactly these.
     pub acked: Vec<TxnToken>,
+    /// Transactions that finished but whose durable (file-backend)
+    /// commit fsync failed: the client was never acknowledged, so
+    /// recovery owes them nothing — and fsyncgate semantics demand they
+    /// never silently become durable later. Empty without a mirror.
+    pub unacked: Vec<TxnToken>,
     /// Transactions still in flight at the crash. They may legally end
     /// up as winners (commit durable, acknowledgement lost) or losers.
     pub in_flight: Vec<TxnToken>,
@@ -49,6 +57,9 @@ pub struct CrashOutcome {
     pub commits_seen: u64,
     /// Physical log-device flushes issued before the crash.
     pub log_flushes_seen: u64,
+    /// What the durable file backend left behind (directory, fault
+    /// stats, torn-write report). `None` when no mirror was attached.
+    pub file: Option<FileCrashArtifacts>,
 }
 
 impl CrashOutcome {
@@ -148,6 +159,29 @@ impl CrashOutcome {
     }
 }
 
+/// Which storage backend a crash-matrix sweep exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatrixBackend {
+    /// The simulated log only (in-memory `DurableLog` + wal replay).
+    #[default]
+    Sim,
+    /// A real file-backed [`crate::DurableMirror`] per point: crash
+    /// points additionally kill the process image at filesystem syscall
+    /// boundaries and inject fsync failures, and ACID is verified by
+    /// recovering the actual files from disk — twice.
+    File,
+}
+
+impl MatrixBackend {
+    /// Stable lowercase name (CLI flag value and render label).
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixBackend::Sim => "sim",
+            MatrixBackend::File => "file",
+        }
+    }
+}
+
 /// Configuration of one crash-matrix sweep.
 #[derive(Debug, Clone)]
 pub struct CrashMatrixConfig {
@@ -161,6 +195,28 @@ pub struct CrashMatrixConfig {
     pub mid_flush_samples: usize,
     /// Worker threads (`0` = host parallelism).
     pub jobs: usize,
+    /// Storage backend under test.
+    pub backend: MatrixBackend,
+    /// File backend only: crash points sampled across the probe run's
+    /// post-checkpoint filesystem syscalls (the fault layer pulls the
+    /// plug mid-syscall, tearing the in-flight write at sector
+    /// granularity).
+    pub syscall_samples: usize,
+    /// File backend only: points injecting an fsync *failure* (not a
+    /// crash) at the k-th fsync; the run continues on the poisoned
+    /// handle and the matrix verifies failed commits were never acked
+    /// and never became durable.
+    pub fsync_fail_samples: usize,
+    /// File backend only: probability any raw write syscall accepts
+    /// only a prefix (exercises the short-write retry loop).
+    pub short_write_rate: f64,
+    /// File backend only: keep the durability semantics of the fault
+    /// layer (pending writes only reach the file at fsync) but skip the
+    /// physical `sync_all` syscall. For fast tests; CI keeps it off.
+    pub skip_physical_sync: bool,
+    /// File backend only: where failing points preserve their store
+    /// directory (default `target/crash-scratch`).
+    pub scratch_dir: Option<PathBuf>,
 }
 
 impl CrashMatrixConfig {
@@ -181,6 +237,12 @@ impl CrashMatrixConfig {
             event_samples: 50,
             mid_flush_samples: 10,
             jobs: 0,
+            backend: MatrixBackend::Sim,
+            syscall_samples: 12,
+            fsync_fail_samples: 4,
+            short_write_rate: 0.05,
+            skip_physical_sync: false,
+            scratch_dir: None,
         }
     }
 
@@ -200,6 +262,12 @@ impl CrashMatrixConfig {
             event_samples: 200,
             mid_flush_samples: 40,
             jobs: 0,
+            backend: MatrixBackend::Sim,
+            syscall_samples: 40,
+            fsync_fail_samples: 8,
+            short_write_rate: 0.05,
+            skip_physical_sync: false,
+            scratch_dir: None,
         }
     }
 }
@@ -217,22 +285,42 @@ pub struct CrashPointResult {
     pub losers: usize,
     /// Torn records truncated before analysis.
     pub truncated: u32,
-    /// ACID violations ([`CrashOutcome::verify_acid`]); empty = clean.
+    /// ACID violations ([`CrashOutcome::verify_acid`], plus the file
+    /// backend's recovery checks); empty = clean.
     pub violations: Vec<String>,
+    /// File backend: the crash tore a partially written sector.
+    pub torn_write: bool,
+    /// File backend: an injected fsync failure fired during the run.
+    pub fsync_failed: bool,
+    /// File backend: pages recovery rewrote from WAL snapshots.
+    pub repaired_pages: usize,
+    /// File backend: torn WAL tail bytes physically truncated.
+    pub wal_truncated: u64,
+    /// File backend: where the store directory was preserved when this
+    /// point failed verification (`None` when clean — the scratch
+    /// directory is removed).
+    pub scratch: Option<String>,
 }
 
 /// The whole matrix: probe-run totals plus one result per crash point,
 /// in deterministic point order.
 #[derive(Debug)]
 pub struct CrashMatrixReport {
+    /// Backend the matrix ran against.
+    pub backend: MatrixBackend,
     /// Commits the uncrashed probe run performed.
     pub total_commits: u64,
     /// Events the uncrashed probe run processed.
     pub total_events: u64,
     /// Physical log flushes the uncrashed probe run issued.
     pub total_flushes: u64,
+    /// File backend: filesystem syscalls the probe run issued.
+    pub total_syscalls: u64,
+    /// File backend: fsyncs the probe run issued.
+    pub total_fsyncs: u64,
     /// Per-point results, in the order the points were generated
-    /// (commits, then event samples, then mid-flush samples).
+    /// (commits, then event samples, then mid-flush samples, then —
+    /// file backend — syscall and fsync-failure samples).
     pub points: Vec<CrashPointResult>,
 }
 
@@ -253,11 +341,27 @@ impl CrashMatrixReport {
             self.total_events,
             self.total_flushes
         ));
+        if self.backend == MatrixBackend::File {
+            out.push_str(&format!(
+                "file backend: {} syscalls / {} fsyncs probed; \
+                 {} torn writes, {} fsync-failure runs, \
+                 {} pages repaired, {} wal tails truncated\n",
+                self.total_syscalls,
+                self.total_fsyncs,
+                self.points.iter().filter(|p| p.torn_write).count(),
+                self.points.iter().filter(|p| p.fsync_failed).count(),
+                self.points.iter().map(|p| p.repaired_pages).sum::<usize>(),
+                self.points.iter().filter(|p| p.wal_truncated > 0).count()
+            ));
+        }
         for p in &self.points {
             if !p.violations.is_empty() {
                 out.push_str(&format!("  FAIL {}:\n", p.point.label()));
                 for v in &p.violations {
                     out.push_str(&format!("    - {v}\n"));
+                }
+                if let Some(s) = &p.scratch {
+                    out.push_str(&format!("    scratch preserved at {s}\n"));
                 }
             }
         }
@@ -291,13 +395,81 @@ fn sample_points(max: u64, n: usize) -> Vec<u64> {
     out
 }
 
+/// Evenly sample `n` values from `lo..=max` (deduplicated, ascending).
+fn sample_range(lo: u64, max: u64, n: usize) -> Vec<u64> {
+    if max < lo {
+        return Vec::new();
+    }
+    sample_points(max - lo + 1, n)
+        .into_iter()
+        .map(|v| lo + v - 1)
+        .collect()
+}
+
+/// Fill one result slot per point, either serially or with a scoped
+/// worker pool pulling from a shared counter. Result order is the point
+/// order regardless of worker count.
+fn run_slots<F>(points: &[CrashPoint], threads: usize, run_point: F) -> Vec<CrashPointResult>
+where
+    F: Fn(usize, CrashPoint) -> CrashPointResult + Sync,
+{
+    let n = points.len();
+    let mut slots: Vec<Option<CrashPointResult>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    if threads == 1 {
+        for (i, &point) in points.iter().enumerate() {
+            slots[i] = Some(run_point(i, point));
+        }
+    } else {
+        let next = AtomicUsize::new(0);
+        let out: Vec<Mutex<&mut Option<CrashPointResult>>> =
+            slots.iter_mut().map(Mutex::new).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = run_point(i, points[i]);
+                    **out[i].lock().expect("matrix result slot poisoned") = Some(item);
+                });
+            }
+        });
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every matrix slot filled by a worker"))
+        .collect()
+}
+
+fn thread_count(jobs: usize, n: usize) -> usize {
+    if jobs == 0 {
+        crate::sweep::default_parallelism()
+    } else {
+        jobs
+    }
+    .clamp(1, n.max(1))
+}
+
 /// Run the exhaustive crash-recovery matrix: probe the workload once to
 /// learn its commit/event/flush totals, then crash it at every commit
 /// boundary, at `event_samples` intra-transaction points, and at
 /// `mid_flush_samples` torn-log points, verifying ACID invariants at
-/// each. The point list and every result are deterministic; worker
-/// count only affects wall-clock.
+/// each. With [`MatrixBackend::File`] every point additionally runs a
+/// real file-backed store; the matrix adds crash-at-syscall and
+/// fsync-failure points and verifies ACID by recovering the actual
+/// files from disk, twice (recovery must be idempotent byte-for-byte).
+/// The point list and every result are deterministic; worker count only
+/// affects wall-clock.
 pub fn run_crash_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
+    match config.backend {
+        MatrixBackend::Sim => run_sim_matrix(config),
+        MatrixBackend::File => run_file_matrix(config),
+    }
+}
+
+fn run_sim_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
     let mut cfg = config.cfg.clone();
     cfg.retain_log = true;
 
@@ -320,15 +492,8 @@ pub fn run_crash_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
         points.push(CrashPoint::MidFlush(k));
     }
 
-    let n = points.len();
-    let threads = if config.jobs == 0 {
-        crate::sweep::default_parallelism()
-    } else {
-        config.jobs
-    }
-    .clamp(1, n.max(1));
-
-    let run_point = |point: CrashPoint| -> CrashPointResult {
+    let threads = thread_count(config.jobs, points.len());
+    let run_point = |_idx: usize, point: CrashPoint| -> CrashPointResult {
         let outcome = Engine::new(cfg.clone()).run_and_crash_at(point);
         let violations = outcome.verify_acid();
         CrashPointResult {
@@ -338,41 +503,273 @@ pub fn run_crash_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
             losers: outcome.recovery.losers.len(),
             truncated: outcome.recovery.truncated,
             violations,
+            torn_write: false,
+            fsync_failed: false,
+            repaired_pages: 0,
+            wal_truncated: 0,
+            scratch: None,
         }
     };
 
-    let mut slots: Vec<Option<CrashPointResult>> = Vec::with_capacity(n);
-    slots.resize_with(n, || None);
-    if threads == 1 {
-        for (i, &point) in points.iter().enumerate() {
-            slots[i] = Some(run_point(point));
-        }
-    } else {
-        let next = AtomicUsize::new(0);
-        let out: Vec<Mutex<&mut Option<CrashPointResult>>> =
-            slots.iter_mut().map(Mutex::new).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = run_point(points[i]);
-                    **out[i].lock().expect("matrix result slot poisoned") = Some(item);
-                });
-            }
-        });
-    }
-
     CrashMatrixReport {
+        backend: MatrixBackend::Sim,
         total_commits,
         total_events,
         total_flushes,
-        points: slots
-            .into_iter()
-            .map(|s| s.expect("every matrix slot filled by a worker"))
-            .collect(),
+        total_syscalls: 0,
+        total_fsyncs: 0,
+        points: run_slots(&points, threads, run_point),
+    }
+}
+
+/// Deterministic per-point salt for the filesystem fault schedule.
+const POINT_SALT: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn file_fault_cfg(config: &CrashMatrixConfig, idx: u64, point: CrashPoint) -> FsFaultConfig {
+    let mut fscfg = FsFaultConfig {
+        seed: config.cfg.seed ^ idx.wrapping_mul(POINT_SALT),
+        short_write_rate: config.short_write_rate,
+        skip_physical_sync: config.skip_physical_sync,
+        ..FsFaultConfig::default()
+    };
+    match point {
+        CrashPoint::Syscall(k) => fscfg.crash_at_syscall = Some(k),
+        CrashPoint::FsyncFail(k) => fscfg.fsync_fail_at = vec![k],
+        _ => {}
+    }
+    fscfg
+}
+
+/// Read the two store files (absent files read as distinct sentinels so
+/// existence changes also count as byte changes).
+fn store_bytes(root: &Path) -> (Option<Vec<u8>>, Option<Vec<u8>>) {
+    (
+        std::fs::read(root.join(PAGES_FILE)).ok(),
+        std::fs::read(root.join(WAL_FILE)).ok(),
+    )
+}
+
+/// Preserve a failing point's store directory for post-mortem.
+fn preserve_scratch(root: &Path, dest: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dest)?;
+    for name in [PAGES_FILE, WAL_FILE] {
+        let src = root.join(name);
+        if src.exists() {
+            std::fs::copy(&src, dest.join(name))?;
+        }
+    }
+    Ok(())
+}
+
+impl CrashOutcome {
+    /// File-backend ACID checks over two consecutive recoveries of the
+    /// real store files: every acknowledged commit is durable on disk,
+    /// no fsync-failed commit silently became durable, the recovery
+    /// itself reports no invariant violations, and the second pass is a
+    /// byte-level no-op (`bytes_stable` is the caller's comparison of
+    /// the store files before and after the second recovery).
+    pub fn verify_file(
+        &self,
+        rec1: &FileRecoveryOutcome,
+        rec2: &FileRecoveryOutcome,
+        bytes_stable: bool,
+    ) -> Vec<String> {
+        let mut v = Vec::new();
+        for t in &self.acked {
+            if rec1.winners.binary_search(&t.raw()).is_err() {
+                v.push(format!(
+                    "file durability: acked txn {} has no durable commit on disk",
+                    t.raw()
+                ));
+            }
+        }
+        for t in &self.unacked {
+            if rec1.winners.binary_search(&t.raw()).is_ok() {
+                v.push(format!(
+                    "file fsyncgate: txn {} failed its commit fsync yet became durable",
+                    t.raw()
+                ));
+            }
+        }
+        v.extend(
+            rec1.violations
+                .iter()
+                .map(|s| format!("file recovery: {s}")),
+        );
+        v.extend(
+            rec2.violations
+                .iter()
+                .map(|s| format!("file recovery (2nd pass): {s}")),
+        );
+        if !rec2.torn_pages.is_empty()
+            || !rec2.repaired_pages.is_empty()
+            || rec2.wal_truncated_bytes != 0
+        {
+            v.push(format!(
+                "file recovery: second pass repaired again (torn {:?}, rewrote {:?}, \
+                 truncated {}) — not idempotent",
+                rec2.torn_pages, rec2.repaired_pages, rec2.wal_truncated_bytes
+            ));
+        }
+        if rec2.winners != rec1.winners || rec2.losers != rec1.losers || rec2.pages != rec1.pages {
+            v.push("file recovery: second pass diverged from the first".to_string());
+        }
+        if !bytes_stable {
+            v.push("file recovery: second pass modified the on-disk bytes".to_string());
+        }
+        v
+    }
+}
+
+fn run_file_matrix(config: &CrashMatrixConfig) -> CrashMatrixReport {
+    let mut cfg = config.cfg.clone();
+    cfg.retain_log = true;
+    let base = std::env::temp_dir().join(format!("semcluster-matrix-{}", std::process::id()));
+    let scratch_base = config
+        .scratch_dir
+        .clone()
+        .unwrap_or_else(|| PathBuf::from("target/crash-scratch"));
+
+    // Probe with a fault-free mirror to learn the crash-point space,
+    // including the filesystem syscall/fsync counts past the initial
+    // checkpoint (crashes inside the checkpoint exercise nothing
+    // transactional: the store resets to pre-operational).
+    let probe_root = base.join("probe");
+    let _ = std::fs::remove_dir_all(&probe_root);
+    let probe = {
+        let mut engine = Engine::new(cfg.clone());
+        let mirror = DurableMirror::create(
+            &probe_root,
+            file_fault_cfg(config, u64::MAX, CrashPoint::End),
+        )
+        .expect("file matrix: probe mirror creation failed");
+        engine
+            .attach_mirror(mirror)
+            .expect("file matrix: probe checkpoint failed");
+        engine.run_and_crash_at(CrashPoint::End)
+    };
+    let _ = std::fs::remove_dir_all(&probe_root);
+    let artifacts = probe
+        .file
+        .as_ref()
+        .expect("probe run carries mirror artifacts");
+    let (total_syscalls, total_fsyncs) = (
+        artifacts.report.stats.syscalls,
+        artifacts.report.stats.fsyncs,
+    );
+    let (ckpt_syscalls, ckpt_fsyncs) = (artifacts.checkpoint_syscalls, artifacts.checkpoint_fsyncs);
+    let (total_commits, total_events, total_flushes) = (
+        probe.commits_seen,
+        probe.events_seen,
+        probe.log_flushes_seen,
+    );
+
+    let mut points: Vec<CrashPoint> = Vec::new();
+    for k in 1..=total_commits {
+        points.push(CrashPoint::Commit(k));
+    }
+    for k in sample_points(total_events, config.event_samples) {
+        points.push(CrashPoint::Event(k));
+    }
+    for k in sample_points(total_flushes, config.mid_flush_samples) {
+        points.push(CrashPoint::MidFlush(k));
+    }
+    for k in sample_range(ckpt_syscalls + 1, total_syscalls, config.syscall_samples) {
+        points.push(CrashPoint::Syscall(k));
+    }
+    for k in sample_range(ckpt_fsyncs + 1, total_fsyncs, config.fsync_fail_samples) {
+        points.push(CrashPoint::FsyncFail(k));
+    }
+
+    let threads = thread_count(config.jobs, points.len());
+    let run_point = |idx: usize, point: CrashPoint| -> CrashPointResult {
+        let dirname = format!("pt{idx:03}-{}", point.label().replace(':', "-"));
+        let root = base.join(&dirname);
+        let _ = std::fs::remove_dir_all(&root);
+        let mut result = CrashPointResult {
+            point,
+            acked: 0,
+            winners: 0,
+            losers: 0,
+            truncated: 0,
+            violations: Vec::new(),
+            torn_write: false,
+            fsync_failed: false,
+            repaired_pages: 0,
+            wal_truncated: 0,
+            scratch: None,
+        };
+
+        let mut engine = Engine::new(cfg.clone());
+        match DurableMirror::create(&root, file_fault_cfg(config, idx as u64, point))
+            .and_then(|m| engine.attach_mirror(m))
+        {
+            Err(e) => result
+                .violations
+                .push(format!("file: mirror setup failed: {e}")),
+            Ok(()) => {
+                let outcome = engine.run_and_crash_at(point);
+                result.violations.extend(
+                    outcome
+                        .verify_acid()
+                        .into_iter()
+                        .map(|v| format!("sim: {v}")),
+                );
+                result.acked = outcome.acked.len();
+                let artifacts = outcome
+                    .file
+                    .as_ref()
+                    .expect("mirror was attached, so artifacts exist");
+                result.torn_write = artifacts.report.torn.is_some();
+                result.fsync_failed = artifacts.report.stats.fsync_failures > 0;
+                match recover_dir(&root) {
+                    Err(e) => result.violations.push(format!("file recovery failed: {e}")),
+                    Ok(rec1) => {
+                        let snap1 = store_bytes(&root);
+                        match recover_dir(&root) {
+                            Err(e) => result
+                                .violations
+                                .push(format!("file recovery (2nd pass) failed: {e}")),
+                            Ok(rec2) => {
+                                let bytes_stable = snap1 == store_bytes(&root);
+                                result.violations.extend(outcome.verify_file(
+                                    &rec1,
+                                    &rec2,
+                                    bytes_stable,
+                                ));
+                            }
+                        }
+                        result.winners = rec1.winners.len();
+                        result.losers = rec1.losers.len();
+                        result.truncated = rec1.wal_truncated_bytes.min(u32::MAX as u64) as u32;
+                        result.repaired_pages = rec1.repaired_pages.len();
+                        result.wal_truncated = rec1.wal_truncated_bytes;
+                    }
+                }
+            }
+        }
+
+        if !result.violations.is_empty() {
+            let dest = scratch_base.join(&dirname);
+            if preserve_scratch(&root, &dest).is_ok() {
+                result.scratch = Some(dest.display().to_string());
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+        result
+    };
+
+    let points_out = run_slots(&points, threads, run_point);
+    let _ = std::fs::remove_dir_all(&base);
+
+    CrashMatrixReport {
+        backend: MatrixBackend::File,
+        total_commits,
+        total_events,
+        total_flushes,
+        total_syscalls,
+        total_fsyncs,
+        points: points_out,
     }
 }
 
@@ -441,5 +838,39 @@ mod tests {
         mc.jobs = 4;
         let parallel = run_crash_matrix(&mc);
         assert_eq!(serial.render(), parallel.render());
+    }
+
+    #[test]
+    fn tiny_file_matrix_is_violation_free() {
+        let mut mc = CrashMatrixConfig::smoke();
+        mc.cfg.database_bytes = 256 * 1024;
+        mc.cfg.buffer_pages = 8;
+        mc.cfg.warmup_txns = 3;
+        mc.cfg.measured_txns = 8;
+        mc.event_samples = 4;
+        mc.mid_flush_samples = 2;
+        mc.syscall_samples = 4;
+        mc.fsync_fail_samples = 2;
+        mc.backend = MatrixBackend::File;
+        mc.skip_physical_sync = true;
+        mc.jobs = 2;
+        let report = run_crash_matrix(&mc);
+        assert_eq!(report.violation_count(), 0, "{}", report.render());
+        assert_eq!(report.backend, MatrixBackend::File);
+        assert!(report.total_syscalls > report.total_fsyncs);
+        assert!(report.total_fsyncs > 0);
+        // The point list must actually cover the file-only fault modes.
+        assert!(report
+            .points
+            .iter()
+            .any(|p| matches!(p.point, CrashPoint::Syscall(_))));
+        assert!(report
+            .points
+            .iter()
+            .any(|p| matches!(p.point, CrashPoint::FsyncFail(_))));
+        assert!(
+            report.points.iter().any(|p| p.fsync_failed),
+            "at least one run must survive an injected fsync failure"
+        );
     }
 }

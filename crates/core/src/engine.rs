@@ -29,6 +29,7 @@
 
 use crate::config::SimConfig;
 use crate::crash::CrashOutcome;
+use crate::durable::DurableMirror;
 use crate::error::EngineError;
 use crate::metrics::{MetricsCollector, RunReport, SpanBreakdown};
 use semcluster_buffer::{
@@ -48,7 +49,7 @@ use semcluster_obs::{
     TraceSink,
 };
 use semcluster_sim::{EventQueue, FcfsServer, ServerBank, SimDuration, SimRng, SimTime};
-use semcluster_storage::{DiskLayout, PageId, StorageManager};
+use semcluster_storage::{DiskLayout, PageId, StorageManager, StoreError, WalOp};
 use semcluster_vdm::{derive_version, Database, ObjectId, ObjectName, RelKind, SyntheticDbSpec};
 use semcluster_wal::LogManager;
 use semcluster_workload::{
@@ -338,6 +339,15 @@ pub struct Engine {
     aborted_tokens: Vec<semcluster_wal::TxnToken>,
     /// First few abort reasons, for the run report.
     abort_reasons: Vec<String>,
+    /// Optional durable file-backed mirror (DESIGN.md §15). `None` in
+    /// every simulated run; each hook is then a single branch, keeping
+    /// the golden suites byte-identical.
+    mirror: Option<DurableMirror>,
+    /// Tokens whose durable commit fsync failed — must never be acked.
+    mirror_failed: Vec<semcluster_wal::TxnToken>,
+    /// Tokens that reached TxnDone but whose durable commit had failed;
+    /// the matrix verifies these are NOT required to survive recovery.
+    unacked_commits: Vec<semcluster_wal::TxnToken>,
 }
 
 impl Engine {
@@ -433,6 +443,9 @@ impl Engine {
             acked_commits: Vec::new(),
             aborted_tokens: Vec::new(),
             abort_reasons: Vec::new(),
+            mirror: None,
+            mirror_failed: Vec::new(),
+            unacked_commits: Vec::new(),
         };
         for u in 0..engine.cfg.users {
             engine.start_session(u);
@@ -804,17 +817,40 @@ impl Engine {
             _ => self.log.crash(),
         };
         let recovery = semcluster_wal::recover(&durable);
+        let file = self
+            .mirror
+            .take()
+            .map(|m| m.crash(matches!(point, CrashPoint::MidFlush(_))));
         CrashOutcome {
             point,
             report,
             durable,
             recovery,
             acked: self.acked_commits,
+            unacked: self.unacked_commits,
             in_flight,
             aborted: self.aborted_tokens,
             events_seen: self.events_seen,
             commits_seen: self.commits_seen,
             log_flushes_seen: self.log_flushes_seen,
+            file,
+        }
+    }
+
+    /// Attach a durable file-backed mirror: writes the checkpoint image
+    /// of the store as laid out right now, then shadows every storage
+    /// effect for the rest of the run. Call before [`Engine::run`] or
+    /// [`Engine::run_and_crash_at`].
+    pub fn attach_mirror(&mut self, mut mirror: DurableMirror) -> Result<(), StoreError> {
+        mirror.checkpoint(&self.store)?;
+        self.mirror = Some(mirror);
+        Ok(())
+    }
+
+    /// Mirror one logical storage op (single branch when detached).
+    fn mirror_op(&mut self, token: semcluster_wal::TxnToken, op: WalOp) {
+        if let Some(m) = self.mirror.as_mut() {
+            m.op(token.raw(), op);
         }
     }
 
@@ -847,6 +883,13 @@ impl Engine {
                 CrashPoint::Event(k) if self.events_seen >= k => self.crash_pending = true,
                 CrashPoint::Lsn(k) if self.log.current_lsn() >= k => self.crash_pending = true,
                 _ => {}
+            }
+            if let Some(m) = &self.mirror {
+                // The fs fault layer pulled the plug at an injected
+                // syscall boundary: stop at this event boundary too.
+                if m.crashed() {
+                    self.crash_pending = true;
+                }
             }
             if self.crash_pending {
                 break; // crash point fired: stop at this event boundary
@@ -1007,6 +1050,14 @@ impl Engine {
             if let Some(token) = token {
                 let ios = self.log.commit(token);
                 self.commits_seen += 1;
+                if let Some(m) = self.mirror.as_mut() {
+                    // The durable commit force is the acknowledgement
+                    // gate: a failed fsync (fsyncgate) means the token
+                    // must never be acked, and is never retried.
+                    if !m.commit(token.raw()) {
+                        self.mirror_failed.push(token);
+                    }
+                }
                 if let CrashPoint::Commit(k) = self.crash_point {
                     if self.commits_seen == k {
                         self.crash_pending = true;
@@ -1062,7 +1113,14 @@ impl Engine {
             // construction (the force completed before TxnDone was
             // scheduled), so recovery must never lose it.
             if let Some(token) = txn.token {
-                self.acked_commits.push(token);
+                if self.mirror_failed.contains(&token) {
+                    // The durable backend could not force this commit:
+                    // the simulation proceeds, but the client was never
+                    // acknowledged — recovery owes it nothing.
+                    self.unacked_commits.push(token);
+                } else {
+                    self.acked_commits.push(token);
+                }
             }
         }
         self.observe_degradation(txn.span.cluster_search_us, now);
@@ -1173,6 +1231,9 @@ impl Engine {
         );
         if let Some(token) = txn.token {
             self.log.abort(token);
+            if let Some(m) = self.mirror.as_mut() {
+                m.abort(token.raw());
+            }
             if self.cfg.retain_log {
                 self.aborted_tokens.push(token);
             }
@@ -1561,6 +1622,19 @@ impl Engine {
         t: SimTime,
         cause: FlushCause,
     ) -> Result<SimTime, EngineError> {
+        if self.mirror.is_some() {
+            // Stealing a dirty page to disk: the mirror forces a page
+            // snapshot into the WAL first (so a torn page write is
+            // always repairable), then performs the real write + fsync.
+            let slots: Vec<(u32, u32)> = self
+                .store
+                .objects_on(page)
+                .map(|objs| objs.iter().map(|&(o, s)| (o.0, s)).collect())
+                .unwrap_or_default();
+            if let Some(m) = self.mirror.as_mut() {
+                m.steal(page.0, &slots);
+            }
+        }
         let d = self.layout.disk_of(page) as usize;
         let outcome = self.faulty_disk_io(IoOp::Write, page, d, t);
         let end = match &outcome {
@@ -1932,6 +2006,32 @@ impl Engine {
                     // record for the split (§5.1.2).
                     t = self.charge_flush(outcome.new_page, t, FlushCause::Split)?;
                     t = self.charge_log(token, outcome.new_page, size, t);
+                    if self.mirror.is_some() {
+                        // Each object the split carried off the full page
+                        // is a logged move (sizes read back from the new
+                        // page, where they now live).
+                        let on_new: Vec<(ObjectId, u32)> = self
+                            .store
+                            .objects_on(outcome.new_page)
+                            .map(|objs| objs.to_vec())
+                            .unwrap_or_default();
+                        for &moved in &outcome.moved {
+                            let msize = on_new
+                                .iter()
+                                .find(|&&(o, _)| o == moved)
+                                .map(|&(_, s)| s)
+                                .unwrap_or(0);
+                            self.mirror_op(
+                                token,
+                                WalOp::Move {
+                                    object: moved.0,
+                                    size: msize,
+                                    from: full.0,
+                                    to: outcome.new_page.0,
+                                },
+                            );
+                        }
+                    }
                     self.metrics.splits += 1;
                     self.registry.inc("cluster.split");
                     if self.trace.enabled() {
@@ -2002,6 +2102,14 @@ impl Engine {
         };
         self.pool.mark_dirty(landed);
         t = self.charge_log(token, landed, size, t);
+        self.mirror_op(
+            token,
+            WalOp::Place {
+                object: id.0,
+                size,
+                page: landed.0,
+            },
+        );
         if self.measuring {
             self.metrics.objects_created += 1;
         }
@@ -2030,6 +2138,14 @@ impl Engine {
             .and_then(|objs| objs.iter().find(|&&(o, _)| o == target).map(|&(_, s)| s))
             .unwrap_or(128);
         t = self.charge_log(token, page, size, t);
+        self.mirror_op(
+            token,
+            WalOp::Touch {
+                object: target.0,
+                size,
+                page: page.0,
+            },
+        );
 
         // Run-time reclustering: the update is the moment the cluster
         // manager re-evaluates the object's placement. Suspended while
@@ -2069,6 +2185,15 @@ impl Engine {
                     self.pool.mark_dirty(page);
                     self.pool.mark_dirty(plan.to);
                     t = self.charge_log(token, plan.to, size, t);
+                    self.mirror_op(
+                        token,
+                        WalOp::Move {
+                            object: target.0,
+                            size,
+                            from: page.0,
+                            to: plan.to.0,
+                        },
+                    );
                     self.metrics.recluster_moves += 1;
                     self.registry.inc("cluster.recluster.move");
                     if self.trace.enabled() {
@@ -2133,9 +2258,19 @@ impl Engine {
                 .ok()
                 .and_then(|objs| objs.iter().find(|&&(o, _)| o == target).map(|&(_, s)| s))
                 .unwrap_or(0);
-            let _ = self.store.remove(target);
+            let removed = self.store.remove(target).is_ok();
             self.pool.mark_dirty(page);
             t = self.charge_log(token, page, size, t);
+            if removed {
+                self.mirror_op(
+                    token,
+                    WalOp::Remove {
+                        object: target.0,
+                        size,
+                        page: page.0,
+                    },
+                );
+            }
             if self.measuring {
                 self.metrics.objects_deleted += 1;
             }

@@ -28,6 +28,7 @@
 
 mod config;
 mod crash;
+mod durable;
 mod engine;
 mod error;
 mod metrics;
@@ -38,7 +39,9 @@ mod sweep;
 pub use config::SimConfig;
 pub use crash::{
     run_crash_matrix, CrashMatrixConfig, CrashMatrixReport, CrashOutcome, CrashPointResult,
+    MatrixBackend,
 };
+pub use durable::{DurableMirror, FileCrashArtifacts, MirrorStats};
 pub use engine::{
     run_simulation, run_simulation_observed, run_simulation_with_obs, Engine, ObsConfig,
     RunObservations,

@@ -208,10 +208,19 @@ pub enum CrashPoint {
     /// Crash during the k-th physical log flush (1-based); the tail
     /// record being written is torn and recovery must truncate it.
     MidFlush(u64),
+    /// Kill the process image at the file backend's k-th filesystem
+    /// syscall (1-based). The simulated backend ignores this point and
+    /// runs to completion; the file backend's fault layer fires it.
+    Syscall(u64),
+    /// Inject an fsync failure at the file backend's k-th fsync
+    /// (1-based) and run to completion, exercising fsyncgate handling.
+    /// Ignored by the simulated backend.
+    FsyncFail(u64),
 }
 
 impl CrashPoint {
-    /// Parse `end`, `event:K`, `commit:K`, `lsn:K` or `midflush:K`.
+    /// Parse `end`, `event:K`, `commit:K`, `lsn:K`, `midflush:K`,
+    /// `syscall:K` or `fsyncfail:K`.
     pub fn parse(s: &str) -> Option<CrashPoint> {
         if s == "end" {
             return Some(CrashPoint::End);
@@ -223,6 +232,8 @@ impl CrashPoint {
             "commit" => CrashPoint::Commit(k),
             "lsn" => CrashPoint::Lsn(k),
             "midflush" => CrashPoint::MidFlush(k),
+            "syscall" => CrashPoint::Syscall(k),
+            "fsyncfail" => CrashPoint::FsyncFail(k),
             _ => return None,
         })
     }
@@ -235,6 +246,8 @@ impl CrashPoint {
             CrashPoint::Commit(k) => format!("commit:{k}"),
             CrashPoint::Lsn(k) => format!("lsn:{k}"),
             CrashPoint::MidFlush(k) => format!("midflush:{k}"),
+            CrashPoint::Syscall(k) => format!("syscall:{k}"),
+            CrashPoint::FsyncFail(k) => format!("fsyncfail:{k}"),
         }
     }
 }
@@ -277,7 +290,15 @@ mod tests {
 
     #[test]
     fn crash_point_parse_roundtrip() {
-        for s in ["end", "event:500", "commit:12", "lsn:99", "midflush:3"] {
+        for s in [
+            "end",
+            "event:500",
+            "commit:12",
+            "lsn:99",
+            "midflush:3",
+            "syscall:777",
+            "fsyncfail:2",
+        ] {
             let p = CrashPoint::parse(s).unwrap();
             assert_eq!(p.label(), s);
         }

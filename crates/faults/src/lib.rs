@@ -27,7 +27,9 @@
 #![warn(missing_docs)]
 
 mod config;
+mod fsfault;
 mod plan;
 
 pub use config::{CrashPoint, DegradationPolicy, FaultConfig, RetryPolicy};
+pub use fsfault::{FaultedDir, FsCrashReport, FsError, FsFaultConfig, FsFile, FsStats, TornWrite};
 pub use plan::{FaultPlan, FaultState, FaultStats, IoError, IoOp};

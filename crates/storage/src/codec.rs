@@ -1,0 +1,617 @@
+//! On-disk formats for the durable backend: checksummed page images
+//! and WAL records (DESIGN.md §15).
+//!
+//! ## Page image (fixed 4096-byte slot at offset `page_id * 4096`)
+//!
+//! ```text
+//! +--------+---------+--------+-------------+--------+----------------+
+//! | magic  | page id |  lsn   | payload_len |  crc   |    payload     |
+//! | "SPG1" |  u32    |  u64   |    u32      |  u32   | count + slots  |
+//! |  u32   |         |        |             |        |  (zero-padded) |
+//! +--------+---------+--------+-------------+--------+----------------+
+//!  0        4         8        16            20       24 .. 4096
+//! ```
+//!
+//! The payload is `count: u32` followed by `count` `(object: u32,
+//! size: u32)` pairs. The CRC (IEEE CRC-32) covers bytes 4..20 plus
+//! the payload, so any single-bit flip anywhere meaningful — header or
+//! payload — fails verification. An all-zero slot decodes as
+//! [`PageRead::Missing`] (never written); anything else that fails the
+//! magic, bounds or CRC checks is [`PageRead::Torn`].
+//!
+//! ## WAL record
+//!
+//! ```text
+//! +--------+------+------+------+----+----+----+----+-------------+-----+---------+
+//! | magic  | lsn  | txn  | kind | a  | b  | c  | d  | payload_len | crc | payload |
+//! | "SWR1" | u64  | u64  | u8   |u32 |u32 |u32 |u32 |     u32     | u32 |         |
+//! +--------+------+------+------+----+----+----+----+-------------+-----+---------+
+//! ```
+//!
+//! Fixed 45-byte header; only [`WalOp::PageSnapshot`] carries a
+//! payload (its slot list). [`scan_wal`] walks a byte buffer and stops
+//! at the first short or corrupt record: everything after it is the
+//! torn tail and recovery truncates it.
+
+use std::fmt;
+
+/// Size of one on-disk page slot.
+pub const DISK_PAGE_BYTES: u32 = 4096;
+/// Page header: magic + page id + lsn + payload_len + crc.
+pub const PAGE_HEADER_BYTES: usize = 24;
+/// Maximum `(object, size)` slots one on-disk page can carry.
+pub const MAX_DISK_SLOTS: usize = (DISK_PAGE_BYTES as usize - PAGE_HEADER_BYTES - 4) / 8;
+/// WAL record header length.
+pub const WAL_HEADER_BYTES: usize = 45;
+
+const PAGE_MAGIC: u32 = 0x5350_4731; // "SPG1"
+const WAL_MAGIC: u32 = 0x5357_5231; // "SWR1"
+/// Sanity bound on a WAL payload (a snapshot of a full page).
+const MAX_WAL_PAYLOAD: u32 = DISK_PAGE_BYTES;
+
+/// Errors from encoding on-disk structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// Page payload exceeds the fixed slot size.
+    PageOverflow {
+        /// Page being encoded.
+        page: u32,
+        /// Slots that were requested.
+        slots: usize,
+    },
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::PageOverflow { page, slots } => write!(
+                f,
+                "page {page} with {slots} slots exceeds the {DISK_PAGE_BYTES}-byte on-disk slot \
+                 (max {MAX_DISK_SLOTS})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+// ---------------------------------------------------------------- CRC32
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            bit += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// IEEE CRC-32 (the zlib polynomial), dependency-free.
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = CRC_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    let mut b = [0u8; 8];
+    b.copy_from_slice(&buf[at..at + 8]);
+    u64::from_le_bytes(b)
+}
+
+// ----------------------------------------------------------- page codec
+
+/// What decoding one on-disk page slot yielded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PageRead {
+    /// The slot was never written (all zero).
+    Missing,
+    /// A verified page image.
+    Valid {
+        /// Page id from the header (must match the slot position).
+        page: u32,
+        /// LSN the image was written at.
+        lsn: u64,
+        /// `(object, size)` slots.
+        slots: Vec<(u32, u32)>,
+    },
+    /// The slot holds bytes that fail the magic/bounds/CRC checks —
+    /// a torn or corrupt write. Recovery must repair it from the log.
+    Torn,
+}
+
+/// Encode a page image into a fixed [`DISK_PAGE_BYTES`] buffer.
+pub fn encode_page(page: u32, lsn: u64, slots: &[(u32, u32)]) -> Result<Vec<u8>, CodecError> {
+    if slots.len() > MAX_DISK_SLOTS {
+        return Err(CodecError::PageOverflow {
+            page,
+            slots: slots.len(),
+        });
+    }
+    let mut buf = vec![0u8; DISK_PAGE_BYTES as usize];
+    put_u32(&mut buf, 0, PAGE_MAGIC);
+    put_u32(&mut buf, 4, page);
+    put_u64(&mut buf, 8, lsn);
+    let payload_len = 4 + 8 * slots.len() as u32;
+    put_u32(&mut buf, 16, payload_len);
+    let mut at = PAGE_HEADER_BYTES;
+    put_u32(&mut buf, at, slots.len() as u32);
+    at += 4;
+    for &(object, size) in slots {
+        put_u32(&mut buf, at, object);
+        put_u32(&mut buf, at + 4, size);
+        at += 8;
+    }
+    let crc = page_crc(&buf, payload_len as usize);
+    put_u32(&mut buf, 20, crc);
+    Ok(buf)
+}
+
+fn page_crc(buf: &[u8], payload_len: usize) -> u32 {
+    let mut region = Vec::with_capacity(16 + payload_len);
+    region.extend_from_slice(&buf[4..20]);
+    region.extend_from_slice(&buf[PAGE_HEADER_BYTES..PAGE_HEADER_BYTES + payload_len]);
+    crc32(&region)
+}
+
+/// Decode one on-disk page slot. Anything other than an exact
+/// [`DISK_PAGE_BYTES`] buffer with a valid header and CRC is `Torn`
+/// (or `Missing` for the all-zero never-written slot).
+pub fn decode_page(buf: &[u8]) -> PageRead {
+    if buf.len() != DISK_PAGE_BYTES as usize {
+        return if buf.iter().all(|&b| b == 0) {
+            PageRead::Missing
+        } else {
+            PageRead::Torn
+        };
+    }
+    if buf.iter().all(|&b| b == 0) {
+        return PageRead::Missing;
+    }
+    if get_u32(buf, 0) != PAGE_MAGIC {
+        return PageRead::Torn;
+    }
+    let page = get_u32(buf, 4);
+    let lsn = get_u64(buf, 8);
+    let payload_len = get_u32(buf, 16) as usize;
+    if payload_len < 4
+        || payload_len > DISK_PAGE_BYTES as usize - PAGE_HEADER_BYTES
+        || !(payload_len - 4).is_multiple_of(8)
+    {
+        return PageRead::Torn;
+    }
+    if get_u32(buf, 20) != page_crc(buf, payload_len) {
+        return PageRead::Torn;
+    }
+    // Padding beyond the payload must be zero: a torn overwrite that
+    // left stale bytes past a shorter valid payload is still detected.
+    if buf[PAGE_HEADER_BYTES + payload_len..]
+        .iter()
+        .any(|&b| b != 0)
+    {
+        return PageRead::Torn;
+    }
+    let count = get_u32(buf, PAGE_HEADER_BYTES) as usize;
+    if count != (payload_len - 4) / 8 {
+        return PageRead::Torn;
+    }
+    let mut slots = Vec::with_capacity(count);
+    let mut at = PAGE_HEADER_BYTES + 4;
+    for _ in 0..count {
+        slots.push((get_u32(buf, at), get_u32(buf, at + 4)));
+        at += 8;
+    }
+    PageRead::Valid { page, lsn, slots }
+}
+
+// ------------------------------------------------------------ WAL codec
+
+/// A logical WAL operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalOp {
+    /// All pages up to this point are on disk (written at startup
+    /// before any transaction runs); recovery needs nothing earlier.
+    CheckpointEnd,
+    /// In-place update of an object (size may change).
+    Touch {
+        /// Object updated.
+        object: u32,
+        /// Size after the update.
+        size: u32,
+        /// Page it lives on.
+        page: u32,
+    },
+    /// An object was placed on a page.
+    Place {
+        /// Object placed.
+        object: u32,
+        /// Its size.
+        size: u32,
+        /// Destination page.
+        page: u32,
+    },
+    /// An object was removed from a page.
+    Remove {
+        /// Object removed.
+        object: u32,
+        /// Its size at removal.
+        size: u32,
+        /// Page it was removed from.
+        page: u32,
+    },
+    /// An object moved between pages (split or recluster).
+    Move {
+        /// Object moved.
+        object: u32,
+        /// Its size.
+        size: u32,
+        /// Source page.
+        from: u32,
+        /// Destination page.
+        to: u32,
+    },
+    /// Transaction committed (durable once this record is fsynced).
+    Commit,
+    /// Transaction aborted.
+    Abort,
+    /// Full before-write image of a page, forced to the log before the
+    /// page itself may be stolen (the WAL rule). Doubles as the repair
+    /// source for torn page writes.
+    PageSnapshot {
+        /// Page snapshotted.
+        page: u32,
+        /// Its full slot list.
+        slots: Vec<(u32, u32)>,
+    },
+}
+
+impl WalOp {
+    fn kind(&self) -> u8 {
+        match self {
+            WalOp::CheckpointEnd => 0,
+            WalOp::Touch { .. } => 1,
+            WalOp::Place { .. } => 2,
+            WalOp::Remove { .. } => 3,
+            WalOp::Move { .. } => 4,
+            WalOp::Commit => 5,
+            WalOp::Abort => 6,
+            WalOp::PageSnapshot { .. } => 7,
+        }
+    }
+
+    /// The page(s) this op touches, for LSN gating during replay.
+    pub fn pages(&self) -> (Option<u32>, Option<u32>) {
+        match *self {
+            WalOp::Touch { page, .. }
+            | WalOp::Place { page, .. }
+            | WalOp::Remove { page, .. }
+            | WalOp::PageSnapshot { page, .. } => (Some(page), None),
+            WalOp::Move { from, to, .. } => (Some(from), Some(to)),
+            WalOp::CheckpointEnd | WalOp::Commit | WalOp::Abort => (None, None),
+        }
+    }
+}
+
+/// One decoded WAL record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalRecord {
+    /// Log sequence number (strictly increasing).
+    pub lsn: u64,
+    /// Owning transaction (0 = system work: checkpoints, snapshots).
+    pub txn: u64,
+    /// The operation.
+    pub op: WalOp,
+}
+
+/// Encode one WAL record.
+pub fn encode_wal_record(lsn: u64, txn: u64, op: &WalOp) -> Vec<u8> {
+    let (a, b, c, d, payload): (u32, u32, u32, u32, Vec<u8>) = match op {
+        WalOp::CheckpointEnd | WalOp::Commit | WalOp::Abort => (0, 0, 0, 0, Vec::new()),
+        WalOp::Touch { object, size, page }
+        | WalOp::Place { object, size, page }
+        | WalOp::Remove { object, size, page } => (*object, *size, *page, 0, Vec::new()),
+        WalOp::Move {
+            object,
+            size,
+            from,
+            to,
+        } => (*object, *size, *from, *to, Vec::new()),
+        WalOp::PageSnapshot { page, slots } => {
+            let mut p = Vec::with_capacity(4 + 8 * slots.len());
+            p.extend_from_slice(&(slots.len() as u32).to_le_bytes());
+            for &(object, size) in slots {
+                p.extend_from_slice(&object.to_le_bytes());
+                p.extend_from_slice(&size.to_le_bytes());
+            }
+            (*page, 0, 0, 0, p)
+        }
+    };
+    let mut buf = vec![0u8; WAL_HEADER_BYTES + payload.len()];
+    put_u32(&mut buf, 0, WAL_MAGIC);
+    put_u64(&mut buf, 4, lsn);
+    put_u64(&mut buf, 12, txn);
+    buf[20] = op.kind();
+    put_u32(&mut buf, 21, a);
+    put_u32(&mut buf, 25, b);
+    put_u32(&mut buf, 29, c);
+    put_u32(&mut buf, 33, d);
+    put_u32(&mut buf, 37, payload.len() as u32);
+    buf[WAL_HEADER_BYTES..].copy_from_slice(&payload);
+    let crc = wal_crc(&buf, payload.len());
+    put_u32(&mut buf, 41, crc);
+    buf
+}
+
+fn wal_crc(buf: &[u8], payload_len: usize) -> u32 {
+    let mut region = Vec::with_capacity(37 + payload_len);
+    region.extend_from_slice(&buf[4..41]);
+    region.extend_from_slice(&buf[WAL_HEADER_BYTES..WAL_HEADER_BYTES + payload_len]);
+    crc32(&region)
+}
+
+/// Decode the record at the start of `buf`. Returns the record and the
+/// bytes it consumed, or `None` if the prefix is short or corrupt.
+pub fn decode_wal_record(buf: &[u8]) -> Option<(WalRecord, usize)> {
+    if buf.len() < WAL_HEADER_BYTES || get_u32(buf, 0) != WAL_MAGIC {
+        return None;
+    }
+    let lsn = get_u64(buf, 4);
+    let txn = get_u64(buf, 12);
+    let kind = buf[20];
+    let a = get_u32(buf, 21);
+    let b = get_u32(buf, 25);
+    let c = get_u32(buf, 29);
+    let d = get_u32(buf, 33);
+    let payload_len = get_u32(buf, 37);
+    if payload_len > MAX_WAL_PAYLOAD {
+        return None;
+    }
+    let total = WAL_HEADER_BYTES + payload_len as usize;
+    if buf.len() < total {
+        return None;
+    }
+    if get_u32(buf, 41) != wal_crc(buf, payload_len as usize) {
+        return None;
+    }
+    let op = match kind {
+        0 => WalOp::CheckpointEnd,
+        1 => WalOp::Touch {
+            object: a,
+            size: b,
+            page: c,
+        },
+        2 => WalOp::Place {
+            object: a,
+            size: b,
+            page: c,
+        },
+        3 => WalOp::Remove {
+            object: a,
+            size: b,
+            page: c,
+        },
+        4 => WalOp::Move {
+            object: a,
+            size: b,
+            from: c,
+            to: d,
+        },
+        5 => WalOp::Commit,
+        6 => WalOp::Abort,
+        7 => {
+            let payload = &buf[WAL_HEADER_BYTES..total];
+            if payload.len() < 4 {
+                return None;
+            }
+            let count = get_u32(payload, 0) as usize;
+            if payload.len() != 4 + 8 * count {
+                return None;
+            }
+            let mut slots = Vec::with_capacity(count);
+            for i in 0..count {
+                slots.push((get_u32(payload, 4 + 8 * i), get_u32(payload, 8 + 8 * i)));
+            }
+            WalOp::PageSnapshot { page: a, slots }
+        }
+        _ => return None,
+    };
+    Some((WalRecord { lsn, txn, op }, total))
+}
+
+/// Result of scanning a WAL byte buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WalScan {
+    /// Records decoded before the first corruption, in log order.
+    pub records: Vec<WalRecord>,
+    /// Offset where the trusted prefix ends.
+    pub trusted_bytes: u64,
+    /// Bytes after the trusted prefix (the torn tail; 0 = clean).
+    pub truncated_bytes: u64,
+}
+
+/// Walk `buf` record by record, stopping at the first short or corrupt
+/// record. Everything after that point is an untrusted torn tail.
+pub fn scan_wal(buf: &[u8]) -> WalScan {
+    let mut records = Vec::new();
+    let mut at = 0usize;
+    while at < buf.len() {
+        match decode_wal_record(&buf[at..]) {
+            Some((rec, used)) => {
+                records.push(rec);
+                at += used;
+            }
+            None => break,
+        }
+    }
+    WalScan {
+        records,
+        trusted_bytes: at as u64,
+        truncated_bytes: (buf.len() - at) as u64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_known_vector() {
+        // CRC-32("123456789") is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn page_roundtrip() {
+        let slots = vec![(7, 512), (9, 128), (u32::MAX, 1)];
+        let buf = encode_page(3, 42, &slots).unwrap();
+        assert_eq!(buf.len(), DISK_PAGE_BYTES as usize);
+        assert_eq!(
+            decode_page(&buf),
+            PageRead::Valid {
+                page: 3,
+                lsn: 42,
+                slots
+            }
+        );
+    }
+
+    #[test]
+    fn empty_page_roundtrip_and_missing() {
+        let buf = encode_page(0, 0, &[]).unwrap();
+        assert!(matches!(decode_page(&buf), PageRead::Valid { .. }));
+        assert_eq!(decode_page(&[0u8; 4096]), PageRead::Missing);
+        assert_eq!(decode_page(&[]), PageRead::Missing);
+    }
+
+    #[test]
+    fn page_overflow_is_typed() {
+        let slots = vec![(1, 1); MAX_DISK_SLOTS + 1];
+        let err = encode_page(5, 1, &slots).unwrap_err();
+        assert!(err.to_string().contains("page 5"));
+    }
+
+    #[test]
+    fn page_bit_flip_is_torn() {
+        let buf = encode_page(1, 7, &[(10, 100), (11, 200)]).unwrap();
+        for at in [
+            0,
+            5,
+            9,
+            17,
+            21,
+            PAGE_HEADER_BYTES + 1,
+            PAGE_HEADER_BYTES + 9,
+        ] {
+            let mut bad = buf.clone();
+            bad[at] ^= 0x10;
+            assert_eq!(decode_page(&bad), PageRead::Torn, "flip at byte {at}");
+        }
+        // Stale non-zero padding past the payload is also torn.
+        let mut bad = buf;
+        bad[4000] = 1;
+        assert_eq!(decode_page(&bad), PageRead::Torn);
+    }
+
+    #[test]
+    fn wal_record_roundtrip_all_kinds() {
+        let ops = [
+            WalOp::CheckpointEnd,
+            WalOp::Touch {
+                object: 1,
+                size: 2,
+                page: 3,
+            },
+            WalOp::Place {
+                object: 4,
+                size: 5,
+                page: 6,
+            },
+            WalOp::Remove {
+                object: 7,
+                size: 8,
+                page: 9,
+            },
+            WalOp::Move {
+                object: 10,
+                size: 11,
+                from: 12,
+                to: 13,
+            },
+            WalOp::Commit,
+            WalOp::Abort,
+            WalOp::PageSnapshot {
+                page: 14,
+                slots: vec![(15, 16), (17, 18)],
+            },
+        ];
+        let mut buf = Vec::new();
+        for (i, op) in ops.iter().enumerate() {
+            buf.extend_from_slice(&encode_wal_record(i as u64 + 1, 100 + i as u64, op));
+        }
+        let scan = scan_wal(&buf);
+        assert_eq!(scan.truncated_bytes, 0);
+        assert_eq!(scan.records.len(), ops.len());
+        for (i, rec) in scan.records.iter().enumerate() {
+            assert_eq!(rec.lsn, i as u64 + 1);
+            assert_eq!(rec.txn, 100 + i as u64);
+            assert_eq!(&rec.op, &ops[i]);
+        }
+    }
+
+    #[test]
+    fn wal_scan_truncates_torn_tail() {
+        let mut buf = encode_wal_record(1, 9, &WalOp::Commit);
+        let second = encode_wal_record(
+            2,
+            9,
+            &WalOp::PageSnapshot {
+                page: 1,
+                slots: vec![(1, 2)],
+            },
+        );
+        buf.extend_from_slice(&second[..second.len() - 3]); // torn tail
+        let scan = scan_wal(&buf);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.truncated_bytes, (second.len() - 3) as u64);
+    }
+
+    #[test]
+    fn wal_mid_stream_corruption_stops_the_scan() {
+        let mut buf = encode_wal_record(1, 9, &WalOp::Commit);
+        let keep = buf.len();
+        buf.extend_from_slice(&encode_wal_record(2, 9, &WalOp::Abort));
+        buf[keep + 6] ^= 0x40;
+        let scan = scan_wal(&buf);
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.trusted_bytes, keep as u64);
+        assert!(scan.truncated_bytes > 0);
+    }
+}

@@ -23,12 +23,23 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 mod disk;
+mod filestore;
 mod fsm;
 mod page;
+mod pagestore;
 mod store;
 
+pub use codec::{
+    crc32, decode_page, decode_wal_record, encode_page, encode_wal_record, scan_wal, CodecError,
+    PageRead, WalOp, WalRecord, WalScan, DISK_PAGE_BYTES, MAX_DISK_SLOTS,
+};
 pub use disk::{DiskLayout, DiskParams};
+pub use filestore::{
+    read_wal, recover_dir, FilePageStore, FileRecoveryOutcome, RecoveredPage, PAGES_FILE, WAL_FILE,
+};
 pub use fsm::FreeSpaceMap;
 pub use page::{Page, PageError, PageId, DEFAULT_PAGE_BYTES, PAGE_OVERHEAD_BYTES};
+pub use pagestore::{MemPageStore, PageStore, StoreError};
 pub use store::{StorageError, StorageManager};

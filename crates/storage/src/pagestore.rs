@@ -1,0 +1,131 @@
+//! The [`PageStore`] trait: the seam between the simulation and a
+//! durable backend (DESIGN.md §15).
+//!
+//! A `PageStore` persists checksummed page images keyed by page id.
+//! [`MemPageStore`] is the in-memory reference implementation — it
+//! still round-trips every image through the on-disk codec, so the two
+//! backends share one format and one failure vocabulary.
+//! [`crate::FilePageStore`] is the real file-backed implementation
+//! with WAL ordering and crash recovery.
+
+use crate::codec::{decode_page, encode_page, CodecError, PageRead, DISK_PAGE_BYTES};
+use semcluster_faults::FsError;
+use std::fmt;
+
+/// Errors a page store can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// Filesystem-level failure (path is in the message).
+    Fs(FsError),
+    /// Encoding failure (page overflow).
+    Codec(CodecError),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Fs(e) => write!(f, "{e}"),
+            StoreError::Codec(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<FsError> for StoreError {
+    fn from(e: FsError) -> Self {
+        StoreError::Fs(e)
+    }
+}
+
+impl From<CodecError> for StoreError {
+    fn from(e: CodecError) -> Self {
+        StoreError::Codec(e)
+    }
+}
+
+/// A store of checksummed page images.
+pub trait PageStore {
+    /// Backend name for reports (`"sim"` / `"file"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Write (or overwrite) the image of `page` stamped with `lsn`.
+    fn write_page(&mut self, page: u32, lsn: u64, slots: &[(u32, u32)]) -> Result<(), StoreError>;
+
+    /// Read back the image of `page`, verifying its checksum.
+    fn read_page(&mut self, page: u32) -> Result<PageRead, StoreError>;
+
+    /// Make every written page durable.
+    fn sync(&mut self) -> Result<(), StoreError>;
+}
+
+/// In-memory reference [`PageStore`]: a vector of encoded page slots.
+/// Every image passes through the same codec as the file backend, so
+/// format bugs surface here too.
+#[derive(Debug, Default)]
+pub struct MemPageStore {
+    slots: Vec<Option<Vec<u8>>>,
+}
+
+impl MemPageStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        MemPageStore::default()
+    }
+
+    /// Number of page slots written at least once.
+    pub fn written_pages(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+}
+
+impl PageStore for MemPageStore {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn write_page(&mut self, page: u32, lsn: u64, slots: &[(u32, u32)]) -> Result<(), StoreError> {
+        let buf = encode_page(page, lsn, slots)?;
+        let idx = page as usize;
+        if idx >= self.slots.len() {
+            self.slots.resize(idx + 1, None);
+        }
+        self.slots[idx] = Some(buf);
+        Ok(())
+    }
+
+    fn read_page(&mut self, page: u32) -> Result<PageRead, StoreError> {
+        Ok(match self.slots.get(page as usize) {
+            Some(Some(buf)) => decode_page(buf),
+            _ => decode_page(&vec![0u8; DISK_PAGE_BYTES as usize]),
+        })
+    }
+
+    fn sync(&mut self) -> Result<(), StoreError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_store_roundtrips_through_the_codec() {
+        let mut store = MemPageStore::new();
+        assert_eq!(store.read_page(0).unwrap(), PageRead::Missing);
+        store.write_page(2, 5, &[(1, 100), (2, 200)]).unwrap();
+        assert_eq!(
+            store.read_page(2).unwrap(),
+            PageRead::Valid {
+                page: 2,
+                lsn: 5,
+                slots: vec![(1, 100), (2, 200)]
+            }
+        );
+        assert_eq!(store.read_page(0).unwrap(), PageRead::Missing);
+        assert_eq!(store.written_pages(), 1);
+        store.sync().unwrap();
+        assert_eq!(store.backend_name(), "sim");
+    }
+}

@@ -23,6 +23,14 @@ use semcluster_vdm::{DetHashMap, DetHashSet};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TxnToken(u64);
 
+impl TxnToken {
+    /// Raw transaction id, for backends keyed on plain integers (the
+    /// durable file store logs `u64` transaction ids).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// Log-manager configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogConfig {
