@@ -57,3 +57,26 @@ if [ "$status" -ne 0 ]; then
     exit 1
 fi
 echo "determinism guard: OK (no raw HashMap/HashSet in simulation state)"
+
+# Purity guard for the serve path's deterministic layers (DESIGN.md
+# §16): the wire protocol, the connection FSM, admission control and
+# the network-chaos planner are replayed byte-exactly in unit tests and
+# the chaos golden, so they must never read a clock or an OS RNG — time
+# enters only as a now_ms argument and randomness only as a keyed hash
+# of (seed, coordinates). The impure server/load modules own the real
+# clocks and sockets.
+pure=(
+    crates/core/src/serve/protocol.rs
+    crates/core/src/serve/session.rs
+    crates/core/src/serve/admission.rs
+    crates/faults/src/netchaos.rs
+)
+impure_hits=$(grep -n -E 'Instant::now|SystemTime::now|thread_rng|rand::random' "${pure[@]}" || true)
+if [ -n "$impure_hits" ]; then
+    echo "determinism guard: clock/RNG use in a pure serve module:" >&2
+    echo "$impure_hits" >&2
+    echo "pass time in as an argument (now_ms) and draw randomness from a" >&2
+    echo "keyed hash of (seed, coordinates) instead." >&2
+    exit 1
+fi
+echo "determinism guard: OK (serve FSM/protocol/admission/chaos are clock- and RNG-free)"

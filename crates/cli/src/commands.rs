@@ -42,11 +42,21 @@ USAGE:
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
-  semclusterctl golden   [--bless] [--suite smoke|faults|timeline|profile]
+  semclusterctl golden   [--bless] [--suite smoke|faults|timeline|profile|chaos]
                          [--path FILE] [--jobs N]
   semclusterctl bench-report [--out FILE] [--jobs N]
-                         [--suite smoke|full] [--folded FILE]
+                         [--suite smoke|full|serve] [--folded FILE]
                          [--folded-metric wall_ns|sim_us|alloc_bytes|allocs|calls]
+  semclusterctl serve    [--addr HOST:PORT] [--mode concurrent|oracle]
+                         [--workers N] [--queue-cap N] [--deadline-ms N]
+                         [--max-inflight N] [--group-window-us N]
+                         [--objects N] [--timeline FILE]
+                         [--timeline-interval-ms N]
+                         [oracle mode: same config flags as simulate]
+  semclusterctl load     --addr HOST:PORT [--connections N] [--sessions N]
+                         [--txns N] [--ops N] [--write-pct N] [--objects N]
+                         [--deadline-ms N] [--seed N] [--chaos none|chaos]
+                         [--pipeline N] [--shutdown]
   semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
   semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
                          [--backend sim|file|both] [--scratch-dir DIR]
@@ -104,6 +114,24 @@ USAGE:
   response regressed beyond --threshold (default 5 %), attributing each
   regression to the phases with the largest simulated-time and
   allocation deltas.
+  serve boots the engine behind a length-prefixed TCP wire protocol and
+  prints `listening on ADDR` once bound. --mode concurrent (default)
+  drives one shared engine core from a worker pool with strict 2PL and
+  WAL group commit; every request carries a deadline, the execution
+  queue is bounded, and admission control sheds load with hysteresis.
+  --mode oracle serializes every client through a single simulator
+  thread, so one client's REPORT is byte-identical to `simulate`.
+  SIGTERM/SIGINT (or a client SHUTDOWN frame) drains in-flight work,
+  then the server crashes its own WAL, replays recovery, and verifies
+  every acknowledged transaction survived — exiting 7 if any did not.
+  load is the matching load generator: N connection threads multiplex
+  logical sessions, pipeline transactions, and optionally inject
+  client-side network chaos (dropped/stalled/half-closed connections,
+  slow-loris trickle, corrupt frames) from a keyed-hash plan; the
+  summary JSON reports sessions/sec, latency percentiles, and typed
+  rejection counts. golden --suite chaos pins those chaos schedules.
+  bench-report --suite serve boots an in-process server, runs a fixed
+  fault-free load, and snapshots sustained sessions/sec and p99 latency.
   crash-matrix crashes a small workload at every commit boundary plus
   sampled intra-transaction and torn-log points, replays recovery at
   each, and verifies ACID invariants (exit 1 on any violation).
@@ -117,7 +145,9 @@ USAGE:
   target/simulate-data), pulls the plug at the end, and verifies the
   recovered files.
   exit codes: 1 failure, 2 bad flags, 3 missing input file, 4 unknown
-  input schema (the latter two from obs diff's bench snapshots).
+  input schema (the latter two from obs diff's bench snapshots),
+  5 network unavailable, 6 wire-protocol violation, 7 ACID violation
+  (the latter three from serve/load).
 ";
 
 /// Parse the clustering policy flag.
@@ -210,63 +240,13 @@ pub fn config_from_args(args: &Args) -> Result<SimConfig, String> {
     Ok(cfg)
 }
 
-/// Render a run report as a minimal JSON object (no external
-/// dependencies; fields are all numeric or simple strings). Fault
-/// counters are appended **only** when the run had fault injection
-/// enabled, so fault-free output — including the committed smoke
-/// golden — is byte-identical to what it was before the fault layer
-/// existed.
+/// Render a run report as a minimal JSON object. Delegates to the
+/// canonical [`RunReport::to_json`] serialization in the core crate —
+/// the same bytes the wire-protocol server's REPORT response carries,
+/// so CLI report lines, goldens and served reports can never drift
+/// apart.
 pub fn report_to_json(report: &RunReport) -> String {
-    let mut out = format!(
-        concat!(
-            "{{\"config\":{config:?},\"txns\":{txns},\"reads\":{reads},",
-            "\"writes\":{writes},\"mean_response_s\":{mean:.6},",
-            "\"p50_response_s\":{p50:.6},\"p95_response_s\":{p95:.6},",
-            "\"hit_ratio\":{hit:.4},\"data_reads\":{dr},\"log_ios\":{li},",
-            "\"cluster_search_ios\":{cs},\"prefetch_ios\":{pf},",
-            "\"splits\":{sp},\"recluster_moves\":{rm},\"lock_waits\":{lw},",
-            "\"disk_utilization\":{du:.4},\"cpu_utilization\":{cu:.4}"
-        ),
-        config = report.config_label,
-        txns = report.txns,
-        reads = report.reads,
-        writes = report.writes,
-        mean = report.mean_response_s,
-        p50 = report.p50_response_s,
-        p95 = report.p95_response_s,
-        hit = report.hit_ratio,
-        dr = report.io.data_reads,
-        li = report.log_ios,
-        cs = report.io.cluster_search_ios,
-        pf = report.io.prefetch_ios,
-        sp = report.splits,
-        rm = report.recluster_moves,
-        lw = report.lock_waits,
-        du = report.disk_utilization,
-        cu = report.cpu_utilization,
-    );
-    if report.faults_enabled {
-        let f = &report.faults;
-        out.push_str(&format!(
-            concat!(
-                ",\"faults\":{{\"read_errors\":{re},\"write_errors\":{we},",
-                "\"retries\":{rt},\"spikes\":{sk},\"log_stalls\":{ls},",
-                "\"stall_us\":{su},\"txn_aborts\":{ab},",
-                "\"degrade_enters\":{de},\"degrade_exits\":{dx}}}"
-            ),
-            re = f.read_errors,
-            we = f.write_errors,
-            rt = f.retries,
-            sk = f.spikes,
-            ls = f.log_stalls,
-            su = f.stall_us,
-            ab = f.txn_aborts,
-            de = f.degrade_enters,
-            dx = f.degrade_exits,
-        ));
-    }
-    out.push('}');
-    out
+    report.to_json()
 }
 
 /// Run `reps` replications of `cfg` on `jobs` worker threads (0 = all
@@ -1364,9 +1344,13 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
         ),
         "timeline" => (timeline_golden_render(jobs)?, TIMELINE_GOLDEN_PATH),
         "profile" => (profile_golden_render(jobs)?, PROFILE_GOLDEN_PATH),
+        "chaos" => (
+            crate::servecmd::chaos_golden_render(jobs)?,
+            crate::servecmd::CHAOS_GOLDEN_PATH,
+        ),
         other => {
             return Err(format!(
-                "--suite: expected smoke, faults, timeline or profile, got {other:?}"
+                "--suite: expected smoke, faults, timeline, profile or chaos, got {other:?}"
             ))
         }
     };
@@ -1454,6 +1438,25 @@ pub fn cmd_bench_report(args: &Args) -> Result<String, CliError> {
     // the smoke rows keep the snapshot joinable (`obs diff`) against
     // historical BENCH_<n> trajectory points, while the full-scale rows
     // are what the CI perf wall compares between baseline and PR.
+    // `--suite serve` measures wall-clock serving throughput instead of
+    // simulated time: it boots an in-process concurrent server and runs
+    // a fixed fault-free load. The row still carries `mean_response_s`
+    // so `obs diff` joins it against prior serve snapshots.
+    if suite == "serve" {
+        let body = crate::servecmd::bench_serve_render()?;
+        let content = format!("{{\"bench_schema\":2,\"suite\":\"serve\"}}\n{body}");
+        let path = match args.get("out") {
+            Some(p) => std::path::PathBuf::from(p),
+            None => next_bench_path(std::path::Path::new(".")),
+        };
+        std::fs::write(&path, &content)
+            .map_err(|e| format!("bench-report: cannot write {}: {e}", path.display()))?;
+        return Ok(format!(
+            "bench report written to {} ({} reports)\n",
+            path.display(),
+            body.lines().count()
+        ));
+    }
     let sweep = match suite {
         "smoke" => golden_jobs(),
         "full" => {
@@ -1463,7 +1466,7 @@ pub fn cmd_bench_report(args: &Args) -> Result<String, CliError> {
         }
         other => {
             return Err(CliError::general(format!(
-                "bench-report: unknown suite {other:?} (expected smoke or full)"
+                "bench-report: unknown suite {other:?} (expected smoke, full or serve)"
             )))
         }
     };
@@ -1804,7 +1807,10 @@ pub fn cmd_crash_matrix(args: &Args) -> Result<String, String> {
 
 /// Dispatch a parsed command line. Errors carry a process exit code:
 /// `1` for ordinary failures, `3` when a required input file is
-/// missing, `4` when an input file has an unknown schema version.
+/// missing, `4` when an input file has an unknown schema version,
+/// `5` when a network operation fails, `6` when a peer violates the
+/// wire protocol, `7` when the serve-path ACID verdict finds acked
+/// transactions that did not survive recovery.
 pub fn dispatch(args: &Args) -> Result<String, CliError> {
     match args.command.as_deref() {
         Some("simulate") => cmd_simulate(args).map_err(CliError::from),
@@ -1815,6 +1821,8 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("reorg") => cmd_reorg(args).map_err(CliError::from),
         Some("golden") => cmd_golden(args).map_err(CliError::from),
         Some("bench-report") => cmd_bench_report(args),
+        Some("serve") => crate::servecmd::cmd_serve(args),
+        Some("load") => crate::servecmd::cmd_load(args),
         Some("obs") => cmd_obs(args),
         Some("crash-matrix") => cmd_crash_matrix(args).map_err(CliError::from),
         Some("help") | None => Ok(USAGE.to_string()),

@@ -13,6 +13,14 @@ pub const EXIT_MISSING_INPUT: i32 = 3;
 /// An input file exists but carries an unknown or absent schema
 /// version.
 pub const EXIT_BAD_SCHEMA: i32 = 4;
+/// A network operation (bind, connect, send) failed: the service is
+/// unavailable.
+pub const EXIT_UNAVAILABLE: i32 = 5;
+/// A peer violated the wire protocol.
+pub const EXIT_PROTOCOL: i32 = 6;
+/// The server acknowledged transactions that recovery does not count
+/// as winners — a broken durability promise.
+pub const EXIT_ACID: i32 = 7;
 
 /// A CLI error: the message `main` prints to stderr plus the process
 /// exit code it exits with.
@@ -47,6 +55,41 @@ impl CliError {
         CliError {
             message: message.into(),
             code: EXIT_BAD_SCHEMA,
+        }
+    }
+
+    /// A network operation failed (exit code 5).
+    pub fn unavailable(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_UNAVAILABLE,
+        }
+    }
+
+    /// A peer violated the wire protocol (exit code 6).
+    pub fn protocol(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_PROTOCOL,
+        }
+    }
+
+    /// Acked transactions were not durable at drain (exit code 7).
+    pub fn acid(message: impl Into<String>) -> Self {
+        CliError {
+            message: message.into(),
+            code: EXIT_ACID,
+        }
+    }
+
+    /// Map a serve-path error onto the CLI's typed exit codes.
+    pub fn from_serve(e: &semcluster::serve::ServeError) -> Self {
+        use semcluster::serve::ServeError;
+        match e {
+            ServeError::Net { .. } => CliError::unavailable(e.to_string()),
+            ServeError::Protocol(_) => CliError::protocol(e.to_string()),
+            ServeError::Acid { .. } => CliError::acid(e.to_string()),
+            _ => CliError::general(e.to_string()),
         }
     }
 }

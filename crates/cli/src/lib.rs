@@ -9,7 +9,11 @@
 pub mod args;
 pub mod commands;
 pub mod error;
+pub mod servecmd;
 
 pub use args::Args;
 pub use commands::{dispatch, USAGE};
-pub use error::{CliError, EXIT_BAD_SCHEMA, EXIT_FAILURE, EXIT_MISSING_INPUT};
+pub use error::{
+    CliError, EXIT_ACID, EXIT_BAD_SCHEMA, EXIT_FAILURE, EXIT_MISSING_INPUT, EXIT_PROTOCOL,
+    EXIT_UNAVAILABLE,
+};

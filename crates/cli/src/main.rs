@@ -30,7 +30,8 @@ fn main() {
         Ok(output) => print!("{output}"),
         Err(e) => {
             // Exit codes: 1 general failure, 2 argv parse error, 3
-            // missing input file, 4 unknown input schema.
+            // missing input file, 4 unknown input schema, 5 network
+            // unavailable, 6 protocol violation, 7 ACID violation.
             eprintln!("error: {e}");
             std::process::exit(e.code);
         }

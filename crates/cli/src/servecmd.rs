@@ -1,0 +1,334 @@
+//! The `serve` and `load` subcommands, the chaos golden suite, and the
+//! serve bench rows.
+//!
+//! `serve` boots the multi-client TCP server (oracle or concurrent
+//! mode), prints `listening on ADDR` once bound, drains gracefully on
+//! SIGTERM/SIGINT or a client SHUTDOWN frame, and prints the final
+//! verdict JSON — exiting with the ACID exit code if any acknowledged
+//! transaction was not durable. `load` runs the chaos-driven load
+//! generator against a running server and prints its summary JSON.
+
+use std::time::Duration;
+
+use crate::args::Args;
+use crate::commands::config_from_args;
+use crate::error::CliError;
+use semcluster::serve::{
+    run_load, LoadConfig, LoadSummary, ServeConfig, ServeMode, ServeReport, Server,
+};
+use semcluster_faults::{NetChaosConfig, NetChaosPlan};
+
+/// Committed golden for the network-chaos plans.
+pub const CHAOS_GOLDEN_PATH: &str = "goldens/chaos.json";
+
+#[cfg(unix)]
+mod sig {
+    //! Std-only SIGTERM/SIGINT hook: a C `signal(2)` binding flipping
+    //! one atomic flag the serve loop polls. No runtime work happens in
+    //! the handler itself.
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Set by the handler; polled by `cmd_serve`.
+    pub static STOP: AtomicBool = AtomicBool::new(false);
+
+    extern "C" fn on_signal(_sig: i32) {
+        STOP.store(true, Ordering::SeqCst);
+    }
+
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    /// Install the drain-on-signal handlers.
+    pub fn install() {
+        let handler = on_signal as extern "C" fn(i32) as *const () as usize;
+        unsafe {
+            signal(SIGTERM, handler);
+            signal(SIGINT, handler);
+        }
+    }
+
+    /// Whether a drain signal has arrived.
+    pub fn stopped() -> bool {
+        STOP.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    //! Non-unix fallback: no signal hook; drain comes from a client
+    //! SHUTDOWN frame only.
+    pub fn install() {}
+
+    pub fn stopped() -> bool {
+        false
+    }
+}
+
+/// Build a [`ServeConfig`] from flags.
+fn serve_config_from_args(args: &Args) -> Result<ServeConfig, CliError> {
+    let mode = match args.get("mode").unwrap_or("concurrent") {
+        "concurrent" => ServeMode::Concurrent,
+        "oracle" => {
+            let sim = config_from_args(args).map_err(CliError::general)?;
+            ServeMode::Oracle(Box::new(sim))
+        }
+        other => {
+            return Err(CliError::general(format!(
+                "serve: unknown mode {other:?} (expected concurrent or oracle)"
+            )))
+        }
+    };
+    let defaults = ServeConfig::default();
+    Ok(ServeConfig {
+        mode,
+        workers: args.get_parsed("workers", defaults.workers)?,
+        queue_cap: args.get_parsed("queue-cap", defaults.queue_cap)?,
+        default_deadline_ms: args.get_parsed("deadline-ms", defaults.default_deadline_ms)?,
+        max_inflight_per_conn: args.get_parsed("max-inflight", defaults.max_inflight_per_conn)?,
+        group_window_us: args.get_parsed("group-window-us", defaults.group_window_us)?,
+        objects: args.get_parsed("objects", defaults.objects)?,
+        timeline_interval_ms: if args.get("timeline").is_some() {
+            args.get_parsed("timeline-interval-ms", 100u64)?
+        } else {
+            0
+        },
+        ..defaults
+    })
+}
+
+/// `serve` subcommand: bind, announce, drain on signal, report.
+pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
+    let cfg = serve_config_from_args(args)?;
+    let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
+    let timeline_path = args.get("timeline").map(str::to_string);
+    let handle = Server::start(cfg, &addr).map_err(|e| CliError::from_serve(&e))?;
+    // Announce readiness on stdout immediately (CI polls for this).
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    sig::install();
+    while !handle.shutdown_requested() {
+        if sig::stopped() {
+            handle.request_shutdown();
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    let report = handle.join().map_err(|e| CliError::from_serve(&e))?;
+    render_serve_outcome(&report, timeline_path.as_deref())
+}
+
+/// Shared verdict rendering for `cmd_serve` and the in-process bench
+/// path: write the timeline artifact if requested, emit the verdict
+/// JSON, and map ACID violations to their typed exit code.
+fn render_serve_outcome(
+    report: &ServeReport,
+    timeline_path: Option<&str>,
+) -> Result<String, CliError> {
+    if let Some(path) = timeline_path {
+        let timeline = report
+            .timeline
+            .as_ref()
+            .ok_or_else(|| CliError::general("serve: --timeline requires sampling enabled"))?;
+        std::fs::write(path, timeline.to_json())
+            .map_err(|e| CliError::general(format!("serve: cannot write {path}: {e}")))?;
+    }
+    let json = report.to_json();
+    if report.acid_violations > 0 {
+        // Print the report so the violation is diagnosable, then fail
+        // with the dedicated exit code: an ack is a durability promise.
+        print!("{json}");
+        return Err(CliError::acid(format!(
+            "serve: {} acked transaction(s) not durable after recovery",
+            report.acid_violations
+        )));
+    }
+    Ok(json)
+}
+
+/// Build a [`LoadConfig`] from flags.
+fn load_config_from_args(args: &Args) -> Result<LoadConfig, CliError> {
+    let defaults = LoadConfig::default();
+    let chaos = match args.get("chaos") {
+        None => NetChaosConfig::none(),
+        Some(name) => NetChaosConfig::preset(name).ok_or_else(|| {
+            CliError::general(format!(
+                "load: unknown chaos preset {name:?} (expected {})",
+                NetChaosConfig::PRESETS.join(" or ")
+            ))
+        })?,
+    };
+    Ok(LoadConfig {
+        addr: args
+            .get("addr")
+            .ok_or_else(|| CliError::general("load: --addr HOST:PORT is required"))?
+            .to_string(),
+        connections: args.get_parsed("connections", defaults.connections)?,
+        sessions_per_conn: args.get_parsed("sessions", defaults.sessions_per_conn)?,
+        txns_per_session: args.get_parsed("txns", defaults.txns_per_session)?,
+        ops_per_txn: args.get_parsed("ops", defaults.ops_per_txn)?,
+        write_pct: args.get_parsed("write-pct", defaults.write_pct)?,
+        objects: args.get_parsed("objects", defaults.objects)?,
+        deadline_ms: args.get_parsed("deadline-ms", defaults.deadline_ms)?,
+        seed: args.get_parsed("seed", defaults.seed)?,
+        chaos,
+        pipeline: args.get_parsed("pipeline", defaults.pipeline)?,
+        shutdown_after: args.flag("shutdown"),
+    })
+}
+
+/// `load` subcommand: run the chaos-driven load generator.
+pub fn cmd_load(args: &Args) -> Result<String, CliError> {
+    let cfg = load_config_from_args(args)?;
+    let summary = run_load(&cfg).map_err(|e| CliError::from_serve(&e))?;
+    Ok(summary.to_json())
+}
+
+/// Render the chaos golden: the full keyed-hash schedule for a grid of
+/// (seed, preset) pairs. The plans are pure functions of their inputs —
+/// no RNG state, no clocks — so this render is byte-identical at any
+/// `--jobs` count and across hosts, which is exactly what the golden
+/// pins.
+pub fn chaos_golden_render(_jobs: usize) -> Result<String, String> {
+    let mut out = String::from("{\"golden_schema\":1,\"suite\":\"chaos\"}\n");
+    for preset_name in NetChaosConfig::PRESETS {
+        let cfg = NetChaosConfig::preset(preset_name)
+            .ok_or_else(|| format!("chaos golden: preset {preset_name:?} vanished"))?;
+        for seed in [1989u64, 5417, 88473] {
+            let plan = NetChaosPlan::new(seed, cfg);
+            out.push_str(&format!(
+                "{{\"chaos_plan\":{{\"preset\":{preset_name:?},\"seed\":{seed}}}}}\n"
+            ));
+            out.push_str(&plan.render_schedule(4, 64));
+        }
+    }
+    Ok(out)
+}
+
+/// Serve bench rows: boot an in-process concurrent server on a loopback
+/// port, run a fixed fault-free load, and emit one schema-2 row whose
+/// report joins with `obs diff` (it carries `mean_response_s`) plus the
+/// serving-specific stats (p99 latency, sustained sessions/sec).
+pub fn bench_serve_render() -> Result<String, CliError> {
+    let cfg = ServeConfig {
+        mode: ServeMode::Concurrent,
+        workers: 4,
+        queue_cap: 256,
+        ..ServeConfig::default()
+    };
+    let handle = Server::start(cfg, "127.0.0.1:0").map_err(|e| CliError::from_serve(&e))?;
+    let load = LoadConfig {
+        addr: handle.addr().to_string(),
+        connections: 4,
+        sessions_per_conn: 50,
+        txns_per_session: 4,
+        chaos: NetChaosConfig::none(),
+        pipeline: 16,
+        seed: 1989,
+        ..LoadConfig::default()
+    };
+    let summary = run_load(&load).map_err(|e| CliError::from_serve(&e))?;
+    handle.request_shutdown();
+    let report = handle.join().map_err(|e| CliError::from_serve(&e))?;
+    if report.acid_violations > 0 {
+        return Err(CliError::acid(format!(
+            "bench-report serve: {} ACID violation(s)",
+            report.acid_violations
+        )));
+    }
+    Ok(serve_bench_row(&summary, &report))
+}
+
+fn serve_bench_row(summary: &LoadSummary, report: &ServeReport) -> String {
+    format!(
+        concat!(
+            "{{\"job\":\"serve-smoke\",\"rep\":0,\"report\":{{",
+            "\"mean_response_s\":{:.6},\"p50_ms\":{:.3},\"p99_ms\":{:.3},",
+            "\"sessions_per_sec\":{:.2},\"sessions\":{},\"attempted\":{},\"acked\":{},",
+            "\"committed\":{},\"sheds\":{},\"deadline_misses\":{},\"retry_exhausted\":{},",
+            "\"group_commits\":{},\"group_txns\":{},\"acid_violations\":{}}}}}\n"
+        ),
+        summary.mean_ms / 1e3,
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.sessions_per_sec,
+        summary.sessions,
+        summary.attempted,
+        summary.acked,
+        report.committed,
+        report.sheds,
+        report.deadline_misses,
+        report.retry_exhausted,
+        report.group_commits,
+        report.group_txns,
+        report.acid_violations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn chaos_golden_is_jobs_invariant_and_stable() {
+        let a = chaos_golden_render(1).unwrap();
+        let b = chaos_golden_render(8).unwrap();
+        assert_eq!(a, b, "chaos plans must not depend on thread count");
+        assert!(a.starts_with("{\"golden_schema\":1,\"suite\":\"chaos\"}\n"));
+        // Both presets and all three seeds appear.
+        assert!(a.contains("\"preset\":\"none\""));
+        assert!(a.contains("\"preset\":\"chaos\""));
+        assert!(a.contains("\"seed\":88473"));
+    }
+
+    #[test]
+    fn load_flags_parse() {
+        let cfg = load_config_from_args(&parse(
+            "load --addr 127.0.0.1:9 --connections 2 --sessions 10 --txns 3 \
+             --chaos chaos --pipeline 4 --seed 7 --shutdown",
+        ))
+        .unwrap();
+        assert_eq!(cfg.connections, 2);
+        assert_eq!(cfg.sessions_per_conn, 10);
+        assert_eq!(cfg.txns_per_session, 3);
+        assert!(cfg.chaos.enabled());
+        assert!(cfg.shutdown_after);
+        assert!(
+            load_config_from_args(&parse("load")).is_err(),
+            "--addr required"
+        );
+        assert!(load_config_from_args(&parse("load --addr x --chaos nope")).is_err());
+    }
+
+    #[test]
+    fn serve_flags_parse() {
+        let cfg = serve_config_from_args(&parse(
+            "serve --workers 2 --queue-cap 32 --deadline-ms 250 --group-window-us 50",
+        ))
+        .unwrap();
+        assert!(matches!(cfg.mode, ServeMode::Concurrent));
+        assert_eq!(cfg.workers, 2);
+        assert_eq!(cfg.queue_cap, 32);
+        assert_eq!(cfg.default_deadline_ms, 250);
+        assert_eq!(cfg.group_window_us, 50);
+        assert_eq!(
+            cfg.timeline_interval_ms, 0,
+            "sampling off without --timeline"
+        );
+        let cfg = serve_config_from_args(&parse(
+            "serve --mode oracle --workload med5-10 --timeline t.json",
+        ))
+        .unwrap();
+        assert!(matches!(cfg.mode, ServeMode::Oracle(_)));
+        assert_eq!(cfg.timeline_interval_ms, 100);
+        assert!(serve_config_from_args(&parse("serve --mode nope")).is_err());
+    }
+}

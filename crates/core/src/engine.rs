@@ -855,13 +855,27 @@ impl Engine {
     }
 
     fn drive(&mut self) {
+        while self.step_event() {}
+    }
+
+    /// Process exactly one simulation event. Returns `false` when the
+    /// run is over: the transaction target was reached, the event queue
+    /// drained, or a crash point fired. This is the single loop body
+    /// behind [`Engine::drive`] **and** the serialized stepping API
+    /// ([`Engine::step_transaction`]) — both paths execute the identical
+    /// event sequence, which is what makes the simulator a byte-exact
+    /// oracle for the wire-protocol server's serialized mode.
+    fn step_event(&mut self) -> bool {
         let target = self.cfg.warmup_txns + self.cfg.measured_txns;
-        while self.completed < target {
+        if self.completed >= target {
+            return false;
+        }
+        {
             let tok = self.prof_enter(Phase::EventPop);
             let popped = self.queue.pop();
             self.prof_exit(tok, 0);
             let Some((now, ev)) = popped else {
-                break; // all users idle — cannot happen in a closed network
+                return false; // all users idle — cannot happen in a closed network
             };
             // Pre-grow every dense index outside the profiled phases so
             // in-phase self-growth (which would charge its allocation to
@@ -891,10 +905,36 @@ impl Engine {
                     self.crash_pending = true;
                 }
             }
-            if self.crash_pending {
-                break; // crash point fired: stop at this event boundary
+        }
+        // Crash point fired: stop at this event boundary.
+        !self.crash_pending
+    }
+
+    /// Advance the simulation to the next transaction boundary: process
+    /// events until one more transaction completes. Returns `true` when
+    /// a transaction completed and `false` when the run is over (the
+    /// configured warmup + measured target was reached). Stepping to
+    /// every boundary and then calling [`Engine::run_observed`] produces
+    /// output byte-identical to an uninterrupted run — the oracle
+    /// contract the serialized server mode is tested against.
+    pub fn step_transaction(&mut self) -> bool {
+        let before = self.completed;
+        while self.completed == before {
+            if !self.step_event() {
+                return false;
             }
         }
+        true
+    }
+
+    /// Transactions completed so far (warmup + measured).
+    pub fn completed_txns(&self) -> u64 {
+        self.completed
+    }
+
+    /// Total transactions the run will execute (warmup + measured).
+    pub fn target_txns(&self) -> u64 {
+        self.cfg.warmup_txns + self.cfg.measured_txns
     }
 
     /// Record a timeline point for every interval boundary simulated

@@ -34,6 +34,7 @@ mod error;
 mod metrics;
 mod presets;
 mod runner;
+pub mod serve;
 mod sweep;
 
 pub use config::SimConfig;

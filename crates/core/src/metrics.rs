@@ -336,6 +336,70 @@ impl RunReport {
     }
 }
 
+impl RunReport {
+    /// Render the report as a minimal JSON object (no external
+    /// dependencies; fields are all numeric or simple strings). Fault
+    /// counters are appended **only** when the run had fault injection
+    /// enabled, so fault-free output — including the committed smoke
+    /// golden — is byte-identical to what it was before the fault layer
+    /// existed. This is the canonical serialization: the CLI's report
+    /// lines, the golden suites and the wire-protocol server's REPORT
+    /// response all emit exactly these bytes, which is what makes
+    /// "byte-identical to the simulator oracle" a meaningful contract.
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            concat!(
+                "{{\"config\":{config:?},\"txns\":{txns},\"reads\":{reads},",
+                "\"writes\":{writes},\"mean_response_s\":{mean:.6},",
+                "\"p50_response_s\":{p50:.6},\"p95_response_s\":{p95:.6},",
+                "\"hit_ratio\":{hit:.4},\"data_reads\":{dr},\"log_ios\":{li},",
+                "\"cluster_search_ios\":{cs},\"prefetch_ios\":{pf},",
+                "\"splits\":{sp},\"recluster_moves\":{rm},\"lock_waits\":{lw},",
+                "\"disk_utilization\":{du:.4},\"cpu_utilization\":{cu:.4}"
+            ),
+            config = self.config_label,
+            txns = self.txns,
+            reads = self.reads,
+            writes = self.writes,
+            mean = self.mean_response_s,
+            p50 = self.p50_response_s,
+            p95 = self.p95_response_s,
+            hit = self.hit_ratio,
+            dr = self.io.data_reads,
+            li = self.log_ios,
+            cs = self.io.cluster_search_ios,
+            pf = self.io.prefetch_ios,
+            sp = self.splits,
+            rm = self.recluster_moves,
+            lw = self.lock_waits,
+            du = self.disk_utilization,
+            cu = self.cpu_utilization,
+        );
+        if self.faults_enabled {
+            let f = &self.faults;
+            out.push_str(&format!(
+                concat!(
+                    ",\"faults\":{{\"read_errors\":{re},\"write_errors\":{we},",
+                    "\"retries\":{rt},\"spikes\":{sk},\"log_stalls\":{ls},",
+                    "\"stall_us\":{su},\"txn_aborts\":{ab},",
+                    "\"degrade_enters\":{de},\"degrade_exits\":{dx}}}"
+                ),
+                re = f.read_errors,
+                we = f.write_errors,
+                rt = f.retries,
+                sk = f.spikes,
+                ls = f.log_stalls,
+                su = f.stall_us,
+                ab = f.txn_aborts,
+                de = f.degrade_enters,
+                dx = f.degrade_exits,
+            ));
+        }
+        out.push('}');
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,99 @@
+//! Multi-client serving: wire protocol, connection FSM, admission
+//! control, the threaded TCP server, and the chaos-driven load
+//! generator.
+//!
+//! The layering keeps the deterministic parts pure and the impure
+//! parts thin:
+//!
+//! * [`protocol`] and the connection FSM ([`ConnFsm`]) are pure —
+//!   bytes/events in, actions out, time passed as an argument — so
+//!   deadline/drain/malformed races are unit-tested deterministically;
+//! * [`AdmissionControl`] is a pure hysteresis controller over queue
+//!   depth observations;
+//! * [`Server`] and [`run_load`] own the threads, sockets and clocks.
+//!
+//! The simulator remains the oracle: `ServeMode::Oracle` serves a
+//! deterministic [`crate::Engine`] whose REPORT bytes must equal
+//! [`crate::run_simulation`]'s, and concurrent mode must drain with
+//! zero ACID violations (every acked transaction is a recovery winner).
+
+mod admission;
+mod load;
+mod protocol;
+mod server;
+mod session;
+
+pub use admission::AdmissionControl;
+pub use load::{run_load, LoadConfig, LoadSummary};
+pub use protocol::{
+    read_frame, write_frame, ErrorKind, Frame, FrameDecoder, ProtocolError, Request, Response,
+    TxnOp, TxnRequest, MAX_FRAME_BYTES, MAX_TXN_OPS,
+};
+pub use server::{ServeConfig, ServeMode, ServeReport, Server, ServerHandle};
+pub use session::{ConnFsm, ConnState, ExecResult, FsmAction, FsmInput};
+
+/// Typed failures on the serve/load paths. Each variant maps to a
+/// distinct CLI exit code so scripts can tell transport failures from
+/// protocol violations from correctness violations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Socket/bind/spawn failure (CLI exit 5: service unavailable).
+    Net {
+        /// What was being attempted.
+        context: String,
+        /// Underlying I/O error text.
+        source: String,
+    },
+    /// The peer violated the wire protocol (CLI exit 6).
+    Protocol(ProtocolError),
+    /// The server shed the request under load.
+    Overloaded,
+    /// The per-request deadline expired.
+    DeadlineExceeded,
+    /// The server is draining.
+    ShuttingDown,
+    /// Transient conflicts exhausted the retry budget.
+    RetryExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Acked transactions were not durable at drain (CLI exit 7).
+    Acid {
+        /// Number of acked-but-not-recovered transactions.
+        violations: u64,
+    },
+    /// Unexpected internal failure.
+    Internal(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Net { context, source } => {
+                write!(f, "network failure ({context}): {source}")
+            }
+            ServeError::Protocol(e) => write!(f, "protocol violation: {e}"),
+            ServeError::Overloaded => write!(f, "server overloaded"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ServeError::ShuttingDown => write!(f, "server shutting down"),
+            ServeError::RetryExhausted { attempts } => {
+                write!(f, "retry budget exhausted after {attempts} attempts")
+            }
+            ServeError::Acid { violations } => {
+                write!(
+                    f,
+                    "{violations} acked transaction(s) not durable after recovery"
+                )
+            }
+            ServeError::Internal(msg) => write!(f, "internal serve failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<ProtocolError> for ServeError {
+    fn from(e: ProtocolError) -> Self {
+        ServeError::Protocol(e)
+    }
+}

@@ -1,0 +1,768 @@
+//! Pure connection state machine for the serve path.
+//!
+//! The FSM owns everything about one connection that does not touch a
+//! socket: frame decoding, session registration, in-flight transaction
+//! tracking, per-request deadlines, drain-on-shutdown, and malformed
+//! frame rejection. Inputs are bytes/events, outputs are actions
+//! (replies to write, transactions to submit, close). Time enters only
+//! through the `now_ms` argument — the FSM never reads a clock — so
+//! every interleaving the real server can produce (deadline expiry
+//! racing a late result, shutdown mid-request, a malformed frame after
+//! a valid one) can be replayed deterministically in unit tests.
+
+use super::protocol::{ErrorKind, Frame, FrameDecoder, Request, Response, TxnRequest};
+
+/// Connection lifecycle state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Accepting requests.
+    Ready,
+    /// Server drain in progress: in-flight transactions finish, new
+    /// ones are rejected, then the connection closes.
+    Draining,
+    /// Closed; all further inputs are ignored.
+    Closed,
+}
+
+/// How the executor resolved a submitted transaction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecResult {
+    /// Committed and durable.
+    Committed {
+        /// WAL token of the transaction, fed to the drain-time ACID
+        /// verdict. `None` when there is nothing durable to verify: a
+        /// read-only transaction (no update records, so recovery has
+        /// no redo to prove) or oracle mode (the simulator owns its
+        /// own log).
+        token: Option<u64>,
+        /// Log sequence number the commit force reached.
+        commit_lsn: u64,
+        /// Transactions completed so far.
+        completed: u64,
+        /// Oracle mode: the simulated run reached its target.
+        done: bool,
+    },
+    /// Shed by admission control (bounded queue full).
+    Overloaded,
+    /// The executor observed the deadline already expired and dropped
+    /// the work without executing it.
+    DeadlineExceeded,
+    /// Lock conflicts exhausted the retry budget.
+    RetryExhausted {
+        /// Attempts made before giving up.
+        attempts: u32,
+    },
+    /// Rejected because the server is draining.
+    ShuttingDown,
+    /// Unexpected executor failure.
+    Failed(String),
+}
+
+/// An input to the state machine.
+#[derive(Debug)]
+pub enum FsmInput<'a> {
+    /// Raw bytes read from the socket.
+    Bytes(&'a [u8]),
+    /// The socket hit EOF or a read error.
+    Eof,
+    /// The executor resolved a previously submitted transaction.
+    Executed {
+        /// Session the transaction belonged to.
+        session: u32,
+        /// Client-assigned transaction id.
+        client_txn: u64,
+        /// Outcome.
+        result: ExecResult,
+    },
+    /// A REPORT submitted earlier is ready.
+    ReportReady {
+        /// Canonical report JSON.
+        json: String,
+    },
+    /// Periodic timer; drives deadline expiry.
+    Tick,
+    /// Server-wide graceful drain has begun.
+    Shutdown,
+}
+
+/// An action the connection driver must perform.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FsmAction {
+    /// Write this frame to the socket.
+    Reply(Frame),
+    /// Hand this transaction to the executor.
+    Submit(TxnRequest),
+    /// Ask the server for the report (answer with `ReportReady`).
+    SubmitReport,
+    /// The client requested server-wide shutdown.
+    RequestShutdown,
+    /// Close the socket and stop the driver.
+    Close,
+}
+
+#[derive(Debug)]
+struct InFlight {
+    session: u32,
+    client_txn: u64,
+    deadline_at_ms: u64,
+    /// Deadline already reported to the client; swallow the late
+    /// executor result when it eventually arrives.
+    dead: bool,
+}
+
+/// The per-connection state machine.
+#[derive(Debug)]
+pub struct ConnFsm {
+    state: ConnState,
+    decoder: FrameDecoder,
+    /// First session id this connection may use (assigned at accept).
+    session_base: u32,
+    /// Sessions registered by HELLO (0 = not yet registered).
+    sessions: u32,
+    inflight: Vec<InFlight>,
+    default_deadline_ms: u32,
+    max_inflight: usize,
+    close_emitted: bool,
+}
+
+impl ConnFsm {
+    /// New connection in `Ready`, owning sessions starting at
+    /// `session_base` once HELLO arrives.
+    pub fn new(session_base: u32, default_deadline_ms: u32, max_inflight: usize) -> Self {
+        ConnFsm {
+            state: ConnState::Ready,
+            decoder: FrameDecoder::new(),
+            session_base,
+            sessions: 0,
+            inflight: Vec::new(),
+            default_deadline_ms: default_deadline_ms.max(1),
+            max_inflight: max_inflight.max(1),
+            close_emitted: false,
+        }
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> ConnState {
+        self.state
+    }
+
+    /// Sessions registered on this connection.
+    pub fn sessions(&self) -> u32 {
+        self.sessions
+    }
+
+    /// Transactions submitted but not yet resolved.
+    pub fn inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Feed one input; actions are appended to `out` in order.
+    pub fn on_input(&mut self, input: FsmInput<'_>, now_ms: u64, out: &mut Vec<FsmAction>) {
+        if self.state == ConnState::Closed {
+            return;
+        }
+        match input {
+            FsmInput::Bytes(bytes) => {
+                self.decoder.push(bytes);
+                loop {
+                    match self.decoder.next_frame() {
+                        Ok(Some(frame)) => {
+                            self.on_frame(&frame, now_ms, out);
+                            if self.state == ConnState::Closed {
+                                return;
+                            }
+                        }
+                        Ok(None) => break,
+                        Err(e) => {
+                            // Framing is untrustworthy from here on:
+                            // reject and drop the connection.
+                            self.reply_error(ErrorKind::Malformed, 0, 0, &e.to_string(), out);
+                            self.close(out);
+                            return;
+                        }
+                    }
+                }
+            }
+            FsmInput::Eof => self.close(out),
+            FsmInput::Executed {
+                session,
+                client_txn,
+                result,
+            } => self.on_executed(session, client_txn, result, out),
+            FsmInput::ReportReady { json } => {
+                out.push(FsmAction::Reply(Response::ReportOk { json }.encode()));
+            }
+            FsmInput::Tick => self.expire_deadlines(now_ms, out),
+            FsmInput::Shutdown => {
+                if self.state == ConnState::Ready {
+                    self.state = ConnState::Draining;
+                }
+                if self.inflight.is_empty() {
+                    self.close(out);
+                }
+            }
+        }
+    }
+
+    fn on_frame(&mut self, frame: &Frame, now_ms: u64, out: &mut Vec<FsmAction>) {
+        let req = match Request::parse(frame) {
+            Ok(req) => req,
+            Err(e) => {
+                self.reply_error(ErrorKind::Malformed, 0, 0, &e.to_string(), out);
+                self.close(out);
+                return;
+            }
+        };
+        match req {
+            Request::Hello { sessions } => {
+                if self.sessions != 0 {
+                    self.reply_error(ErrorKind::Malformed, 0, 0, "duplicate HELLO", out);
+                    self.close(out);
+                    return;
+                }
+                self.sessions = sessions;
+                out.push(FsmAction::Reply(
+                    Response::HelloOk {
+                        first_session: self.session_base,
+                    }
+                    .encode(),
+                ));
+            }
+            Request::Txn(txn) => {
+                if self.sessions == 0 {
+                    self.reply_error(
+                        ErrorKind::Malformed,
+                        txn.session,
+                        txn.client_txn,
+                        "TXN before HELLO",
+                        out,
+                    );
+                    self.close(out);
+                    return;
+                }
+                if self.state == ConnState::Draining {
+                    self.reply_error(
+                        ErrorKind::ShuttingDown,
+                        txn.session,
+                        txn.client_txn,
+                        "server is draining",
+                        out,
+                    );
+                    return;
+                }
+                if self.inflight.len() >= self.max_inflight {
+                    // Per-connection pipelining bound; the server-wide
+                    // bound is the admission controller.
+                    self.reply_error(
+                        ErrorKind::Overloaded,
+                        txn.session,
+                        txn.client_txn,
+                        "connection pipeline full",
+                        out,
+                    );
+                    return;
+                }
+                let deadline_ms = if txn.deadline_ms == 0 {
+                    self.default_deadline_ms
+                } else {
+                    txn.deadline_ms
+                };
+                self.inflight.push(InFlight {
+                    session: txn.session,
+                    client_txn: txn.client_txn,
+                    deadline_at_ms: now_ms + u64::from(deadline_ms),
+                    dead: false,
+                });
+                out.push(FsmAction::Submit(txn));
+            }
+            Request::Report => out.push(FsmAction::SubmitReport),
+            Request::Bye => {
+                out.push(FsmAction::Reply(Response::ByeOk.encode()));
+                self.close(out);
+            }
+            Request::Shutdown => {
+                out.push(FsmAction::Reply(Response::ShutdownOk.encode()));
+                out.push(FsmAction::RequestShutdown);
+            }
+            Request::Ping => out.push(FsmAction::Reply(Response::PingOk.encode())),
+        }
+    }
+
+    fn on_executed(
+        &mut self,
+        session: u32,
+        client_txn: u64,
+        result: ExecResult,
+        out: &mut Vec<FsmAction>,
+    ) {
+        let Some(pos) = self
+            .inflight
+            .iter()
+            .position(|f| f.session == session && f.client_txn == client_txn)
+        else {
+            // Unknown (already swallowed, or a buggy executor): ignore.
+            return;
+        };
+        let entry = self.inflight.swap_remove(pos);
+        if !entry.dead {
+            let reply = match result {
+                ExecResult::Committed {
+                    commit_lsn,
+                    completed,
+                    done,
+                    ..
+                } => Response::TxnOk {
+                    session,
+                    client_txn,
+                    commit_lsn,
+                    completed,
+                    done,
+                },
+                ExecResult::Overloaded => Response::Error {
+                    kind: ErrorKind::Overloaded,
+                    session,
+                    client_txn,
+                    detail: "admission control shed the request".into(),
+                },
+                ExecResult::DeadlineExceeded => Response::Error {
+                    kind: ErrorKind::DeadlineExceeded,
+                    session,
+                    client_txn,
+                    detail: "deadline expired before execution".into(),
+                },
+                ExecResult::RetryExhausted { attempts } => Response::Error {
+                    kind: ErrorKind::RetryExhausted,
+                    session,
+                    client_txn,
+                    detail: format!("lock conflicts after {attempts} attempts"),
+                },
+                ExecResult::ShuttingDown => Response::Error {
+                    kind: ErrorKind::ShuttingDown,
+                    session,
+                    client_txn,
+                    detail: "server is draining".into(),
+                },
+                ExecResult::Failed(detail) => Response::Error {
+                    kind: ErrorKind::Internal,
+                    session,
+                    client_txn,
+                    detail,
+                },
+            };
+            out.push(FsmAction::Reply(reply.encode()));
+        }
+        if self.state == ConnState::Draining && self.inflight.is_empty() {
+            self.close(out);
+        }
+    }
+
+    fn expire_deadlines(&mut self, now_ms: u64, out: &mut Vec<FsmAction>) {
+        for entry in &mut self.inflight {
+            if !entry.dead && entry.deadline_at_ms <= now_ms {
+                entry.dead = true;
+                out.push(FsmAction::Reply(
+                    Response::Error {
+                        kind: ErrorKind::DeadlineExceeded,
+                        session: entry.session,
+                        client_txn: entry.client_txn,
+                        detail: "deadline expired awaiting execution".into(),
+                    }
+                    .encode(),
+                ));
+            }
+        }
+    }
+
+    fn reply_error(
+        &mut self,
+        kind: ErrorKind,
+        session: u32,
+        client_txn: u64,
+        detail: &str,
+        out: &mut Vec<FsmAction>,
+    ) {
+        out.push(FsmAction::Reply(
+            Response::Error {
+                kind,
+                session,
+                client_txn,
+                detail: detail.into(),
+            }
+            .encode(),
+        ));
+    }
+
+    fn close(&mut self, out: &mut Vec<FsmAction>) {
+        self.state = ConnState::Closed;
+        if !self.close_emitted {
+            self.close_emitted = true;
+            out.push(FsmAction::Close);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    //! Deterministic interleaving tests: a fixed-seed scheduler replays
+    //! input permutations against the pure FSM, so every race the real
+    //! threaded server can hit is exercised without threads.
+
+    use super::*;
+    use semcluster_faults::splitmix64;
+
+    fn fsm() -> ConnFsm {
+        ConnFsm::new(100, 500, 4)
+    }
+
+    fn hello_bytes(sessions: u32) -> Vec<u8> {
+        Request::Hello { sessions }.encode().encode()
+    }
+
+    fn txn_bytes(session: u32, client_txn: u64, deadline_ms: u32) -> Vec<u8> {
+        Request::Txn(TxnRequest {
+            session,
+            client_txn,
+            deadline_ms,
+            ops: vec![super::super::protocol::TxnOp {
+                write: true,
+                object: 1,
+            }],
+        })
+        .encode()
+        .encode()
+    }
+
+    fn replies(actions: &[FsmAction]) -> Vec<Response> {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                FsmAction::Reply(f) => Some(Response::parse(f).unwrap()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn happy_path_hello_txn_commit_bye() {
+        let mut f = fsm();
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(8)), 0, &mut out);
+        assert_eq!(
+            replies(&out),
+            vec![Response::HelloOk { first_session: 100 }]
+        );
+        out.clear();
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 1, 0)), 0, &mut out);
+        assert!(matches!(out.as_slice(), [FsmAction::Submit(t)] if t.client_txn == 1));
+        out.clear();
+        f.on_input(
+            FsmInput::Executed {
+                session: 100,
+                client_txn: 1,
+                result: ExecResult::Committed {
+                    token: Some(7),
+                    commit_lsn: 64,
+                    completed: 1,
+                    done: false,
+                },
+            },
+            1,
+            &mut out,
+        );
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::TxnOk {
+                client_txn: 1,
+                commit_lsn: 64,
+                ..
+            }]
+        ));
+        out.clear();
+        f.on_input(
+            FsmInput::Bytes(&Request::Bye.encode().encode()),
+            2,
+            &mut out,
+        );
+        assert_eq!(replies(&out), vec![Response::ByeOk]);
+        assert!(out.contains(&FsmAction::Close));
+        assert_eq!(f.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn deadline_expires_mid_request_and_late_result_is_swallowed() {
+        let mut f = fsm();
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 9, 50)), 0, &mut out);
+        out.clear();
+        // Tick before the deadline: nothing.
+        f.on_input(FsmInput::Tick, 49, &mut out);
+        assert!(out.is_empty());
+        // Tick at the deadline: typed timeout reply.
+        f.on_input(FsmInput::Tick, 50, &mut out);
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::DeadlineExceeded,
+                client_txn: 9,
+                ..
+            }]
+        ));
+        out.clear();
+        // A second tick must not re-report.
+        f.on_input(FsmInput::Tick, 60, &mut out);
+        assert!(out.is_empty());
+        // The executor eventually finishes: no second reply to the client.
+        f.on_input(
+            FsmInput::Executed {
+                session: 100,
+                client_txn: 9,
+                result: ExecResult::Committed {
+                    token: Some(1),
+                    commit_lsn: 10,
+                    completed: 1,
+                    done: false,
+                },
+            },
+            70,
+            &mut out,
+        );
+        assert!(out.is_empty(), "late result must be swallowed");
+        assert_eq!(f.inflight(), 0);
+    }
+
+    #[test]
+    fn shutdown_while_draining_finishes_inflight_then_closes() {
+        let mut f = fsm();
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(2)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 1, 0)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&txn_bytes(101, 2, 0)), 0, &mut out);
+        out.clear();
+        f.on_input(FsmInput::Shutdown, 1, &mut out);
+        assert_eq!(f.state(), ConnState::Draining);
+        assert!(out.is_empty(), "drain waits for in-flight work");
+        // New work is rejected with the typed shutdown error.
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 3, 0)), 2, &mut out);
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::ShuttingDown,
+                client_txn: 3,
+                ..
+            }]
+        ));
+        out.clear();
+        // First in-flight completes: acked, still draining.
+        f.on_input(
+            FsmInput::Executed {
+                session: 100,
+                client_txn: 1,
+                result: ExecResult::Committed {
+                    token: Some(1),
+                    commit_lsn: 1,
+                    completed: 1,
+                    done: false,
+                },
+            },
+            3,
+            &mut out,
+        );
+        assert_eq!(f.state(), ConnState::Draining);
+        assert!(!out.contains(&FsmAction::Close));
+        out.clear();
+        // Last one completes: acked, then close.
+        f.on_input(
+            FsmInput::Executed {
+                session: 101,
+                client_txn: 2,
+                result: ExecResult::Committed {
+                    token: Some(2),
+                    commit_lsn: 2,
+                    completed: 2,
+                    done: false,
+                },
+            },
+            4,
+            &mut out,
+        );
+        let r = replies(&out);
+        assert!(matches!(
+            r.as_slice(),
+            [Response::TxnOk { client_txn: 2, .. }]
+        ));
+        assert!(out.contains(&FsmAction::Close));
+        assert_eq!(f.state(), ConnState::Closed);
+    }
+
+    #[test]
+    fn malformed_frame_is_rejected_and_closes() {
+        // Garbage opcode.
+        let mut f = fsm();
+        let mut out = Vec::new();
+        let junk = Frame {
+            opcode: 0xFF,
+            payload: vec![1, 2, 3],
+        }
+        .encode();
+        f.on_input(FsmInput::Bytes(&junk), 0, &mut out);
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::Malformed,
+                ..
+            }]
+        ));
+        assert!(out.contains(&FsmAction::Close));
+        // Oversize length field.
+        let mut f = fsm();
+        out.clear();
+        f.on_input(
+            FsmInput::Bytes(&(super::super::protocol::MAX_FRAME_BYTES + 1).to_le_bytes()),
+            0,
+            &mut out,
+        );
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::Malformed,
+                ..
+            }]
+        ));
+        assert!(out.contains(&FsmAction::Close));
+        // TXN before HELLO.
+        let mut f = fsm();
+        out.clear();
+        f.on_input(FsmInput::Bytes(&txn_bytes(0, 1, 0)), 0, &mut out);
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::Malformed,
+                ..
+            }]
+        ));
+        // Duplicate HELLO.
+        let mut f = fsm();
+        out.clear();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        assert!(out.contains(&FsmAction::Close));
+    }
+
+    #[test]
+    fn retry_exhaustion_and_overload_map_to_typed_errors() {
+        let mut f = fsm();
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 1, 0)), 0, &mut out);
+        out.clear();
+        f.on_input(
+            FsmInput::Executed {
+                session: 100,
+                client_txn: 1,
+                result: ExecResult::RetryExhausted { attempts: 4 },
+            },
+            1,
+            &mut out,
+        );
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::RetryExhausted,
+                ..
+            }]
+        ));
+        out.clear();
+        // Pipeline bound: fifth concurrent txn on a max_inflight=4 conn.
+        for i in 2..=5 {
+            f.on_input(FsmInput::Bytes(&txn_bytes(100, i, 0)), 1, &mut out);
+        }
+        out.clear();
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 6, 0)), 1, &mut out);
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::Error {
+                kind: ErrorKind::Overloaded,
+                client_txn: 6,
+                ..
+            }]
+        ));
+    }
+
+    /// Fixed-seed scheduler: replay the same set of inputs in many
+    /// hash-chosen orders; invariants must hold in every interleaving.
+    #[test]
+    fn seeded_interleavings_preserve_reply_invariants() {
+        for seed in 0..64u64 {
+            // Inputs that may arrive in any order once two txns are in
+            // flight: two executor results, ticks at various times, and
+            // the shutdown broadcast.
+            let mut f = fsm();
+            let mut out = Vec::new();
+            f.on_input(FsmInput::Bytes(&hello_bytes(2)), 0, &mut out);
+            f.on_input(FsmInput::Bytes(&txn_bytes(100, 1, 100)), 0, &mut out);
+            f.on_input(FsmInput::Bytes(&txn_bytes(101, 2, 100)), 0, &mut out);
+            out.clear();
+
+            // Shuffle event order with a keyed hash (no RNG state).
+            let mut events: Vec<u32> = (0..5).collect();
+            for i in (1..events.len()).rev() {
+                let j = (splitmix64(seed ^ (i as u64) << 8) % (i as u64 + 1)) as usize;
+                events.swap(i, j);
+            }
+            let mut clock = 10u64;
+            for ev in events {
+                clock += 40; // 50, 90, 130, ... — deadlines (100) expire mid-sequence
+                match ev {
+                    0 => f.on_input(
+                        FsmInput::Executed {
+                            session: 100,
+                            client_txn: 1,
+                            result: ExecResult::Committed {
+                                token: Some(1),
+                                commit_lsn: 1,
+                                completed: 1,
+                                done: false,
+                            },
+                        },
+                        clock,
+                        &mut out,
+                    ),
+                    1 => f.on_input(
+                        FsmInput::Executed {
+                            session: 101,
+                            client_txn: 2,
+                            result: ExecResult::RetryExhausted { attempts: 4 },
+                        },
+                        clock,
+                        &mut out,
+                    ),
+                    2 | 3 => f.on_input(FsmInput::Tick, clock, &mut out),
+                    _ => f.on_input(FsmInput::Shutdown, clock, &mut out),
+                }
+            }
+            f.on_input(FsmInput::Shutdown, clock + 1, &mut out);
+
+            // Invariant 1: exactly one reply per client txn, whatever
+            // the interleaving (commit, typed error, or deadline).
+            for txn in [1u64, 2u64] {
+                let n = replies(&out)
+                    .iter()
+                    .filter(|r| match r {
+                        Response::TxnOk { client_txn, .. } => *client_txn == txn,
+                        Response::Error { client_txn, .. } => *client_txn == txn,
+                        _ => false,
+                    })
+                    .count();
+                assert_eq!(n, 1, "seed {seed}: txn {txn} got {n} replies");
+            }
+            // Invariant 2: the connection always ends Closed with
+            // nothing in flight.
+            assert_eq!(f.state(), ConnState::Closed, "seed {seed}");
+            assert_eq!(f.inflight(), 0, "seed {seed}");
+            // Invariant 3: exactly one Close action.
+            let closes = out.iter().filter(|a| **a == FsmAction::Close).count();
+            assert_eq!(closes, 1, "seed {seed}");
+        }
+    }
+}

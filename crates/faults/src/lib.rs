@@ -28,8 +28,10 @@
 
 mod config;
 mod fsfault;
+mod netchaos;
 mod plan;
 
 pub use config::{CrashPoint, DegradationPolicy, FaultConfig, RetryPolicy};
 pub use fsfault::{FaultedDir, FsCrashReport, FsError, FsFaultConfig, FsFile, FsStats, TornWrite};
-pub use plan::{FaultPlan, FaultState, FaultStats, IoError, IoOp};
+pub use netchaos::{NetAction, NetChaosConfig, NetChaosPlan};
+pub use plan::{splitmix64, FaultPlan, FaultState, FaultStats, IoError, IoOp};

@@ -1,0 +1,305 @@
+//! Deterministic network-chaos schedules for the wire-protocol server.
+//!
+//! Mirrors the disk-fault layer ([`crate::FaultPlan`]): every chaos
+//! decision is a pure function of `(seed, connection, frame)` — a
+//! splitmix64 keyed hash, no mutable RNG — so a chaos run is exactly
+//! reproducible from its seed and preset, at any thread count and on
+//! any machine. The load generator asks [`NetChaosPlan::action`] what
+//! to do with each outbound frame; the plan never sees wall-clock time
+//! or socket state.
+
+use crate::plan::splitmix64;
+
+/// Distinct salt so network-chaos draws never collide with the disk
+/// fault plan's streams for the same seed.
+const NET_SALT: u64 = 0x0C4A_0517_89AB_5EED;
+
+/// What the chaos layer does to one outbound request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetAction {
+    /// Send the frame normally.
+    Deliver,
+    /// Abruptly close the connection before sending (in-flight replies
+    /// are lost; the client reconnects).
+    Drop,
+    /// Sleep this many milliseconds before sending (a stalled client).
+    Stall(u32),
+    /// Half-close: send the frame, then shut down the write half and
+    /// drain replies before reconnecting.
+    HalfClose,
+    /// Slow-loris: trickle the frame byte-by-byte with small pauses.
+    Trickle,
+    /// Corrupt the frame (unknown opcode) — the server must reject it
+    /// as malformed and close the connection.
+    Corrupt,
+}
+
+impl NetAction {
+    /// One-letter code used by the chaos golden rendering.
+    pub fn code(self) -> char {
+        match self {
+            NetAction::Deliver => '.',
+            NetAction::Drop => 'X',
+            NetAction::Stall(_) => 'S',
+            NetAction::HalfClose => 'H',
+            NetAction::Trickle => 'T',
+            NetAction::Corrupt => 'C',
+        }
+    }
+}
+
+/// Probabilities (per mille) of each chaos action, applied per frame.
+/// The checks are ordered (drop, stall, half-close, trickle, corrupt)
+/// against disjoint probability bands of a single uniform draw, so the
+/// per-frame action is one hash regardless of configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetChaosConfig {
+    /// Preset name (for labels and logs).
+    pub name: &'static str,
+    /// Probability of an abrupt connection drop, per mille.
+    pub drop_pm: u32,
+    /// Probability of a send stall, per mille.
+    pub stall_pm: u32,
+    /// Stall duration in milliseconds.
+    pub stall_ms: u32,
+    /// Probability of a half-close, per mille.
+    pub half_close_pm: u32,
+    /// Probability of a slow-loris trickle send, per mille.
+    pub trickle_pm: u32,
+    /// Probability of a corrupted (malformed) frame, per mille.
+    pub corrupt_pm: u32,
+}
+
+impl NetChaosConfig {
+    /// Inert configuration: every frame is delivered untouched.
+    pub fn none() -> Self {
+        NetChaosConfig {
+            name: "none",
+            drop_pm: 0,
+            stall_pm: 0,
+            stall_ms: 0,
+            half_close_pm: 0,
+            trickle_pm: 0,
+            corrupt_pm: 0,
+        }
+    }
+
+    /// The network-chaos preset CI runs the load generator under:
+    /// occasional abrupt drops, stalls, half-closes, slow-loris sends
+    /// and malformed frames — frequent enough to exercise every
+    /// hardening path in a short run, rare enough that the load still
+    /// completes.
+    pub fn chaos() -> Self {
+        NetChaosConfig {
+            name: "chaos",
+            drop_pm: 8,
+            stall_pm: 15,
+            stall_ms: 20,
+            half_close_pm: 6,
+            trickle_pm: 10,
+            corrupt_pm: 6,
+        }
+    }
+
+    /// Preset by name.
+    pub fn preset(name: &str) -> Option<Self> {
+        match name {
+            "none" => Some(Self::none()),
+            "chaos" => Some(Self::chaos()),
+            _ => None,
+        }
+    }
+
+    /// Names [`NetChaosConfig::preset`] accepts.
+    pub const PRESETS: [&'static str; 2] = ["none", "chaos"];
+
+    /// Whether any action has non-zero probability.
+    pub fn enabled(&self) -> bool {
+        self.drop_pm + self.stall_pm + self.half_close_pm + self.trickle_pm + self.corrupt_pm > 0
+    }
+}
+
+/// The keyed chaos schedule: `(seed, config)` fully determine the
+/// action taken on every `(connection, frame)` pair.
+#[derive(Debug, Clone, Copy)]
+pub struct NetChaosPlan {
+    key: u64,
+    cfg: NetChaosConfig,
+}
+
+impl NetChaosPlan {
+    /// Build the plan for `seed` under `cfg`.
+    pub fn new(seed: u64, cfg: NetChaosConfig) -> Self {
+        NetChaosPlan {
+            key: splitmix64(seed ^ NET_SALT),
+            cfg,
+        }
+    }
+
+    /// Configuration the plan was built from.
+    pub fn config(&self) -> NetChaosConfig {
+        self.cfg
+    }
+
+    /// Uniform draw in `[0, 1)` for `(conn, frame)` — pure, stateless.
+    fn unit(&self, conn: u64, frame: u64) -> f64 {
+        let bits = splitmix64(
+            self.key
+                .wrapping_add(splitmix64(conn.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+                .wrapping_add(frame),
+        );
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// The action for the `frame`-th outbound frame on connection
+    /// `conn`. Disjoint probability bands over one uniform draw.
+    pub fn action(&self, conn: u64, frame: u64) -> NetAction {
+        if !self.cfg.enabled() {
+            return NetAction::Deliver;
+        }
+        let u = self.unit(conn, frame) * 1000.0;
+        let mut band = self.cfg.drop_pm as f64;
+        if u < band {
+            return NetAction::Drop;
+        }
+        band += self.cfg.stall_pm as f64;
+        if u < band {
+            return NetAction::Stall(self.cfg.stall_ms);
+        }
+        band += self.cfg.half_close_pm as f64;
+        if u < band {
+            return NetAction::HalfClose;
+        }
+        band += self.cfg.trickle_pm as f64;
+        if u < band {
+            return NetAction::Trickle;
+        }
+        band += self.cfg.corrupt_pm as f64;
+        if u < band {
+            return NetAction::Corrupt;
+        }
+        NetAction::Deliver
+    }
+
+    /// Render the first `frames` decisions of `conns` connections as a
+    /// compact schedule table (one JSON line per connection plus an
+    /// action histogram) — the byte-exact body of the chaos golden.
+    pub fn render_schedule(&self, conns: u64, frames: u64) -> String {
+        let mut out = String::new();
+        let mut counts = [0u64; 6];
+        for conn in 0..conns {
+            let mut codes = String::with_capacity(frames as usize);
+            for frame in 0..frames {
+                let action = self.action(conn, frame);
+                codes.push(action.code());
+                let slot = match action {
+                    NetAction::Deliver => 0,
+                    NetAction::Drop => 1,
+                    NetAction::Stall(_) => 2,
+                    NetAction::HalfClose => 3,
+                    NetAction::Trickle => 4,
+                    NetAction::Corrupt => 5,
+                };
+                counts[slot] += 1;
+            }
+            out.push_str(&format!(
+                "{{\"preset\":{:?},\"conn\":{conn},\"plan\":\"{codes}\"}}\n",
+                self.cfg.name
+            ));
+        }
+        out.push_str(&format!(
+            concat!(
+                "{{\"deliver\":{},\"drop\":{},\"stall\":{},",
+                "\"half_close\":{},\"trickle\":{},\"corrupt\":{}}}\n"
+            ),
+            counts[0], counts[1], counts[2], counts[3], counts[4], counts[5]
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_pure_and_seed_keyed() {
+        let cfg = NetChaosConfig::chaos();
+        let a = NetChaosPlan::new(7, cfg);
+        let b = NetChaosPlan::new(7, cfg);
+        for conn in 0..8 {
+            for frame in 0..64 {
+                assert_eq!(a.action(conn, frame), b.action(conn, frame));
+            }
+        }
+        // A different seed produces a different schedule somewhere.
+        let c = NetChaosPlan::new(8, cfg);
+        let differs = (0..8)
+            .flat_map(|conn| (0..64).map(move |frame| (conn, frame)))
+            .any(|(conn, frame)| a.action(conn, frame) != c.action(conn, frame));
+        assert!(differs, "seed must key the schedule");
+    }
+
+    #[test]
+    fn inert_preset_always_delivers() {
+        let plan = NetChaosPlan::new(42, NetChaosConfig::none());
+        for conn in 0..4 {
+            for frame in 0..256 {
+                assert_eq!(plan.action(conn, frame), NetAction::Deliver);
+            }
+        }
+    }
+
+    #[test]
+    fn chaos_preset_exercises_every_action() {
+        let plan = NetChaosPlan::new(11, NetChaosConfig::chaos());
+        let mut seen = [false; 6];
+        for conn in 0..64 {
+            for frame in 0..256 {
+                let slot = match plan.action(conn, frame) {
+                    NetAction::Deliver => 0,
+                    NetAction::Drop => 1,
+                    NetAction::Stall(_) => 2,
+                    NetAction::HalfClose => 3,
+                    NetAction::Trickle => 4,
+                    NetAction::Corrupt => 5,
+                };
+                seen[slot] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "all actions fire: {seen:?}");
+    }
+
+    #[test]
+    fn chaos_rate_tracks_configuration() {
+        let cfg = NetChaosConfig::chaos();
+        let plan = NetChaosPlan::new(3, cfg);
+        let total = 64 * 512;
+        let mut chaotic = 0u64;
+        for conn in 0..64 {
+            for frame in 0..512 {
+                if plan.action(conn, frame) != NetAction::Deliver {
+                    chaotic += 1;
+                }
+            }
+        }
+        let expect =
+            (cfg.drop_pm + cfg.stall_pm + cfg.half_close_pm + cfg.trickle_pm + cfg.corrupt_pm)
+                as f64
+                / 1000.0;
+        let got = chaotic as f64 / total as f64;
+        assert!(
+            (got - expect).abs() < expect * 0.35,
+            "chaos rate {got:.4} far from configured {expect:.4}"
+        );
+    }
+
+    #[test]
+    fn schedule_render_is_stable() {
+        let plan = NetChaosPlan::new(11, NetChaosConfig::chaos());
+        let a = plan.render_schedule(4, 48);
+        assert_eq!(a, plan.render_schedule(4, 48));
+        assert_eq!(a.lines().count(), 5, "4 connection lines + histogram");
+        assert!(a.contains("\"preset\":\"chaos\""));
+    }
+}

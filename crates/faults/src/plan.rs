@@ -91,7 +91,11 @@ pub struct FaultStats {
 
 const SALT: u64 = 0xFA17_5EED_0DB5_1989;
 
-pub(crate) fn splitmix64(mut x: u64) -> u64 {
+/// The splitmix64 mixing function behind every keyed-hash schedule in
+/// this crate (disk faults, network chaos) and the load generator's
+/// deterministic workload draws: a stateless bijection of `u64`, so a
+/// "draw" is a pure function of its key — no mutable RNG anywhere.
+pub fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = x;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

@@ -31,6 +31,7 @@ mod chrome;
 mod json;
 mod metrics;
 mod profile;
+mod serve_timeline;
 mod timeline;
 mod trace;
 
@@ -41,6 +42,7 @@ pub use profile::{
     allocation_counts, CountingAlloc, FoldedMetric, Phase, PhaseProfiler, PhaseStats, PhaseToken,
     ProfileReport,
 };
+pub use serve_timeline::{ServePoint, ServeTimeline};
 pub use timeline::{Timeline, TimelinePoint, TimelineSample, TimelineSampler};
 pub use trace::{
     shared, FaultOp, FlushCause, JsonlSink, LogFlushKind, NoopSink, ReadCause, RingBufferSink,

@@ -1,0 +1,114 @@
+//! Wall-clock timeline for the serve path.
+//!
+//! The simulation timeline ([`crate::Timeline`]) samples *simulated*
+//! time; the serve path runs real threads against real sockets, so its
+//! health signal is a wall-clock series: queue depth, live connections
+//! and sessions, acked transactions, admission sheds and deadline
+//! misses sampled at a fixed interval. The server's sampler thread
+//! pushes points; this module only holds and serializes them, keeping
+//! the observer pure (export order is insertion order, no clocks here).
+
+/// One sampled point of server health.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServePoint {
+    /// Milliseconds since the server started.
+    pub t_ms: u64,
+    /// Jobs waiting in the execution queue.
+    pub queue_depth: u64,
+    /// Open connections.
+    pub connections: u64,
+    /// Live logical sessions across all connections.
+    pub sessions: u64,
+    /// Transactions acknowledged to clients so far.
+    pub acked: u64,
+    /// Requests shed by admission control so far.
+    pub sheds: u64,
+    /// Deadline-expiry replies sent so far.
+    pub deadline_misses: u64,
+}
+
+/// A wall-clock series of [`ServePoint`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ServeTimeline {
+    /// Sampling interval the server aimed for, in milliseconds.
+    pub interval_ms: u64,
+    /// Samples in capture order.
+    pub points: Vec<ServePoint>,
+}
+
+impl ServeTimeline {
+    /// Empty timeline with the configured sampling interval.
+    pub fn new(interval_ms: u64) -> Self {
+        ServeTimeline {
+            interval_ms,
+            points: Vec::new(),
+        }
+    }
+
+    /// Append one sample.
+    pub fn push(&mut self, point: ServePoint) {
+        self.points.push(point);
+    }
+
+    /// Canonical JSON: one object with the interval and a `points`
+    /// array in capture order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"interval_ms\": {},\n", self.interval_ms));
+        out.push_str("  \"points\": [\n");
+        for (i, p) in self.points.iter().enumerate() {
+            let comma = if i + 1 < self.points.len() { "," } else { "" };
+            out.push_str(&format!(
+                "    {{\"t_ms\": {}, \"queue_depth\": {}, \"connections\": {}, \"sessions\": {}, \"acked\": {}, \"sheds\": {}, \"deadline_misses\": {}}}{}\n",
+                p.t_ms, p.queue_depth, p.connections, p.sessions, p.acked, p.sheds, p.deadline_misses, comma
+            ));
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_stable_and_ordered() {
+        let mut t = ServeTimeline::new(50);
+        t.push(ServePoint {
+            t_ms: 0,
+            queue_depth: 0,
+            connections: 1,
+            sessions: 200,
+            acked: 0,
+            sheds: 0,
+            deadline_misses: 0,
+        });
+        t.push(ServePoint {
+            t_ms: 50,
+            queue_depth: 12,
+            connections: 4,
+            sessions: 800,
+            acked: 310,
+            sheds: 2,
+            deadline_misses: 1,
+        });
+        let a = t.to_json();
+        let b = t.to_json();
+        assert_eq!(a, b);
+        assert!(a.contains("\"interval_ms\": 50"));
+        assert!(a.contains("\"sessions\": 800"));
+        let first = a.find("\"t_ms\": 0").unwrap();
+        let second = a.find("\"t_ms\": 50").unwrap();
+        assert!(first < second, "points serialize in capture order");
+    }
+
+    #[test]
+    fn empty_timeline_serializes() {
+        let t = ServeTimeline::new(100);
+        let json = t.to_json();
+        assert!(json.contains("\"points\": ["));
+    }
+}

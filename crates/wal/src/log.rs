@@ -301,6 +301,41 @@ impl LogManager {
         }
     }
 
+    /// Commit a whole group of transactions with a **single** force:
+    /// every member's commit record is appended, then one flush makes
+    /// the entire batch durable together. This is the group-commit
+    /// primitive the concurrent server uses — under contention, N
+    /// transactions committing in the same window pay one physical log
+    /// force instead of N. Returns the physical I/Os triggered (0 or 1).
+    ///
+    /// Durability contract is identical to calling [`LogManager::commit`]
+    /// per member: no member may be acknowledged before this call
+    /// returns, and after it returns every member's commit record has
+    /// reached stable storage (when `force_on_commit` is set).
+    ///
+    /// # Panics
+    /// Panics if any member of `txns` is not open.
+    pub fn commit_group(&mut self, txns: &[TxnToken]) -> u32 {
+        for &txn in txns {
+            self.open.remove(&txn).expect("transaction is open");
+            self.stats.commits += 1;
+            self.record(txn, RecordKind::Commit);
+        }
+        if txns.is_empty() {
+            return 0;
+        }
+        if self.cfg.force_on_commit {
+            self.flush_tail();
+        }
+        if self.cfg.force_on_commit && self.buffered > 0 {
+            self.buffered = 0;
+            self.stats.commit_forces += 1;
+            1
+        } else {
+            0
+        }
+    }
+
     /// Abort `txn` (buffered records stay — they will be superseded by
     /// compensation in a real system; the simulation only needs the I/O
     /// accounting to stop).
@@ -363,6 +398,46 @@ mod tests {
         }
         ios2 += scattered.commit(t);
         assert_eq!(ios2, 6);
+    }
+
+    #[test]
+    fn group_commit_forces_once_for_the_whole_batch() {
+        let mut log = mgr(16 * 1024);
+        let group: Vec<TxnToken> = (0..4)
+            .map(|i| {
+                let t = log.begin();
+                log.log_update(t, p(i), 100);
+                t
+            })
+            .collect();
+        let ios = log.commit_group(&group);
+        assert_eq!(ios, 1, "one force covers four commits");
+        assert_eq!(log.stats().commits, 4);
+        assert_eq!(log.stats().commit_forces, 1);
+        assert_eq!(log.open_transactions(), 0);
+        assert_eq!(log.buffered_bytes(), 0);
+        // Empty batch is a no-op.
+        assert_eq!(log.commit_group(&[]), 0);
+        assert_eq!(log.stats().commit_forces, 1);
+    }
+
+    #[test]
+    fn group_commit_records_are_durable_for_recovery() {
+        let mut log = LogManager::with_retention(LogConfig::default());
+        let a = log.begin();
+        let b = log.begin();
+        let c = log.begin();
+        log.log_update(a, p(1), 10);
+        log.log_update(b, p(2), 10);
+        log.log_update(c, p(3), 10);
+        log.commit_group(&[a, b]);
+        // c is still in flight when the server crashes: its update
+        // record reached disk with the group's force, but no commit —
+        // recovery must roll it back.
+        let durable = log.crash();
+        let outcome = crate::recover(&durable);
+        assert_eq!(outcome.winners, vec![a, b]);
+        assert_eq!(outcome.losers, vec![c]);
     }
 
     #[test]
