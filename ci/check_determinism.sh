@@ -59,16 +59,20 @@ fi
 echo "determinism guard: OK (no raw HashMap/HashSet in simulation state)"
 
 # Purity guard for the serve path's deterministic layers (DESIGN.md
-# §16): the wire protocol, the connection FSM, admission control and
-# the network-chaos planner are replayed byte-exactly in unit tests and
-# the chaos golden, so they must never read a clock or an OS RNG — time
-# enters only as a now_ms argument and randomness only as a keyed hash
-# of (seed, coordinates). The impure server/load modules own the real
-# clocks and sockets.
+# §16–17): the wire protocol, the connection FSM, admission control,
+# the telemetry registry + SLO tracker, and the network-chaos planner
+# are replayed byte-exactly in unit tests and the chaos/stats goldens,
+# so they must never read a clock or an OS RNG — time enters only as an
+# argument (now_ms / microsecond stamps) and randomness only as a keyed
+# hash of (seed, coordinates). The impure server/load modules own the
+# real clocks and sockets; wall-clock reads on the serve path are
+# confined to server.rs and load.rs.
 pure=(
     crates/core/src/serve/protocol.rs
     crates/core/src/serve/session.rs
     crates/core/src/serve/admission.rs
+    crates/core/src/serve/stats.rs
+    crates/core/src/serve/slo.rs
     crates/faults/src/netchaos.rs
 )
 impure_hits=$(grep -n -E 'Instant::now|SystemTime::now|thread_rng|rand::random' "${pure[@]}" || true)
@@ -79,4 +83,4 @@ if [ -n "$impure_hits" ]; then
     echo "keyed hash of (seed, coordinates) instead." >&2
     exit 1
 fi
-echo "determinism guard: OK (serve FSM/protocol/admission/chaos are clock- and RNG-free)"
+echo "determinism guard: OK (serve FSM/protocol/admission/stats/slo/chaos are clock- and RNG-free)"

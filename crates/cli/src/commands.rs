@@ -42,7 +42,8 @@ USAGE:
   semclusterctl trace    [--invocations N] [--seed N]
   semclusterctl inspect  [--workload med5-10] [--mbytes N] [--seed N]
   semclusterctl reorg    [--modules N] [--seed N]
-  semclusterctl golden   [--bless] [--suite smoke|faults|timeline|profile|chaos]
+  semclusterctl golden   [--bless]
+                         [--suite smoke|faults|timeline|profile|chaos|stats]
                          [--path FILE] [--jobs N]
   semclusterctl bench-report [--out FILE] [--jobs N]
                          [--suite smoke|full|serve] [--folded FILE]
@@ -52,11 +53,16 @@ USAGE:
                          [--max-inflight N] [--group-window-us N]
                          [--objects N] [--timeline FILE]
                          [--timeline-interval-ms N]
+                         [--metrics-addr HOST:PORT] [--slo-window N]
+                         [--chrome-trace FILE] [--trace-requests N]
+                         [--drain-linger-ms N]
                          [oracle mode: same config flags as simulate]
   semclusterctl load     --addr HOST:PORT [--connections N] [--sessions N]
                          [--txns N] [--ops N] [--write-pct N] [--objects N]
                          [--deadline-ms N] [--seed N] [--chaos none|chaos]
                          [--pipeline N] [--shutdown]
+  semclusterctl top      --addr HOST:PORT [--interval-ms N] [--count N]
+                         [--raw]
   semclusterctl obs diff BASELINE.json CURRENT.json [--threshold PCT]
   semclusterctl crash-matrix [--preset smoke|deep] [--samples N]
                          [--backend sim|file|both] [--scratch-dir DIR]
@@ -130,8 +136,27 @@ USAGE:
   slow-loris trickle, corrupt frames) from a keyed-hash plan; the
   summary JSON reports sessions/sec, latency percentiles, and typed
   rejection counts. golden --suite chaos pins those chaos schedules.
+  serve --metrics-addr additionally serves a read-only Prometheus text
+  exposition of the live telemetry registry (per-opcode request
+  counters, typed-error counters, gauges, per-phase latency histograms,
+  rolling SLO summary) over HTTP; it keeps answering through drain. A
+  STATS frame on the main port returns the same snapshot as versioned
+  JSON, even while draining or overloaded; --drain-linger-ms keeps idle
+  connections open for such probes once a drain begins (default 0 =
+  close them immediately). Every served transaction's
+  service time is attributed server-side into admission-wait /
+  lock-wait / engine-exec / commit-wait / reply-write spans that sum to
+  the total exactly; serve --chrome-trace writes the retained
+  per-request spans as a `serve-requests` lane for chrome://tracing.
+  top polls STATS at a fixed interval and renders a one-line-per-tick
+  terminal view (throughput, queue depth, rolling p50/p99, error rate);
+  --raw prints the snapshot JSON verbatim instead. golden --suite stats
+  pins the telemetry renders (synthetic replay + live oracle probe).
   bench-report --suite serve boots an in-process server, runs a fixed
-  fault-free load, and snapshots sustained sessions/sec and p99 latency.
+  fault-free load, and snapshots sustained sessions/sec and p99 latency
+  from both sides (client-observed and server-side service time), plus
+  per-span attribution lines obs diff uses to name the server phase
+  behind a serve regression.
   crash-matrix crashes a small workload at every commit boundary plus
   sampled intra-transaction and torn-log points, replays recovery at
   each, and verifies ACID invariants (exit 1 on any violation).
@@ -1348,9 +1373,13 @@ pub fn cmd_golden(args: &Args) -> Result<String, String> {
             crate::servecmd::chaos_golden_render(jobs)?,
             crate::servecmd::CHAOS_GOLDEN_PATH,
         ),
+        "stats" => (
+            crate::servecmd::stats_golden_render(jobs)?,
+            crate::servecmd::STATS_GOLDEN_PATH,
+        ),
         other => {
             return Err(format!(
-                "--suite: expected smoke, faults, timeline, profile or chaos, got {other:?}"
+                "--suite: expected smoke, faults, timeline, profile, chaos or stats, got {other:?}"
             ))
         }
     };
@@ -1508,7 +1537,7 @@ pub fn cmd_bench_report(args: &Args) -> Result<String, CliError> {
 /// Extract a `"key":"value"` string field from a single JSON line.
 /// Good enough for the bench-report format, whose job labels never
 /// contain escaped quotes.
-fn json_str_field(line: &str, key: &str) -> Option<String> {
+pub(crate) fn json_str_field(line: &str, key: &str) -> Option<String> {
     let pat = format!("\"{key}\":\"");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -1516,7 +1545,7 @@ fn json_str_field(line: &str, key: &str) -> Option<String> {
 }
 
 /// Extract a `"key":<number>` field from a single JSON line.
-fn json_num_field(line: &str, key: &str) -> Option<f64> {
+pub(crate) fn json_num_field(line: &str, key: &str) -> Option<f64> {
     let pat = format!("\"{key}\":");
     let start = line.find(&pat)? + pat.len();
     let rest = &line[start..];
@@ -1823,6 +1852,7 @@ pub fn dispatch(args: &Args) -> Result<String, CliError> {
         Some("bench-report") => cmd_bench_report(args),
         Some("serve") => crate::servecmd::cmd_serve(args),
         Some("load") => crate::servecmd::cmd_load(args),
+        Some("top") => crate::topcmd::cmd_top(args),
         Some("obs") => cmd_obs(args),
         Some("crash-matrix") => cmd_crash_matrix(args).map_err(CliError::from),
         Some("help") | None => Ok(USAGE.to_string()),

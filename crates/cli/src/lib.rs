@@ -10,6 +10,7 @@ pub mod args;
 pub mod commands;
 pub mod error;
 pub mod servecmd;
+pub mod topcmd;
 
 pub use args::Args;
 pub use commands::{dispatch, USAGE};

@@ -1,25 +1,35 @@
-//! The `serve` and `load` subcommands, the chaos golden suite, and the
-//! serve bench rows.
+//! The `serve` and `load` subcommands, the chaos and stats golden
+//! suites, and the serve bench rows.
 //!
 //! `serve` boots the multi-client TCP server (oracle or concurrent
-//! mode), prints `listening on ADDR` once bound, drains gracefully on
-//! SIGTERM/SIGINT or a client SHUTDOWN frame, and prints the final
-//! verdict JSON — exiting with the ACID exit code if any acknowledged
-//! transaction was not durable. `load` runs the chaos-driven load
-//! generator against a running server and prints its summary JSON.
+//! mode), prints `listening on ADDR` once bound (and `metrics on ADDR`
+//! when `--metrics-addr` is set), drains gracefully on SIGTERM/SIGINT
+//! or a client SHUTDOWN frame, and prints the final verdict JSON —
+//! exiting with the ACID exit code if any acknowledged transaction was
+//! not durable. `load` runs the chaos-driven load generator against a
+//! running server and prints its summary JSON.
 
+use std::net::TcpStream;
 use std::time::Duration;
 
 use crate::args::Args;
 use crate::commands::config_from_args;
 use crate::error::CliError;
 use semcluster::serve::{
-    run_load, LoadConfig, LoadSummary, ServeConfig, ServeMode, ServeReport, Server,
+    read_frame, run_load, write_frame, ErrorKind, LoadConfig, LoadSummary, Request, RequestCounts,
+    RequestStamps, Response, ServeConfig, ServeMode, ServeReport, ServeStats, Server, SloTracker,
+    TxnOp, TxnRequest,
 };
+use semcluster::{workload_from_label, SimConfig};
 use semcluster_faults::{NetChaosConfig, NetChaosPlan};
+use semcluster_obs::{ChromeTraceSink, TraceSink};
 
 /// Committed golden for the network-chaos plans.
 pub const CHAOS_GOLDEN_PATH: &str = "goldens/chaos.json";
+
+/// Committed golden for the telemetry renders (synthetic registry
+/// replay + a live oracle-mode STATS probe).
+pub const STATS_GOLDEN_PATH: &str = "goldens/stats.json";
 
 #[cfg(unix)]
 mod sig {
@@ -96,6 +106,16 @@ fn serve_config_from_args(args: &Args) -> Result<ServeConfig, CliError> {
         } else {
             0
         },
+        metrics_addr: args.get("metrics-addr").map(str::to_string),
+        slo_window: args.get_parsed("slo-window", defaults.slo_window)?,
+        drain_linger_ms: args.get_parsed("drain-linger-ms", defaults.drain_linger_ms)?,
+        // --chrome-trace needs per-request attribution records retained;
+        // the cap bounds drain-time memory on long-running servers.
+        trace_requests: if args.get("chrome-trace").is_some() {
+            args.get_parsed("trace-requests", 100_000usize)?
+        } else {
+            0
+        },
         ..defaults
     })
 }
@@ -105,9 +125,13 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
     let cfg = serve_config_from_args(args)?;
     let addr = args.get("addr").unwrap_or("127.0.0.1:0").to_string();
     let timeline_path = args.get("timeline").map(str::to_string);
+    let chrome_path = args.get("chrome-trace").map(str::to_string);
     let handle = Server::start(cfg, &addr).map_err(|e| CliError::from_serve(&e))?;
     // Announce readiness on stdout immediately (CI polls for this).
     println!("listening on {}", handle.addr());
+    if let Some(metrics) = handle.metrics_addr() {
+        println!("metrics on {metrics}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     sig::install();
@@ -119,15 +143,18 @@ pub fn cmd_serve(args: &Args) -> Result<String, CliError> {
         std::thread::sleep(Duration::from_millis(50));
     }
     let report = handle.join().map_err(|e| CliError::from_serve(&e))?;
-    render_serve_outcome(&report, timeline_path.as_deref())
+    render_serve_outcome(&report, timeline_path.as_deref(), chrome_path.as_deref())
 }
 
 /// Shared verdict rendering for `cmd_serve` and the in-process bench
-/// path: write the timeline artifact if requested, emit the verdict
-/// JSON, and map ACID violations to their typed exit code.
+/// path: write the timeline and Chrome-trace artifacts if requested,
+/// emit the verdict JSON, and map ACID violations to their typed exit
+/// code. The artifacts are written before the ACID check so a failing
+/// run still leaves its diagnostics behind.
 fn render_serve_outcome(
     report: &ServeReport,
     timeline_path: Option<&str>,
+    chrome_path: Option<&str>,
 ) -> Result<String, CliError> {
     if let Some(path) = timeline_path {
         let timeline = report
@@ -136,6 +163,9 @@ fn render_serve_outcome(
             .ok_or_else(|| CliError::general("serve: --timeline requires sampling enabled"))?;
         std::fs::write(path, timeline.to_json())
             .map_err(|e| CliError::general(format!("serve: cannot write {path}: {e}")))?;
+    }
+    if let Some(path) = chrome_path {
+        write_serve_chrome_trace(report, path)?;
     }
     let json = report.to_json();
     if report.acid_violations > 0 {
@@ -148,6 +178,25 @@ fn render_serve_outcome(
         )));
     }
     Ok(json)
+}
+
+/// Write the retained per-request attribution records to a Chrome
+/// Trace Event file: each request renders as consecutive `X` slices on
+/// the `serve-requests` lane, tiling its service time with zero gaps.
+fn write_serve_chrome_trace(report: &ServeReport, path: &str) -> Result<(), CliError> {
+    let file = std::fs::File::create(path)
+        .map_err(|e| CliError::general(format!("serve: cannot create {path}: {e}")))?;
+    let mut sink = ChromeTraceSink::new(std::io::BufWriter::new(file));
+    for rec in &report.request_trace {
+        sink.emit_serve_request(
+            rec.session,
+            rec.client_txn,
+            rec.start_us,
+            &rec.spans.named(),
+        );
+    }
+    sink.flush();
+    Ok(())
 }
 
 /// Build a [`LoadConfig`] from flags.
@@ -209,6 +258,153 @@ pub fn chaos_golden_render(_jobs: usize) -> Result<String, String> {
     Ok(out)
 }
 
+/// Render the stats golden. Two sections, both byte-stable and
+/// jobs-invariant:
+///
+/// * `synthetic` — a fixed replay through the public [`ServeStats`] and
+///   [`SloTracker`] APIs (stamps injected, no clocks), pinning the full
+///   JSON *and* Prometheus renders byte-for-byte;
+/// * `oracle-live` — a real oracle-mode server probed over TCP with a
+///   scripted HELLO + 8×TXN + PING + STATS conversation, keeping only
+///   the wall-clock-free lines of the STATS reply (schema, counters,
+///   gauges). Oracle mode serializes every request through one engine
+///   thread, so those lines are exact: 8 TXNs in means 8 `txn_ok` out.
+pub fn stats_golden_render(_jobs: usize) -> Result<String, String> {
+    let mut out = String::from("{\"golden_schema\":1,\"suite\":\"stats\"}\n");
+
+    out.push_str("{\"section\":\"synthetic\"}\n");
+    let stats = ServeStats::new();
+    let mut slo = SloTracker::new(3);
+    stats.conn_opened();
+    stats.bump_sessions(4);
+    stats.add_requests(
+        &RequestCounts::default(),
+        &RequestCounts {
+            hello: 1,
+            txn: 6,
+            report: 1,
+            stats: 2,
+            ping: 3,
+            bye: 1,
+            shutdown: 0,
+        },
+    );
+    for i in 0..6u64 {
+        let t0 = i * 1_000;
+        stats.record_request_latency(&RequestStamps {
+            submitted_us: t0,
+            dequeued_us: t0 + 40 + i,
+            locked_us: t0 + 47 + i,
+            executed_us: t0 + 247 + 11 * i,
+            committed_us: t0 + 547 + 11 * i,
+            replied_us: t0 + 559 + 11 * i,
+        });
+        stats.record_txn_ok();
+        if i % 2 == 0 {
+            stats.record_commit();
+        }
+        // Mid-replay observations exercise the tracker's delta logic;
+        // the window of 3 forces the first tick to age out.
+        if i == 1 || i == 3 {
+            slo.observe(&stats.snapshot(100 * i, false));
+        }
+    }
+    stats.record_ack();
+    stats.record_error(ErrorKind::Overloaded);
+    stats.record_error(ErrorKind::DeadlineExceeded);
+    stats.record_group_flush(6, 2);
+    stats.queue_enter();
+    stats.queue_enter();
+    stats.queue_leave();
+    stats.set_admission_shedding(true);
+    let mut snap = stats.snapshot(777, false);
+    slo.observe(&snap);
+    slo.observe(&snap);
+    snap.slo = Some(slo.summary());
+    out.push_str(&snap.to_json());
+    out.push_str("{\"section\":\"prometheus\"}\n");
+    out.push_str(&snap.to_prometheus());
+
+    out.push_str("{\"section\":\"oracle-live\"}\n");
+    let sim = SimConfig {
+        workload: workload_from_label("low3-5").ok_or("stats golden: unknown workload label")?,
+        database_bytes: 2 * 1024 * 1024,
+        buffer_pages: 24,
+        warmup_txns: 40,
+        measured_txns: 120,
+        seed: 1989,
+        ..SimConfig::default()
+    };
+    let handle = Server::start(
+        ServeConfig {
+            mode: ServeMode::Oracle(Box::new(sim)),
+            ..ServeConfig::default()
+        },
+        "127.0.0.1:0",
+    )
+    .map_err(|e| format!("stats golden: start server: {e}"))?;
+    let probe = stats_probe(handle.addr());
+    handle.request_shutdown();
+    handle
+        .join()
+        .map_err(|e| format!("stats golden: drain: {e}"))?;
+    let json = probe?;
+    for line in json.lines() {
+        if line.starts_with("{\"stats_schema\"")
+            || line.starts_with("\"counters\":")
+            || line.starts_with("\"gauges\":")
+        {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    Ok(out)
+}
+
+/// Scripted client conversation behind the `oracle-live` golden
+/// section: HELLO(1), eight TXNs, PING, then STATS; returns the STATS
+/// reply's JSON body.
+fn stats_probe(addr: std::net::SocketAddr) -> Result<String, String> {
+    let io = |e: std::io::Error| format!("stats golden: probe I/O: {e}");
+    let mut stream = TcpStream::connect(addr).map_err(io)?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(io)?;
+    let mut ask = |req: &Request| -> Result<Response, String> {
+        write_frame(&mut stream, &req.encode()).map_err(io)?;
+        let frame = read_frame(&mut stream)
+            .map_err(io)?
+            .ok_or("stats golden: server closed mid-probe")?;
+        Response::parse(&frame).map_err(|e| format!("stats golden: bad reply: {e}"))
+    };
+    let session = match ask(&Request::Hello { sessions: 1 })? {
+        Response::HelloOk { first_session } => first_session,
+        other => return Err(format!("stats golden: expected HelloOk, got {other:?}")),
+    };
+    for i in 0..8u64 {
+        match ask(&Request::Txn(TxnRequest {
+            session,
+            client_txn: i,
+            deadline_ms: 0,
+            ops: vec![TxnOp {
+                write: true,
+                object: i as u32,
+            }],
+        }))? {
+            Response::TxnOk { .. } => {}
+            other => return Err(format!("stats golden: expected TxnOk, got {other:?}")),
+        }
+    }
+    match ask(&Request::Ping)? {
+        Response::PingOk => {}
+        other => return Err(format!("stats golden: expected PingOk, got {other:?}")),
+    }
+    match ask(&Request::Stats)? {
+        Response::StatsOk { json, .. } => Ok(json),
+        other => Err(format!("stats golden: expected StatsOk, got {other:?}")),
+    }
+}
+
 /// Serve bench rows: boot an in-process concurrent server on a loopback
 /// port, run a fixed fault-free load, and emit one schema-2 row whose
 /// report joins with `obs diff` (it carries `mean_response_s`) plus the
@@ -244,10 +440,21 @@ pub fn bench_serve_render() -> Result<String, CliError> {
 }
 
 fn serve_bench_row(summary: &LoadSummary, report: &ServeReport) -> String {
-    format!(
+    // Server-side quantiles come from the drain-time stats snapshot:
+    // client-side p99 (above) includes the network and the client's own
+    // scheduling, server-side p99 only the service time — diverging
+    // trends between the two tell you *where* a regression lives.
+    let server_ms = |q: f64| -> f64 {
+        report
+            .stats
+            .latency("total")
+            .map_or(0.0, |h| h.quantile_bound_us(q) as f64 / 1e3)
+    };
+    let mut out = format!(
         concat!(
             "{{\"job\":\"serve-smoke\",\"rep\":0,\"report\":{{",
             "\"mean_response_s\":{:.6},\"p50_ms\":{:.3},\"p99_ms\":{:.3},",
+            "\"server_p50_ms\":{:.3},\"server_p99_ms\":{:.3},",
             "\"sessions_per_sec\":{:.2},\"sessions\":{},\"attempted\":{},\"acked\":{},",
             "\"committed\":{},\"sheds\":{},\"deadline_misses\":{},\"retry_exhausted\":{},",
             "\"group_commits\":{},\"group_txns\":{},\"acid_violations\":{}}}}}\n"
@@ -255,6 +462,8 @@ fn serve_bench_row(summary: &LoadSummary, report: &ServeReport) -> String {
         summary.mean_ms / 1e3,
         summary.p50_ms,
         summary.p99_ms,
+        server_ms(0.50),
+        server_ms(0.99),
         summary.sessions_per_sec,
         summary.sessions,
         summary.attempted,
@@ -266,7 +475,21 @@ fn serve_bench_row(summary: &LoadSummary, report: &ServeReport) -> String {
         report.group_commits,
         report.group_txns,
         report.acid_violations,
-    )
+    );
+    // Profile-shaped attribution lines, one per server span: `obs diff`
+    // joins them on (job, phase) exactly like engine profile stacks, so
+    // a serve p99 regression names the responsible server phase.
+    for (phase, hist) in &report.stats.latency_us {
+        if *phase == "total" {
+            continue;
+        }
+        out.push_str(&format!(
+            "{{\"job\":\"serve-smoke\",\"phase\":\"serve;{phase}\",\"calls\":{},\
+             \"sim_us\":{},\"alloc_bytes\":0,\"allocs\":0}}\n",
+            hist.count, hist.sum_us
+        ));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -323,6 +546,9 @@ mod tests {
             cfg.timeline_interval_ms, 0,
             "sampling off without --timeline"
         );
+        assert_eq!(cfg.metrics_addr, None, "metrics endpoint off by default");
+        assert_eq!(cfg.trace_requests, 0, "trace retention off by default");
+        assert_eq!(cfg.drain_linger_ms, 0, "prompt drain by default");
         let cfg = serve_config_from_args(&parse(
             "serve --mode oracle --workload med5-10 --timeline t.json",
         ))
@@ -330,5 +556,41 @@ mod tests {
         assert!(matches!(cfg.mode, ServeMode::Oracle(_)));
         assert_eq!(cfg.timeline_interval_ms, 100);
         assert!(serve_config_from_args(&parse("serve --mode nope")).is_err());
+        let cfg = serve_config_from_args(&parse(
+            "serve --metrics-addr 127.0.0.1:9100 --slo-window 12 --chrome-trace t.json \
+             --drain-linger-ms 2500",
+        ))
+        .unwrap();
+        assert_eq!(cfg.metrics_addr.as_deref(), Some("127.0.0.1:9100"));
+        assert_eq!(cfg.slo_window, 12);
+        assert_eq!(cfg.drain_linger_ms, 2500);
+        assert_eq!(
+            cfg.trace_requests, 100_000,
+            "--chrome-trace turns on request-trace retention"
+        );
+    }
+
+    #[test]
+    fn stats_golden_synthetic_section_is_jobs_invariant() {
+        // The full render boots a server; the unit test pins just the
+        // clock-free synthetic section (the integration suite covers
+        // the live probe). Both renders must agree byte-for-byte.
+        let a = stats_golden_render(1).unwrap();
+        let b = stats_golden_render(8).unwrap();
+        let synth = |s: &str| {
+            s.split("{\"section\":\"oracle-live\"}\n")
+                .next()
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(synth(&a), synth(&b), "synthetic section is clock-free");
+        assert!(a.starts_with("{\"golden_schema\":1,\"suite\":\"stats\"}\n"));
+        assert!(a.contains("{\"section\":\"synthetic\"}\n"));
+        assert!(a.contains("\"txn_ok\":6"), "six synthetic successes");
+        assert!(a.contains("semcluster_latency_us_count{phase=\"total\"} 6"));
+        // The live section kept only the wall-clock-free lines.
+        let live = a.split("{\"section\":\"oracle-live\"}\n").nth(1).unwrap();
+        assert!(live.contains("\"req.txn\":8"), "live section: {live}");
+        assert!(!live.contains("uptime_ms"), "live section: {live}");
     }
 }

@@ -10,6 +10,9 @@
 //!   deadline/drain/malformed races are unit-tested deterministically;
 //! * [`AdmissionControl`] is a pure hysteresis controller over queue
 //!   depth observations;
+//! * [`stats`] and [`slo`] are the live-telemetry layer — an atomic
+//!   [`ServeStats`] registry plus a clock-free sliding-window
+//!   [`SloTracker`]; both take time only as injected arguments;
 //! * [`Server`] and [`run_load`] own the threads, sockets and clocks.
 //!
 //! The simulator remains the oracle: `ServeMode::Oracle` serves a
@@ -22,6 +25,8 @@ mod load;
 mod protocol;
 mod server;
 mod session;
+pub mod slo;
+pub mod stats;
 
 pub use admission::AdmissionControl;
 pub use load::{run_load, LoadConfig, LoadSummary};
@@ -31,6 +36,11 @@ pub use protocol::{
 };
 pub use server::{ServeConfig, ServeMode, ServeReport, Server, ServerHandle};
 pub use session::{ConnFsm, ConnState, ExecResult, FsmAction, FsmInput};
+pub use slo::{SloSummary, SloTracker};
+pub use stats::{
+    HistSnapshot, RequestCounts, RequestSpans, RequestStamps, RequestTraceRecord, ServeStats,
+    StatsSnapshot, HIST_BUCKETS, SPAN_NAMES, STATS_SCHEMA,
+};
 
 /// Typed failures on the serve/load paths. Each variant maps to a
 /// distinct CLI exit code so scripts can tell transport failures from

@@ -11,7 +11,9 @@
 //! TXN (execute one transaction for a session, with a per-request
 //! deadline), REPORT (fetch the run report / server stats), PING, BYE
 //! (close this connection), SHUTDOWN (begin server-wide graceful
-//! drain). Responses echo the request identity and carry typed errors:
+//! drain), STATS (fetch a versioned live-telemetry snapshot; allowed
+//! even while draining). Responses echo the request identity and carry
+//! typed errors:
 //! overloaded (admission control shed the request), deadline exceeded,
 //! malformed frame, shutting down, retry budget exhausted.
 
@@ -32,6 +34,7 @@ pub(crate) const OP_REPORT: u8 = 0x03;
 pub(crate) const OP_BYE: u8 = 0x04;
 pub(crate) const OP_SHUTDOWN: u8 = 0x05;
 pub(crate) const OP_PING: u8 = 0x06;
+pub(crate) const OP_STATS: u8 = 0x07;
 
 // Response opcodes (request opcode | 0x80).
 pub(crate) const OP_OK_HELLO: u8 = 0x81;
@@ -40,6 +43,7 @@ pub(crate) const OP_OK_REPORT: u8 = 0x83;
 pub(crate) const OP_OK_BYE: u8 = 0x84;
 pub(crate) const OP_OK_SHUTDOWN: u8 = 0x85;
 pub(crate) const OP_OK_PING: u8 = 0x86;
+pub(crate) const OP_OK_STATS: u8 = 0x87;
 
 // Typed error responses.
 pub(crate) const OP_ERR_OVERLOADED: u8 = 0xE1;
@@ -211,6 +215,9 @@ pub enum Request {
     Shutdown,
     /// Liveness probe.
     Ping,
+    /// Fetch a versioned live-telemetry snapshot. Unlike TXN, this is
+    /// a read-only probe that also works while the server drains.
+    Stats,
 }
 
 fn take_u32(p: &[u8], at: usize) -> Result<u32, ProtocolError> {
@@ -277,6 +284,7 @@ impl Request {
             OP_BYE => Ok(Request::Bye),
             OP_SHUTDOWN => Ok(Request::Shutdown),
             OP_PING => Ok(Request::Ping),
+            OP_STATS => Ok(Request::Stats),
             other => Err(ProtocolError::UnknownOpcode(other)),
         }
     }
@@ -317,6 +325,10 @@ impl Request {
             },
             Request::Ping => Frame {
                 opcode: OP_PING,
+                payload: Vec::new(),
+            },
+            Request::Stats => Frame {
+                opcode: OP_STATS,
                 payload: Vec::new(),
             },
         }
@@ -398,6 +410,14 @@ pub enum Response {
     ShutdownOk,
     /// PING reply.
     PingOk,
+    /// STATS response: a versioned telemetry snapshot.
+    StatsOk {
+        /// `STATS_SCHEMA` at capture time, so scrapers can reject
+        /// incompatible servers before parsing the body.
+        schema: u32,
+        /// `StatsSnapshot::to_json` bytes.
+        json: String,
+    },
     /// Typed failure, echoing the request identity when known.
     Error {
         /// Which hardening path rejected the request.
@@ -453,6 +473,15 @@ impl Response {
                 opcode: OP_OK_PING,
                 payload: Vec::new(),
             },
+            Response::StatsOk { schema, json } => {
+                let mut payload = Vec::with_capacity(4 + json.len());
+                payload.extend_from_slice(&schema.to_le_bytes());
+                payload.extend_from_slice(json.as_bytes());
+                Frame {
+                    opcode: OP_OK_STATS,
+                    payload,
+                }
+            }
             Response::Error {
                 kind,
                 session,
@@ -503,6 +532,11 @@ impl Response {
             OP_OK_BYE => Ok(Response::ByeOk),
             OP_OK_SHUTDOWN => Ok(Response::ShutdownOk),
             OP_OK_PING => Ok(Response::PingOk),
+            OP_OK_STATS => Ok(Response::StatsOk {
+                schema: take_u32(p, 0)?,
+                json: String::from_utf8(p.get(4..).unwrap_or(&[]).to_vec())
+                    .map_err(|_| ProtocolError::BadPayload("stats not UTF-8"))?,
+            }),
             OP_ERR_OVERLOADED => err(ErrorKind::Overloaded),
             OP_ERR_DEADLINE => err(ErrorKind::DeadlineExceeded),
             OP_ERR_MALFORMED => err(ErrorKind::Malformed),
@@ -541,6 +575,7 @@ mod tests {
             Request::Bye,
             Request::Shutdown,
             Request::Ping,
+            Request::Stats,
         ];
         for req in reqs {
             let frame = req.encode();
@@ -567,6 +602,10 @@ mod tests {
             Response::ByeOk,
             Response::ShutdownOk,
             Response::PingOk,
+            Response::StatsOk {
+                schema: 1,
+                json: "{\"stats_schema\":1,\n\"counters\":{}}".into(),
+            },
             Response::Error {
                 kind: ErrorKind::Overloaded,
                 session: 3,

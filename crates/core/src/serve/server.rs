@@ -29,7 +29,7 @@
 use std::collections::VecDeque;
 use std::io::Write as _;
 use std::net::{Shutdown as SockShutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
@@ -44,10 +44,12 @@ use semcluster_wal::{recover, LogConfig, LogManager, TxnToken};
 
 use super::admission::AdmissionControl;
 use super::protocol::{
-    write_frame, TxnOp, TxnRequest, OP_ERR_DEADLINE, OP_ERR_MALFORMED, OP_ERR_OVERLOADED,
-    OP_ERR_RETRY_EXHAUSTED, OP_ERR_SHUTTING_DOWN, OP_OK_HELLO, OP_OK_TXN,
+    write_frame, ErrorKind, TxnOp, TxnRequest, OP_ERR_DEADLINE, OP_ERR_INTERNAL, OP_ERR_MALFORMED,
+    OP_ERR_OVERLOADED, OP_ERR_RETRY_EXHAUSTED, OP_ERR_SHUTTING_DOWN, OP_OK_HELLO, OP_OK_TXN,
 };
 use super::session::{ConnFsm, ExecResult, FsmAction, FsmInput};
+use super::slo::SloTracker;
+use super::stats::{RequestCounts, RequestStamps, RequestTraceRecord, ServeStats, StatsSnapshot};
 use super::ServeError;
 use crate::config::SimConfig;
 use crate::engine::Engine;
@@ -89,6 +91,19 @@ pub struct ServeConfig {
     pub tick_ms: u64,
     /// Timeline sampling interval in milliseconds (0 = off).
     pub timeline_interval_ms: u64,
+    /// Optional address for the Prometheus text-exposition listener
+    /// (`None` = no metrics endpoint).
+    pub metrics_addr: Option<String>,
+    /// SLO sliding-window length, in sampler ticks.
+    pub slo_window: usize,
+    /// Per-request attribution records to retain for the Chrome-trace
+    /// server lane (0 = off).
+    pub trace_requests: usize,
+    /// How long an idle connection stays open for read-only probes
+    /// (STATS/PING) once the drain begins, before the server closes it.
+    /// 0 (the default) closes idle connections the moment the drain
+    /// starts; a BYE always closes immediately regardless.
+    pub drain_linger_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -109,6 +124,10 @@ impl Default for ServeConfig {
             objects: 4_096,
             tick_ms: 20,
             timeline_interval_ms: 0,
+            metrics_addr: None,
+            slo_window: 30,
+            trace_requests: 0,
+            drain_linger_ms: 0,
         }
     }
 }
@@ -148,6 +167,12 @@ pub struct ServeReport {
     pub clean_drain: bool,
     /// Wall-clock health samples, when sampling was enabled.
     pub timeline: Option<ServeTimeline>,
+    /// Final telemetry snapshot (the same shape STATS serves live),
+    /// taken after every recorder thread joined, so it is exact.
+    pub stats: StatsSnapshot,
+    /// Retained per-request attribution records, when
+    /// [`ServeConfig::trace_requests`] was nonzero.
+    pub request_trace: Vec<RequestTraceRecord>,
 }
 
 impl ServeReport {
@@ -186,58 +211,6 @@ impl ServeReport {
     }
 }
 
-#[derive(Default)]
-struct ServeStats {
-    connections_total: AtomicU64,
-    connections_live: AtomicU64,
-    sessions_live: AtomicU64,
-    sessions_peak: AtomicU64,
-    queue_depth: AtomicU64,
-    committed: AtomicU64,
-    acked: AtomicU64,
-    sheds: AtomicU64,
-    deadline_misses: AtomicU64,
-    malformed: AtomicU64,
-    retry_exhausted: AtomicU64,
-    shutdown_rejected: AtomicU64,
-    group_commits: AtomicU64,
-    group_forces: AtomicU64,
-    group_txns: AtomicU64,
-}
-
-impl ServeStats {
-    fn bump_sessions(&self, n: u64) {
-        let live = self.sessions_live.fetch_add(n, Ordering::SeqCst) + n;
-        self.sessions_peak.fetch_max(live, Ordering::SeqCst);
-    }
-
-    fn snapshot_json(&self) -> String {
-        format!(
-            concat!(
-                "{{\"connections\": {}, \"sessions_live\": {}, \"sessions_peak\": {}, ",
-                "\"queue_depth\": {}, \"committed\": {}, \"acked\": {}, \"sheds\": {}, ",
-                "\"deadline_misses\": {}, \"malformed\": {}, \"retry_exhausted\": {}, ",
-                "\"shutdown_rejected\": {}, \"group_commits\": {}, \"group_forces\": {}, ",
-                "\"group_txns\": {}}}"
-            ),
-            self.connections_total.load(Ordering::SeqCst),
-            self.sessions_live.load(Ordering::SeqCst),
-            self.sessions_peak.load(Ordering::SeqCst),
-            self.queue_depth.load(Ordering::SeqCst),
-            self.committed.load(Ordering::SeqCst),
-            self.acked.load(Ordering::SeqCst),
-            self.sheds.load(Ordering::SeqCst),
-            self.deadline_misses.load(Ordering::SeqCst),
-            self.malformed.load(Ordering::SeqCst),
-            self.retry_exhausted.load(Ordering::SeqCst),
-            self.shutdown_rejected.load(Ordering::SeqCst),
-            self.group_commits.load(Ordering::SeqCst),
-            self.group_forces.load(Ordering::SeqCst),
-            self.group_txns.load(Ordering::SeqCst),
-        )
-    }
-}
-
 // ------------------------------------------------------------- executor
 
 /// The state every concurrent-mode transaction contends on: the lock
@@ -255,6 +228,9 @@ struct Job {
     client_txn: u64,
     ops: Vec<TxnOp>,
     deadline_at: Instant,
+    /// Admission time (µs since server start): t0 of the attribution
+    /// stamp chain.
+    submitted_at_us: u64,
     reply: Sender<ConnEvent>,
 }
 
@@ -262,6 +238,7 @@ enum OracleJob {
     Txn {
         session: u32,
         client_txn: u64,
+        submitted_at_us: u64,
         reply: Sender<ConnEvent>,
     },
     Report {
@@ -337,18 +314,12 @@ impl GroupCommitter {
                     st.epoch += 1;
                     (b, e)
                 };
-                let lsn = {
+                let (lsn, forces) = {
                     let mut core = core.lock().unwrap();
                     let forces = core.log.commit_group(&batch);
-                    stats
-                        .group_forces
-                        .fetch_add(u64::from(forces), Ordering::SeqCst);
-                    core.log.current_lsn()
+                    (core.log.current_lsn(), forces)
                 };
-                stats.group_commits.fetch_add(1, Ordering::SeqCst);
-                stats
-                    .group_txns
-                    .fetch_add(batch.len() as u64, Ordering::SeqCst);
+                stats.record_group_flush(batch.len() as u64, u64::from(forces));
                 let mut st = self.state.lock().unwrap();
                 st.completed_epoch = epoch;
                 st.last_lsn = lsn;
@@ -383,21 +354,35 @@ fn lockset(ops: &[TxnOp], objects: u32) -> Vec<(ObjectId, LockMode)> {
     set
 }
 
+/// Execute one transaction against the shared core. On commit, returns
+/// the attribution stamps with everything up to t4 (`committed_us`)
+/// filled in — `submitted_us`/`dequeued_us` are copied from the job, and
+/// the driver stamps `replied_us` when the TxnOk actually hits the
+/// socket. Non-commit outcomes carry no stamps (nothing was serviced).
 fn execute_txn(
     ops: &[TxnOp],
-    objects: u32,
-    retry: &RetryPolicy,
+    shared: &Shared,
     core: &Mutex<SharedCore>,
     group: &GroupCommitter,
-    stats: &ServeStats,
-) -> ExecResult {
+    submitted_at_us: u64,
+    dequeued_us: u64,
+) -> (ExecResult, Option<RequestStamps>) {
+    let objects = shared.cfg.objects;
+    let retry = &shared.cfg.retry;
+    let stats = &shared.stats;
     let requests = lockset(ops, objects);
     let has_write = ops.iter().any(|op| op.write);
     let mut attempt = 1u32;
+    let mut stamps = RequestStamps {
+        submitted_us: submitted_at_us,
+        dequeued_us,
+        ..RequestStamps::default()
+    };
     let token: Option<TxnToken> = loop {
         let mut c = core.lock().unwrap();
         let lock_id = TxnId(c.next_lock_txn);
         if c.locks.try_acquire_all(lock_id, &requests) {
+            stamps.locked_us = shared.now_us();
             c.next_lock_txn += 1;
             if !has_write {
                 // Read-only commit fast-path: no update records means
@@ -410,13 +395,19 @@ fn execute_txn(
                 let lsn = c.log.current_lsn();
                 c.locks.release_all(lock_id);
                 drop(c);
-                let completed = stats.committed.fetch_add(1, Ordering::SeqCst) + 1;
-                return ExecResult::Committed {
-                    token: None,
-                    commit_lsn: lsn,
-                    completed,
-                    done: false,
-                };
+                stamps.executed_us = shared.now_us();
+                // No group-commit wait on the fast path: t4 == t3.
+                stamps.committed_us = stamps.executed_us;
+                let completed = stats.record_commit();
+                return (
+                    ExecResult::Committed {
+                        token: None,
+                        commit_lsn: lsn,
+                        completed,
+                        done: false,
+                    },
+                    Some(stamps),
+                );
             }
             let token = c.log.begin();
             for op in ops {
@@ -430,15 +421,20 @@ fn execute_txn(
                 }
             }
             drop(c);
+            stamps.executed_us = shared.now_us();
             let lsn = group.commit(token, core, stats);
-            let completed = stats.committed.fetch_add(1, Ordering::SeqCst) + 1;
+            let completed = stats.record_commit();
             core.lock().unwrap().locks.release_all(lock_id);
-            return ExecResult::Committed {
-                token: Some(token.raw()),
-                commit_lsn: lsn,
-                completed,
-                done: false,
-            };
+            stamps.committed_us = shared.now_us();
+            return (
+                ExecResult::Committed {
+                    token: Some(token.raw()),
+                    commit_lsn: lsn,
+                    completed,
+                    done: false,
+                },
+                Some(stamps),
+            );
         }
         drop(c);
         if attempt >= retry.max_attempts.max(1) {
@@ -452,7 +448,7 @@ fn execute_txn(
         attempt += 1;
     };
     debug_assert!(token.is_none());
-    ExecResult::RetryExhausted { attempts: attempt }
+    (ExecResult::RetryExhausted { attempts: attempt }, None)
 }
 
 // ------------------------------------------------------------ conn glue
@@ -464,8 +460,14 @@ enum ConnEvent {
         session: u32,
         client_txn: u64,
         result: ExecResult,
+        /// Attribution stamps through t4 on commit; the driver fills
+        /// `replied_us` when the reply is written.
+        stamps: Option<RequestStamps>,
     },
     ReportReady {
+        json: String,
+    },
+    StatsReady {
         json: String,
     },
     Shutdown,
@@ -480,11 +482,32 @@ struct Shared {
     admission: Mutex<AdmissionControl>,
     acked_tokens: Mutex<Vec<u64>>,
     exec: Mutex<Option<ExecHandle>>,
+    slo: Mutex<SloTracker>,
+    request_trace: Mutex<Vec<RequestTraceRecord>>,
 }
 
 impl Shared {
     fn now_ms(&self) -> u64 {
         self.start.elapsed().as_millis() as u64
+    }
+
+    fn now_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    /// Full telemetry snapshot: registry + rolling SLO summary. The
+    /// only wall-clock read is `uptime_ms`, injected here — the
+    /// snapshot/render code itself stays pure.
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut snap = self
+            .stats
+            .snapshot(self.now_ms(), self.shutdown.load(Ordering::SeqCst));
+        snap.slo = Some(self.slo.lock().unwrap().summary());
+        snap
+    }
+
+    fn stats_json(&self) -> String {
+        self.snapshot().to_json()
     }
 }
 
@@ -519,16 +542,17 @@ fn conn_driver(
         session_base,
         cfg.default_deadline_ms,
         cfg.max_inflight_per_conn,
+        cfg.drain_linger_ms,
     );
-    shared
-        .stats
-        .connections_total
-        .fetch_add(1, Ordering::SeqCst);
-    shared.stats.connections_live.fetch_add(1, Ordering::SeqCst);
+    shared.stats.conn_opened();
     let exec = shared.exec.lock().unwrap().clone();
     let mut registered_sessions = 0u64;
     let mut actions: Vec<FsmAction> = Vec::new();
     let mut inputs: VecDeque<ConnEvent> = VecDeque::new();
+    // The FSM counts parsed requests per opcode; diffing successive
+    // copies keeps the registry exact even when one read carries many
+    // frames.
+    let mut prev_counts = RequestCounts::default();
 
     'conn: loop {
         if inputs.is_empty() {
@@ -540,9 +564,11 @@ fn conn_driver(
         }
         let ev = inputs.pop_front().expect("non-empty input queue");
         let now_ms = shared.now_ms();
-        // Token of a just-committed transaction; recorded as acked only
-        // after the TxnOk reply is actually written.
+        // Token and stamps of a just-committed transaction; recorded as
+        // acked / latency-attributed only after the TxnOk reply is
+        // actually written.
         let mut commit_token: Option<u64> = None;
+        let mut commit_stamps: Option<(u32, u64, RequestStamps)> = None;
         actions.clear();
         match ev {
             ConnEvent::Bytes(b) => fsm.on_input(FsmInput::Bytes(&b), now_ms, &mut actions),
@@ -551,9 +577,11 @@ fn conn_driver(
                 session,
                 client_txn,
                 result,
+                stamps,
             } => {
                 if let ExecResult::Committed { token, .. } = &result {
                     commit_token = *token;
+                    commit_stamps = stamps.map(|s| (session, client_txn, s));
                 }
                 fsm.on_input(
                     FsmInput::Executed {
@@ -568,9 +596,15 @@ fn conn_driver(
             ConnEvent::ReportReady { json } => {
                 fsm.on_input(FsmInput::ReportReady { json }, now_ms, &mut actions)
             }
+            ConnEvent::StatsReady { json } => {
+                fsm.on_input(FsmInput::StatsReady { json }, now_ms, &mut actions)
+            }
             ConnEvent::Shutdown => fsm.on_input(FsmInput::Shutdown, now_ms, &mut actions),
             ConnEvent::Tick => fsm.on_input(FsmInput::Tick, now_ms, &mut actions),
         }
+        let counts = fsm.request_counts();
+        shared.stats.add_requests(&prev_counts, &counts);
+        prev_counts = counts;
         for action in actions.drain(..) {
             match action {
                 FsmAction::Reply(frame) => {
@@ -579,32 +613,39 @@ fn conn_driver(
                             registered_sessions = u64::from(fsm.sessions());
                             shared.stats.bump_sessions(registered_sessions);
                         }
-                        OP_ERR_DEADLINE => {
-                            shared.stats.deadline_misses.fetch_add(1, Ordering::SeqCst);
-                        }
-                        OP_ERR_MALFORMED => {
-                            shared.stats.malformed.fetch_add(1, Ordering::SeqCst);
-                        }
-                        OP_ERR_OVERLOADED => {
-                            shared.stats.sheds.fetch_add(1, Ordering::SeqCst);
-                        }
-                        OP_ERR_SHUTTING_DOWN => {
-                            shared
-                                .stats
-                                .shutdown_rejected
-                                .fetch_add(1, Ordering::SeqCst);
-                        }
+                        OP_ERR_DEADLINE => shared.stats.record_error(ErrorKind::DeadlineExceeded),
+                        OP_ERR_MALFORMED => shared.stats.record_error(ErrorKind::Malformed),
+                        OP_ERR_OVERLOADED => shared.stats.record_error(ErrorKind::Overloaded),
+                        OP_ERR_SHUTTING_DOWN => shared.stats.record_error(ErrorKind::ShuttingDown),
                         OP_ERR_RETRY_EXHAUSTED => {
-                            shared.stats.retry_exhausted.fetch_add(1, Ordering::SeqCst);
+                            shared.stats.record_error(ErrorKind::RetryExhausted)
                         }
+                        OP_ERR_INTERNAL => shared.stats.record_error(ErrorKind::Internal),
                         _ => {}
                     }
                     let wrote = write_frame(&mut stream, &frame).is_ok() && stream.flush().is_ok();
                     if wrote {
                         if frame.opcode == OP_OK_TXN {
+                            shared.stats.record_txn_ok();
                             if let Some(token) = commit_token.take() {
                                 shared.acked_tokens.lock().unwrap().push(token);
-                                shared.stats.acked.fetch_add(1, Ordering::SeqCst);
+                                shared.stats.record_ack();
+                            }
+                            if let Some((session, client_txn, mut stamps)) = commit_stamps.take() {
+                                // t5: the reply actually hit the socket.
+                                stamps.replied_us = shared.now_us();
+                                let spans = shared.stats.record_request_latency(&stamps);
+                                if cfg.trace_requests > 0 {
+                                    let mut trace = shared.request_trace.lock().unwrap();
+                                    if trace.len() < cfg.trace_requests {
+                                        trace.push(RequestTraceRecord {
+                                            session,
+                                            client_txn,
+                                            start_us: stamps.submitted_us,
+                                            spans,
+                                        });
+                                    }
+                                }
                             }
                         }
                     } else {
@@ -618,6 +659,7 @@ fn conn_driver(
                             session: txn.session,
                             client_txn: txn.client_txn,
                             result,
+                            stamps: None,
                         });
                     }
                 }
@@ -635,9 +677,15 @@ fn conn_driver(
                         }
                     }
                     _ => inputs.push_back(ConnEvent::ReportReady {
-                        json: shared.stats.snapshot_json(),
+                        json: shared.stats_json(),
                     }),
                 },
+                // Answered synchronously from the registry: STATS never
+                // queues behind the executor, so it stays responsive
+                // under overload and during drain.
+                FsmAction::SubmitStats => inputs.push_back(ConnEvent::StatsReady {
+                    json: shared.stats_json(),
+                }),
                 FsmAction::RequestShutdown => shared.shutdown.store(true, Ordering::SeqCst),
                 FsmAction::Close => {
                     let _ = stream.shutdown(SockShutdown::Both);
@@ -647,11 +695,8 @@ fn conn_driver(
         }
     }
     let _ = stream.shutdown(SockShutdown::Both);
-    shared
-        .stats
-        .sessions_live
-        .fetch_sub(registered_sessions, Ordering::SeqCst);
-    shared.stats.connections_live.fetch_sub(1, Ordering::SeqCst);
+    shared.stats.drop_sessions(registered_sessions);
+    shared.stats.conn_closed();
 }
 
 /// Route a transaction to the executor. `Some(result)` means it was
@@ -668,8 +713,10 @@ fn submit_txn(
     }
     match exec {
         Some(ExecHandle::Concurrent(job_tx)) => {
-            let depth = shared.stats.queue_depth.load(Ordering::SeqCst) as usize;
-            if !shared.admission.lock().unwrap().admit(depth) {
+            let depth = shared.stats.queue_depth() as usize;
+            let admitted = shared.admission.lock().unwrap().admit(depth);
+            shared.stats.set_admission_shedding(!admitted);
+            if !admitted {
                 return Some(ExecResult::Overloaded);
             }
             let deadline_ms = if txn.deadline_ms == 0 {
@@ -682,11 +729,12 @@ fn submit_txn(
                 client_txn: txn.client_txn,
                 ops: txn.ops.clone(),
                 deadline_at: Instant::now() + Duration::from_millis(u64::from(deadline_ms)),
+                submitted_at_us: shared.now_us(),
                 reply: tx_self.clone(),
             };
             match job_tx.try_send(job) {
                 Ok(()) => {
-                    shared.stats.queue_depth.fetch_add(1, Ordering::SeqCst);
+                    shared.stats.queue_enter();
                     None
                 }
                 Err(TrySendError::Full(_)) => Some(ExecResult::Overloaded),
@@ -698,6 +746,7 @@ fn submit_txn(
                 .send(OracleJob::Txn {
                     session: txn.session,
                     client_txn: txn.client_txn,
+                    submitted_at_us: shared.now_us(),
                     reply: tx_self.clone(),
                 })
                 .is_err()
@@ -721,29 +770,33 @@ fn worker_thread(
             Ok(job) => job,
             Err(_) => return,
         };
-        shared.stats.queue_depth.fetch_sub(1, Ordering::SeqCst);
-        let result = if Instant::now() >= job.deadline_at {
+        shared.stats.queue_leave();
+        // t1: the job left the queue — everything before this instant
+        // is admission wait.
+        let dequeued_us = shared.now_us();
+        let (result, stamps) = if Instant::now() >= job.deadline_at {
             // Deadline expired while queued: drop the work unexecuted.
-            ExecResult::DeadlineExceeded
+            (ExecResult::DeadlineExceeded, None)
         } else {
             execute_txn(
                 &job.ops,
-                shared.cfg.objects,
-                &shared.cfg.retry,
+                &shared,
                 &core,
                 &group,
-                &shared.stats,
+                job.submitted_at_us,
+                dequeued_us,
             )
         };
         let _ = job.reply.send(ConnEvent::Executed {
             session: job.session,
             client_txn: job.client_txn,
             result,
+            stamps,
         });
     }
 }
 
-fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig) {
+fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig, shared: Arc<Shared>) {
     // The engine is built on this thread (trace sinks are not Send);
     // all requests serialize through this one channel, which is what
     // makes the served event sequence identical to `run_simulation`.
@@ -755,8 +808,13 @@ fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig) {
             OracleJob::Txn {
                 session,
                 client_txn,
+                submitted_at_us,
                 reply,
             } => {
+                // Oracle attribution: no queue, no locks, no group
+                // commit — everything between dequeue and reply is
+                // engine execution.
+                let dequeued_us = shared.now_us();
                 let (completed, done) = match engine.as_mut() {
                     Some(eng) => {
                         eng.step_transaction();
@@ -766,6 +824,15 @@ fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig) {
                     None => (final_completed, true),
                 };
                 final_completed = completed;
+                let executed_us = shared.now_us();
+                let stamps = RequestStamps {
+                    submitted_us: submitted_at_us,
+                    dequeued_us,
+                    locked_us: dequeued_us,
+                    executed_us,
+                    committed_us: executed_us,
+                    ..RequestStamps::default()
+                };
                 let _ = reply.send(ConnEvent::Executed {
                     session,
                     client_txn,
@@ -775,6 +842,7 @@ fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig) {
                         completed,
                         done,
                     },
+                    stamps: Some(stamps),
                 });
             }
             OracleJob::Report { reply } => {
@@ -798,6 +866,7 @@ fn oracle_thread(rx: Receiver<OracleJob>, cfg: SimConfig) {
 /// A running server, owned by the thread that called [`Server::start`].
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shutdown: Arc<AtomicBool>,
     join: JoinHandle<ServeReport>,
 }
@@ -806,6 +875,12 @@ impl ServerHandle {
     /// The bound address (useful with `addr = "127.0.0.1:0"`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus-exposition address, when
+    /// [`ServeConfig::metrics_addr`] was set.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Begin graceful drain: stop accepting, finish in-flight
@@ -850,20 +925,75 @@ impl Server {
                 context: "set_nonblocking".into(),
                 source: e.to_string(),
             })?;
+        // Bind the metrics endpoint up front so the caller learns the
+        // resolved port (metrics_addr may be ":0") before any traffic.
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(addr) => {
+                let l = TcpListener::bind(addr).map_err(|e| ServeError::Net {
+                    context: format!("bind metrics {addr}"),
+                    source: e.to_string(),
+                })?;
+                l.set_nonblocking(true).map_err(|e| ServeError::Net {
+                    context: "set_nonblocking metrics".into(),
+                    source: e.to_string(),
+                })?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = metrics_listener.as_ref().and_then(|l| l.local_addr().ok());
         let shutdown = Arc::new(AtomicBool::new(false));
         let shutdown2 = Arc::clone(&shutdown);
         let join = thread::Builder::new()
             .name("serve-accept".into())
-            .spawn(move || accept_loop(listener, cfg, shutdown2))
+            .spawn(move || accept_loop(listener, metrics_listener, cfg, shutdown2))
             .map_err(|e| ServeError::Net {
                 context: "spawn accept thread".into(),
                 source: e.to_string(),
             })?;
         Ok(ServerHandle {
             addr: bound,
+            metrics_addr,
             shutdown,
             join,
         })
+    }
+}
+
+/// Minimal read-only HTTP/1.0-style responder for Prometheus scrapes.
+/// One request per connection: read whatever the scraper sends (the
+/// request line and headers are ignored — every path serves the same
+/// exposition), write one `200 OK` with the rendered snapshot, close.
+fn metrics_conn(mut stream: TcpStream, shared: &Shared) {
+    stream
+        .set_read_timeout(Some(Duration::from_millis(500)))
+        .ok();
+    let mut buf = [0u8; 1024];
+    let _ = std::io::Read::read(&mut stream, &mut buf);
+    let body = shared.snapshot().to_prometheus();
+    let resp = format!(
+        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+    let _ = stream.write_all(resp.as_bytes());
+    let _ = stream.flush();
+    let _ = stream.shutdown(SockShutdown::Both);
+}
+
+/// Accept loop for the metrics listener. Scrapes are served until the
+/// stop flag flips — which happens only after the drain completes, so
+/// operators can watch the drain itself through this endpoint.
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => metrics_conn(stream, &shared),
+            Err(ref e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
     }
 }
 
@@ -879,7 +1009,12 @@ enum ExecSetup {
 }
 
 #[allow(clippy::too_many_lines)]
-fn accept_loop(listener: TcpListener, cfg: ServeConfig, shutdown: Arc<AtomicBool>) -> ServeReport {
+fn accept_loop(
+    listener: TcpListener,
+    metrics_listener: Option<TcpListener>,
+    cfg: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+) -> ServeReport {
     let timeline_interval = cfg.timeline_interval_ms;
     // Executor backend.
     let mut worker_handles: Vec<JoinHandle<()>> = Vec::new();
@@ -908,19 +1043,22 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, shutdown: Arc<AtomicBool
     };
     let shared = Arc::new(Shared {
         admission: Mutex::new(AdmissionControl::new(cfg.queue_cap.max(1), &cfg.admission)),
+        slo: Mutex::new(SloTracker::new(cfg.slo_window)),
         cfg,
-        stats: ServeStats::default(),
+        stats: ServeStats::new(),
         shutdown: Arc::clone(&shutdown),
         start: Instant::now(),
         acked_tokens: Mutex::new(Vec::new()),
         exec: Mutex::new(Some(exec)),
+        request_trace: Mutex::new(Vec::new()),
     });
     match setup {
         ExecSetup::Oracle(rx, sim) => {
+            let shared2 = Arc::clone(&shared);
             worker_handles.push(
                 thread::Builder::new()
                     .name("serve-oracle".into())
-                    .spawn(move || oracle_thread(rx, *sim))
+                    .spawn(move || oracle_thread(rx, *sim, shared2))
                     .expect("spawn oracle thread"),
             );
         }
@@ -939,35 +1077,58 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, shutdown: Arc<AtomicBool
             }
         }
     }
-    // Timeline sampler.
+    // Sampler: always runs — it is what advances the SLO window — and
+    // additionally records timeline points when sampling was requested.
     let sampler_stop = Arc::new(AtomicBool::new(false));
-    let sampler = if timeline_interval > 0 {
+    let sampler = {
         let shared2 = Arc::clone(&shared);
         let stop = Arc::clone(&sampler_stop);
-        let timeline = Arc::new(Mutex::new(ServeTimeline::new(timeline_interval)));
-        let timeline2 = Arc::clone(&timeline);
+        let interval = if timeline_interval > 0 {
+            timeline_interval
+        } else {
+            shared.cfg.tick_ms.max(1)
+        };
+        let timeline = if timeline_interval > 0 {
+            Some(Arc::new(Mutex::new(ServeTimeline::new(timeline_interval))))
+        } else {
+            None
+        };
+        let timeline2 = timeline.clone();
         let handle = thread::Builder::new()
             .name("serve-timeline".into())
             .spawn(move || {
                 while !stop.load(Ordering::SeqCst) {
-                    let s = &shared2.stats;
-                    timeline2.lock().unwrap().push(ServePoint {
-                        t_ms: shared2.now_ms(),
-                        queue_depth: s.queue_depth.load(Ordering::SeqCst),
-                        connections: s.connections_live.load(Ordering::SeqCst),
-                        sessions: s.sessions_live.load(Ordering::SeqCst),
-                        acked: s.acked.load(Ordering::SeqCst),
-                        sheds: s.sheds.load(Ordering::SeqCst),
-                        deadline_misses: s.deadline_misses.load(Ordering::SeqCst),
-                    });
-                    thread::sleep(Duration::from_millis(timeline_interval));
+                    let snap = shared2
+                        .stats
+                        .snapshot(shared2.now_ms(), shared2.shutdown.load(Ordering::SeqCst));
+                    shared2.slo.lock().unwrap().observe(&snap);
+                    if let Some(timeline) = &timeline2 {
+                        timeline.lock().unwrap().push(ServePoint {
+                            t_ms: snap.uptime_ms,
+                            queue_depth: snap.gauge("queue_depth"),
+                            connections: snap.gauge("connections_live"),
+                            sessions: snap.gauge("sessions_live"),
+                            acked: snap.counter("acked"),
+                            sheds: snap.counter("err.overloaded"),
+                            deadline_misses: snap.counter("err.deadline"),
+                        });
+                    }
+                    thread::sleep(Duration::from_millis(interval));
                 }
             })
             .expect("spawn timeline sampler");
-        Some((handle, timeline))
-    } else {
-        None
+        (handle, timeline)
     };
+    // Prometheus exposition endpoint, served until the drain completes.
+    let metrics_stop = Arc::new(AtomicBool::new(false));
+    let metrics_handle = metrics_listener.map(|l| {
+        let shared2 = Arc::clone(&shared);
+        let stop = Arc::clone(&metrics_stop);
+        thread::Builder::new()
+            .name("serve-metrics".into())
+            .spawn(move || metrics_loop(l, shared2, stop))
+            .expect("spawn metrics listener")
+    });
 
     // Accept until drain is requested.
     let mut conn_txs: Vec<Sender<ConnEvent>> = Vec::new();
@@ -1028,10 +1189,11 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, shutdown: Arc<AtomicBool
         clean_drain &= h.join().is_ok();
     }
     sampler_stop.store(true, Ordering::SeqCst);
-    let timeline = sampler.map(|(handle, timeline)| {
+    let timeline = {
+        let (handle, timeline) = sampler;
         let _ = handle.join();
-        timeline.lock().unwrap().clone()
-    });
+        timeline.map(|t| t.lock().unwrap().clone())
+    };
 
     // ACID verdict: replay the durable log through recovery; every
     // acked transaction must be a winner.
@@ -1051,22 +1213,32 @@ fn accept_loop(listener: TcpListener, cfg: ServeConfig, shutdown: Arc<AtomicBool
         None => 0,
     };
 
-    let s = &shared.stats;
+    // Keep serving scrapes through the drain; stop only once the final
+    // (exact — all recorders joined) snapshot is about to be taken.
+    metrics_stop.store(true, Ordering::SeqCst);
+    if let Some(h) = metrics_handle {
+        let _ = h.join();
+    }
+
+    let stats = shared.snapshot();
+    let request_trace = std::mem::take(&mut *shared.request_trace.lock().unwrap());
     ServeReport {
-        connections: s.connections_total.load(Ordering::SeqCst),
-        sessions_peak: s.sessions_peak.load(Ordering::SeqCst),
-        committed: s.committed.load(Ordering::SeqCst),
-        acked: s.acked.load(Ordering::SeqCst),
-        sheds: s.sheds.load(Ordering::SeqCst),
-        deadline_misses: s.deadline_misses.load(Ordering::SeqCst),
-        malformed: s.malformed.load(Ordering::SeqCst),
-        retry_exhausted: s.retry_exhausted.load(Ordering::SeqCst),
-        shutdown_rejected: s.shutdown_rejected.load(Ordering::SeqCst),
-        group_commits: s.group_commits.load(Ordering::SeqCst),
-        group_forces: s.group_forces.load(Ordering::SeqCst),
-        group_txns: s.group_txns.load(Ordering::SeqCst),
+        connections: stats.counter("connections"),
+        sessions_peak: stats.gauge("sessions_peak"),
+        committed: stats.counter("committed"),
+        acked: stats.counter("acked"),
+        sheds: stats.counter("err.overloaded"),
+        deadline_misses: stats.counter("err.deadline"),
+        malformed: stats.counter("err.malformed"),
+        retry_exhausted: stats.counter("err.retry_exhausted"),
+        shutdown_rejected: stats.counter("err.shutting_down"),
+        group_commits: stats.counter("group_commits"),
+        group_forces: stats.counter("group_forces"),
+        group_txns: stats.counter("group_txns"),
         acid_violations,
         clean_drain,
         timeline,
+        stats,
+        request_trace,
     }
 }

@@ -11,6 +11,7 @@
 //! a valid one) can be replayed deterministically in unit tests.
 
 use super::protocol::{ErrorKind, Frame, FrameDecoder, Request, Response, TxnRequest};
+use super::stats::{RequestCounts, STATS_SCHEMA};
 
 /// Connection lifecycle state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -79,6 +80,11 @@ pub enum FsmInput<'a> {
         /// Canonical report JSON.
         json: String,
     },
+    /// A STATS snapshot submitted earlier is ready.
+    StatsReady {
+        /// `StatsSnapshot::to_json` bytes.
+        json: String,
+    },
     /// Periodic timer; drives deadline expiry.
     Tick,
     /// Server-wide graceful drain has begun.
@@ -94,6 +100,10 @@ pub enum FsmAction {
     Submit(TxnRequest),
     /// Ask the server for the report (answer with `ReportReady`).
     SubmitReport,
+    /// Ask the server for a live-telemetry snapshot (answer with
+    /// `StatsReady`). Allowed even while draining — operators watch
+    /// the drain through exactly this path.
+    SubmitStats,
     /// The client requested server-wide shutdown.
     RequestShutdown,
     /// Close the socket and stop the driver.
@@ -123,12 +133,29 @@ pub struct ConnFsm {
     default_deadline_ms: u32,
     max_inflight: usize,
     close_emitted: bool,
+    /// How long an idle draining connection stays open for read-only
+    /// probes (STATS, PING) before the FSM closes it. 0 = close the
+    /// moment no work is in flight (prompt drain).
+    drain_linger_ms: u64,
+    /// Tick deadline after which an idle draining connection closes;
+    /// armed when the drain finds (or leaves) the connection idle.
+    drain_close_at_ms: Option<u64>,
+    /// Requests parsed on this connection, by opcode. The driver diffs
+    /// successive copies into the server-wide `ServeStats` registry, so
+    /// per-opcode counting stays exact even when one read delivers
+    /// several frames.
+    counts: RequestCounts,
 }
 
 impl ConnFsm {
     /// New connection in `Ready`, owning sessions starting at
     /// `session_base` once HELLO arrives.
-    pub fn new(session_base: u32, default_deadline_ms: u32, max_inflight: usize) -> Self {
+    pub fn new(
+        session_base: u32,
+        default_deadline_ms: u32,
+        max_inflight: usize,
+        drain_linger_ms: u64,
+    ) -> Self {
         ConnFsm {
             state: ConnState::Ready,
             decoder: FrameDecoder::new(),
@@ -138,6 +165,9 @@ impl ConnFsm {
             default_deadline_ms: default_deadline_ms.max(1),
             max_inflight: max_inflight.max(1),
             close_emitted: false,
+            drain_linger_ms,
+            drain_close_at_ms: None,
+            counts: RequestCounts::default(),
         }
     }
 
@@ -154,6 +184,11 @@ impl ConnFsm {
     /// Transactions submitted but not yet resolved.
     pub fn inflight(&self) -> usize {
         self.inflight.len()
+    }
+
+    /// Per-opcode request counts parsed so far (cumulative).
+    pub fn request_counts(&self) -> RequestCounts {
+        self.counts
     }
 
     /// Feed one input; actions are appended to `out` in order.
@@ -188,17 +223,34 @@ impl ConnFsm {
                 session,
                 client_txn,
                 result,
-            } => self.on_executed(session, client_txn, result, out),
+            } => self.on_executed(session, client_txn, result, now_ms, out),
             FsmInput::ReportReady { json } => {
                 out.push(FsmAction::Reply(Response::ReportOk { json }.encode()));
             }
-            FsmInput::Tick => self.expire_deadlines(now_ms, out),
+            FsmInput::StatsReady { json } => {
+                out.push(FsmAction::Reply(
+                    Response::StatsOk {
+                        schema: STATS_SCHEMA,
+                        json,
+                    }
+                    .encode(),
+                ));
+            }
+            FsmInput::Tick => {
+                self.expire_deadlines(now_ms, out);
+                if self
+                    .drain_close_at_ms
+                    .is_some_and(|at| now_ms >= at && self.inflight.is_empty())
+                {
+                    self.close(out);
+                }
+            }
             FsmInput::Shutdown => {
                 if self.state == ConnState::Ready {
                     self.state = ConnState::Draining;
                 }
                 if self.inflight.is_empty() {
-                    self.close(out);
+                    self.drain_idle(now_ms, out);
                 }
             }
         }
@@ -213,6 +265,15 @@ impl ConnFsm {
                 return;
             }
         };
+        match &req {
+            Request::Hello { .. } => self.counts.hello += 1,
+            Request::Txn(_) => self.counts.txn += 1,
+            Request::Report => self.counts.report += 1,
+            Request::Bye => self.counts.bye += 1,
+            Request::Shutdown => self.counts.shutdown += 1,
+            Request::Ping => self.counts.ping += 1,
+            Request::Stats => self.counts.stats += 1,
+        }
         match req {
             Request::Hello { sessions } => {
                 if self.sessions != 0 {
@@ -285,6 +346,8 @@ impl ConnFsm {
                 out.push(FsmAction::RequestShutdown);
             }
             Request::Ping => out.push(FsmAction::Reply(Response::PingOk.encode())),
+            // Read-only probe: answered in Ready *and* Draining.
+            Request::Stats => out.push(FsmAction::SubmitStats),
         }
     }
 
@@ -293,6 +356,7 @@ impl ConnFsm {
         session: u32,
         client_txn: u64,
         result: ExecResult,
+        now_ms: u64,
         out: &mut Vec<FsmAction>,
     ) {
         let Some(pos) = self
@@ -352,7 +416,19 @@ impl ConnFsm {
             out.push(FsmAction::Reply(reply.encode()));
         }
         if self.state == ConnState::Draining && self.inflight.is_empty() {
+            self.drain_idle(now_ms, out);
+        }
+    }
+
+    /// The drain has left this connection idle. With no linger, close
+    /// immediately (prompt drain); otherwise keep answering read-only
+    /// probes until the linger deadline passes on a tick (or the client
+    /// says BYE, whichever comes first).
+    fn drain_idle(&mut self, now_ms: u64, out: &mut Vec<FsmAction>) {
+        if self.drain_linger_ms == 0 {
             self.close(out);
+        } else if self.drain_close_at_ms.is_none() {
+            self.drain_close_at_ms = Some(now_ms.saturating_add(self.drain_linger_ms));
         }
     }
 
@@ -411,7 +487,7 @@ mod tests {
     use semcluster_faults::splitmix64;
 
     fn fsm() -> ConnFsm {
-        ConnFsm::new(100, 500, 4)
+        ConnFsm::new(100, 500, 4, 0)
     }
 
     fn hello_bytes(sessions: u32) -> Vec<u8> {
@@ -689,6 +765,52 @@ mod tests {
         ));
     }
 
+    #[test]
+    fn stats_probe_works_while_draining_and_counts_requests() {
+        let mut f = fsm();
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        f.on_input(FsmInput::Bytes(&txn_bytes(100, 1, 0)), 0, &mut out);
+        f.on_input(
+            FsmInput::Bytes(&Request::Stats.encode().encode()),
+            0,
+            &mut out,
+        );
+        assert!(out.contains(&FsmAction::SubmitStats));
+        out.clear();
+        // Drain begins with one txn in flight: the connection stays up,
+        // and STATS is still answered (unlike TXN).
+        f.on_input(FsmInput::Shutdown, 1, &mut out);
+        assert_eq!(f.state(), ConnState::Draining);
+        f.on_input(
+            FsmInput::Bytes(&Request::Stats.encode().encode()),
+            2,
+            &mut out,
+        );
+        assert!(
+            out.contains(&FsmAction::SubmitStats),
+            "STATS must work while draining"
+        );
+        out.clear();
+        f.on_input(
+            FsmInput::StatsReady {
+                json: "{\"stats_schema\":1}".into(),
+            },
+            3,
+            &mut out,
+        );
+        assert!(matches!(
+            replies(&out).as_slice(),
+            [Response::StatsOk { schema, json }]
+                if *schema == STATS_SCHEMA && json.contains("stats_schema")
+        ));
+        let counts = f.request_counts();
+        assert_eq!(counts.hello, 1);
+        assert_eq!(counts.txn, 1);
+        assert_eq!(counts.stats, 2);
+        assert_eq!(counts.total(), 4);
+    }
+
     /// Fixed-seed scheduler: replay the same set of inputs in many
     /// hash-chosen orders; invariants must hold in every interleaving.
     #[test]
@@ -764,5 +886,49 @@ mod tests {
             let closes = out.iter().filter(|a| **a == FsmAction::Close).count();
             assert_eq!(closes, 1, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn drain_linger_keeps_idle_connection_probeable() {
+        let mut f = ConnFsm::new(100, 500, 4, 1_000);
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        out.clear();
+        // Drain begins with nothing in flight: with a linger the
+        // connection stays open instead of closing on the spot.
+        f.on_input(FsmInput::Shutdown, 10, &mut out);
+        assert_eq!(f.state(), ConnState::Draining);
+        assert!(out.is_empty(), "lingering connection stays open");
+        // Read-only probes are still answered inside the window.
+        f.on_input(
+            FsmInput::Bytes(&Request::Stats.encode().encode()),
+            500,
+            &mut out,
+        );
+        assert!(out.contains(&FsmAction::SubmitStats));
+        out.clear();
+        // Ticks before the deadline leave it open; the deadline tick
+        // closes it.
+        f.on_input(FsmInput::Tick, 1_009, &mut out);
+        assert_eq!(f.state(), ConnState::Draining);
+        f.on_input(FsmInput::Tick, 1_010, &mut out);
+        assert_eq!(f.state(), ConnState::Closed);
+        assert_eq!(out.iter().filter(|a| **a == FsmAction::Close).count(), 1);
+    }
+
+    #[test]
+    fn drain_linger_bye_closes_immediately() {
+        let mut f = ConnFsm::new(100, 500, 4, 60_000);
+        let mut out = Vec::new();
+        f.on_input(FsmInput::Bytes(&hello_bytes(1)), 0, &mut out);
+        f.on_input(FsmInput::Shutdown, 10, &mut out);
+        out.clear();
+        f.on_input(
+            FsmInput::Bytes(&Request::Bye.encode().encode()),
+            20,
+            &mut out,
+        );
+        assert!(matches!(replies(&out).as_slice(), [Response::ByeOk]));
+        assert_eq!(f.state(), ConnState::Closed, "BYE beats the linger");
     }
 }

@@ -19,7 +19,14 @@
 //!   recluster moves, splits, degradation transitions);
 //! * pid 5 `profiler` — end-of-run `C` counter events, one per phase
 //!   stack, carrying the deterministic profile columns (calls,
-//!   simulated µs, allocated bytes/count).
+//!   simulated µs, allocated bytes/count);
+//! * pid 6 `serve-requests` — live-server per-request attribution: one
+//!   row per logical session, each request rendered as five
+//!   consecutive `X` slices (admission wait, lock wait, engine exec,
+//!   commit wait, reply write) that tile the measured service time
+//!   exactly. Emitted via [`ChromeTraceSink::emit_serve_request`] from
+//!   the server's retained trace records; timestamps are wall-clock µs
+//!   since server start rather than simulated time.
 //!
 //! Output is deterministic: same run, byte-identical trace file.
 
@@ -32,6 +39,7 @@ const PID_DISKS: u64 = 2;
 const PID_LOG: u64 = 3;
 const PID_ENGINE: u64 = 4;
 const PID_PROFILE: u64 = 5;
+const PID_SERVER: u64 = 6;
 
 /// Streams [`TraceEvent`]s as a Chrome `trace_event` JSON array.
 pub struct ChromeTraceSink<W: Write> {
@@ -98,6 +106,7 @@ impl<W: Write> ChromeTraceSink<W> {
             (PID_LOG, "log-device"),
             (PID_ENGINE, "engine"),
             (PID_PROFILE, "profiler"),
+            (PID_SERVER, "serve-requests"),
         ] {
             sink.write_record(&Record {
                 name: "process_name",
@@ -117,6 +126,39 @@ impl<W: Write> ChromeTraceSink<W> {
     /// Events written so far (excluding metadata).
     pub fn events(&self) -> u64 {
         self.events
+    }
+
+    /// Emit one served request on the `serve-requests` lane: the spans
+    /// render as consecutive `X` slices on the session's row, tiling
+    /// `[start_us, start_us + Σ span)` with no gaps — a visual proof of
+    /// the zero-residual attribution invariant. `spans` is `(phase
+    /// name, µs)` in service order; zero-length spans are skipped (the
+    /// viewer would drop them anyway).
+    pub fn emit_serve_request(
+        &mut self,
+        session: u32,
+        client_txn: u64,
+        start_us: u64,
+        spans: &[(&str, u64)],
+    ) {
+        let mut at = start_us;
+        for (phase, dur) in spans {
+            if *dur > 0 {
+                self.write_record(&Record {
+                    name: phase,
+                    ph: "X",
+                    ts: at,
+                    dur: Some(*dur),
+                    pid: PID_SERVER,
+                    tid: u64::from(session),
+                    args: args(|w| {
+                        w.u64("client_txn", client_txn);
+                    }),
+                });
+                self.events += 1;
+            }
+            at += dur;
+        }
     }
 
     fn write_record(&mut self, rec: &Record) {
@@ -469,6 +511,37 @@ mod tests {
         let opens = text.matches('{').count();
         let closes = text.matches('}').count();
         assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn serve_request_spans_tile_the_service_time() {
+        let buf = SharedBuf::new();
+        let mut sink = ChromeTraceSink::new(buf.clone());
+        sink.emit_serve_request(
+            3,
+            42,
+            1_000,
+            &[
+                ("admission_wait", 10),
+                ("lock_wait", 0), // zero-length: skipped
+                ("engine_exec", 25),
+                ("commit_wait", 100),
+                ("reply_write", 5),
+            ],
+        );
+        sink.flush();
+        let text = String::from_utf8(buf.bytes()).unwrap();
+        assert!(text.contains(r#""name":"process_name","ph":"M","ts":0,"pid":6"#));
+        // Consecutive slices: each starts where the previous ended,
+        // including the slot of the skipped zero-length span.
+        assert!(
+            text.contains(r#""name":"admission_wait","ph":"X","ts":1000,"dur":10,"pid":6,"tid":3"#)
+        );
+        assert!(text.contains(r#""name":"engine_exec","ph":"X","ts":1010,"dur":25"#));
+        assert!(text.contains(r#""name":"commit_wait","ph":"X","ts":1035,"dur":100"#));
+        assert!(text.contains(r#""name":"reply_write","ph":"X","ts":1135,"dur":5"#));
+        assert!(!text.contains(r#""name":"lock_wait""#));
+        assert_eq!(sink.events(), 4);
     }
 
     #[test]

@@ -179,8 +179,9 @@ fn engine_ring_sink_wraps_and_counts() {
 }
 
 /// A Chrome trace of a real run is a structurally valid JSON array:
-/// balanced braces, the five process-name records (transactions,
-/// data-disks, log-device, engine, profiler), begin/end span parity
+/// balanced braces, the six process-name records (transactions,
+/// data-disks, log-device, engine, profiler, serve-requests),
+/// begin/end span parity
 /// per user lane, and durations on every complete event.
 #[test]
 fn chrome_trace_of_real_run_is_wellformed() {
@@ -193,7 +194,7 @@ fn chrome_trace_of_real_run_is_wellformed() {
     assert!(text.starts_with("[\n"));
     assert!(text.ends_with("{}\n]\n"), "array closed exactly once");
     assert_eq!(text.matches('{').count(), text.matches('}').count());
-    assert_eq!(text.matches("\"process_name\"").count(), 5);
+    assert_eq!(text.matches("\"process_name\"").count(), 6);
     // Every transaction span opens and closes (commit or abort).
     let begins = text.matches("\"ph\":\"B\"").count();
     let ends = text.matches("\"ph\":\"E\"").count();
